@@ -1,0 +1,90 @@
+/// \file breach_empirical.cc
+/// Ablation (DESIGN.md experiment E8): the empirical face of Section III's
+/// Lemmas 1-2 versus Section VI's theorems. The same corruption-aided
+/// adversary attacks (a) a conventional (0.5,3)-diverse k-anonymous
+/// generalization that releases exact sensitive values and (b) a PG
+/// release of the same microdata, across corruption rates. Conventional
+/// generalization collapses to certain disclosure; PG's worst observed
+/// growth stays under the Theorem-3 bound at every corruption level.
+///
+/// Environment: SAL_N (default 120000 is more than needed here; this
+/// harness caps at 40000 rows for attack-simulation speed), SAL_RUNS.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "attack/breach_harness.h"
+#include "bench/bench_util.h"
+#include "diversity/ldiversity.h"
+#include "generalize/tds.h"
+
+using namespace pgpub;
+using namespace pgpub::bench;
+
+int main() {
+  const size_t n = std::min<size_t>(SalRows(), 40000);
+  std::printf("generating %zu census rows...\n", n);
+  CensusDataset census = GenerateCensus(n, 42).ValueOrDie();
+  const Table& microdata = census.table;
+  const int sens = CensusColumns::kIncome;
+  const std::vector<int> qi = microdata.schema().QiIndices();
+
+  // (a) Conventional (0.5,3)-diverse 4-anonymous generalization.
+  CLDiversity diversity(0.5, 3);
+  TdsOptions tds_options;
+  tds_options.k = 4;
+  tds_options.constraint = &diversity;
+  tds_options.constraint_attr = sens;
+  TopDownSpecializer tds(microdata, qi, census.TaxonomyPointers(),
+                         microdata.column(sens),
+                         microdata.domain(sens).size(), tds_options);
+  GlobalRecoding recoding = tds.Run().ValueOrDie();
+  QiGroups groups = ComputeQiGroups(microdata, recoding);
+  std::printf("conventional release: %zu groups, min size %zu, %s held\n",
+              groups.num_groups(), groups.MinGroupSize(),
+              diversity.name().c_str());
+
+  // (b) PG with the same k and the paper's p = 0.3.
+  PgOptions options;
+  options.k = 4;
+  options.p = 0.3;
+  options.seed = 7;
+  PgPublisher publisher(options);
+  PublishedTable published =
+      publisher.Publish(microdata, census.TaxonomyPointers()).ValueOrDie();
+  std::printf("PG release: %zu tuples, p = %.2f\n\n", published.num_rows(),
+              published.retention_p());
+
+  Rng rng(11);
+  ExternalDatabase edb =
+      ExternalDatabase::FromMicrodata(microdata, n / 20, rng);
+
+  std::printf("%-10s | %-30s | %-36s\n", "",
+              "conventional generalization", "perturbed generalization");
+  std::printf("%-10s | %-9s %-9s %-9s | %-9s %-9s %-9s %-6s\n",
+              "corruption", "max-grow", "mean-grow", "certain", "max-grow",
+              "Thm3-bnd", "max-h", "breach");
+  for (double rate : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    BreachHarnessOptions harness;
+    harness.num_victims = 250;
+    harness.corruption_rate = rate;
+    harness.lambda = 0.1;
+    harness.rho1 = 0.2;
+    harness.prior_kind = BreachHarnessOptions::PriorKind::kSkewTrue;
+    harness.seed = 900 + static_cast<uint64_t>(rate * 100);
+
+    GeneralizationBreachStats gen = MeasureGeneralizationBreaches(
+        microdata, groups, sens, harness);
+    BreachStats pg = MeasurePgBreaches(published, edb, microdata, harness);
+
+    std::printf("%-10.2f | %-9.4f %-9.4f %-9zu | %-9.4f %-9.4f %-9.4f %-6zu\n",
+                rate, gen.max_growth, gen.mean_growth,
+                gen.point_mass_disclosures, pg.max_growth, pg.delta_bound,
+                pg.max_h, pg.delta_breaches + pg.rho_breaches);
+  }
+  std::printf(
+      "\n'certain' = attacks ending with a single possible sensitive value\n"
+      "(Lemma 2's certain disclosure). PG's breach count must be 0 at every\n"
+      "corruption rate (Theorems 1-3).\n");
+  return 0;
+}

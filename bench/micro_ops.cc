@@ -1,0 +1,260 @@
+/// \file micro_ops.cc
+/// google-benchmark micro-benchmarks of the pipeline stages (DESIGN.md
+/// E9/E10): perturbation throughput, QI grouping, TDS generalization,
+/// stratified sampling, end-to-end publication scaling, attack posterior
+/// computation, and the guarantee solvers.
+
+#include <benchmark/benchmark.h>
+
+#include "attack/linking_attack.h"
+#include "core/pg_publisher.h"
+#include "datagen/census.h"
+#include "generalize/tds.h"
+#include "mining/category.h"
+#include "perturb/randomized_response.h"
+#include "generalize/anatomy.h"
+#include "mining/naive_bayes.h"
+#include "republish/minvariance.h"
+#include "sample/stratified.h"
+
+namespace pgpub {
+namespace {
+
+const CensusDataset& SharedCensus(size_t n) {
+  static auto* cache =
+      new std::unordered_map<size_t, CensusDataset>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, GenerateCensus(n, 1).ValueOrDie()).first;
+  }
+  return it->second;
+}
+
+void BM_Perturbation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const CensusDataset& census = SharedCensus(n);
+  UniformPerturbation channel(0.3, 50);
+  Rng rng(2);
+  for (auto _ : state) {
+    auto out =
+        channel.PerturbColumn(census.table.column(CensusColumns::kIncome),
+                              rng);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Perturbation)->Arg(10000)->Arg(100000);
+
+void BM_QiGrouping(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const CensusDataset& census = SharedCensus(n);
+  const std::vector<int> qi = census.table.schema().QiIndices();
+  // A mid-granularity recoding: every attribute at half resolution.
+  GlobalRecoding recoding;
+  recoding.qi_attrs = qi;
+  for (int a : qi) {
+    const int32_t domain = census.table.domain(a).size();
+    AttributeRecoding rec = AttributeRecoding::Single(domain);
+    for (int32_t c = 2; c < domain; c += 2) rec.SplitAt(c);
+    recoding.per_attr.push_back(std::move(rec));
+  }
+  for (auto _ : state) {
+    QiGroups groups = ComputeQiGroups(census.table, recoding);
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_QiGrouping)->Arg(10000)->Arg(100000);
+
+void BM_TdsGeneralization(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const CensusDataset& census = SharedCensus(n);
+  const std::vector<int> qi = census.table.schema().QiIndices();
+  CategoryMap cats = CategoryMap::PaperIncome(2);
+  std::vector<int32_t> labels =
+      cats.Map(census.table.column(CensusColumns::kIncome));
+  for (auto _ : state) {
+    TdsOptions options;
+    options.k = 6;
+    TopDownSpecializer tds(census.table, qi, census.TaxonomyPointers(),
+                           labels, 2, options);
+    auto recoding = tds.Run().ValueOrDie();
+    benchmark::DoNotOptimize(recoding);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_TdsGeneralization)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StratifiedSampling(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const CensusDataset& census = SharedCensus(n);
+  const std::vector<int> qi = census.table.schema().QiIndices();
+  TdsOptions options;
+  options.k = 6;
+  TopDownSpecializer tds(census.table, qi, census.TaxonomyPointers(),
+                         census.table.column(CensusColumns::kIncome), 50,
+                         options);
+  GlobalRecoding recoding = tds.Run().ValueOrDie();
+  QiGroups groups = ComputeQiGroups(census.table, recoding);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto sample = StratifiedSample(groups, rng);
+    benchmark::DoNotOptimize(sample);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          groups.num_groups());
+}
+BENCHMARK(BM_StratifiedSampling)->Arg(50000);
+
+void BM_PublishEndToEnd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const CensusDataset& census = SharedCensus(n);
+  for (auto _ : state) {
+    PgOptions options;
+    options.k = 6;
+    options.p = 0.3;
+    options.seed = 4;
+    PgPublisher publisher(options);
+    auto published =
+        publisher.Publish(census.table, census.TaxonomyPointers())
+            .ValueOrDie();
+    benchmark::DoNotOptimize(published);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PublishEndToEnd)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AttackPosterior(benchmark::State& state) {
+  const size_t n = 20000;
+  const CensusDataset& census = SharedCensus(n);
+  PgOptions options;
+  options.k = 6;
+  options.p = 0.3;
+  options.seed = 5;
+  PgPublisher publisher(options);
+  static PublishedTable published =
+      publisher.Publish(census.table, census.TaxonomyPointers())
+          .ValueOrDie();
+  Rng rng(6);
+  static ExternalDatabase edb =
+      ExternalDatabase::FromMicrodata(census.table, 1000, rng);
+  LinkingAttack attacker(&published, &edb);
+  Adversary adversary;
+  adversary.victim_prior = BackgroundKnowledge::Uniform(50);
+  size_t victim = 0;
+  for (auto _ : state) {
+    auto result = attacker.Attack(victim, adversary).ValueOrDie();
+    benchmark::DoNotOptimize(result);
+    victim = (victim + 37) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttackPosterior);
+
+void BM_ReconstructionTreeTraining(benchmark::State& state) {
+  const size_t n = 100000;
+  const CensusDataset& census = SharedCensus(n);
+  CategoryMap cats = CategoryMap::PaperIncome(2);
+  PgOptions options;
+  options.k = 6;
+  options.p = 0.3;
+  options.seed = 8;
+  options.class_category_starts = cats.starts();
+  PgPublisher publisher(options);
+  static PublishedTable published =
+      publisher.Publish(census.table, census.TaxonomyPointers())
+          .ValueOrDie();
+  TreeDataset dataset =
+      TreeDataset::FromPublished(published, cats, census.nominal);
+  Reconstructor reconstructor(0.3, cats.Weights());
+  TreeOptions tree_options;
+  tree_options.reconstructor = &reconstructor;
+  tree_options.significance_chi2 = 10.0;
+  for (auto _ : state) {
+    auto tree = DecisionTree::Train(dataset, tree_options).ValueOrDie();
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          dataset.num_rows());
+}
+BENCHMARK(BM_ReconstructionTreeTraining);
+
+void BM_NaiveBayesTraining(benchmark::State& state) {
+  const size_t n = 100000;
+  const CensusDataset& census = SharedCensus(n);
+  CategoryMap cats = CategoryMap::PaperIncome(2);
+  std::vector<int32_t> labels =
+      cats.Map(census.table.column(CensusColumns::kIncome));
+  TreeDataset dataset =
+      TreeDataset::FromRaw(census.table, census.table.schema().QiIndices(),
+                           labels, 2, census.nominal);
+  for (auto _ : state) {
+    auto model =
+        NaiveBayesClassifier::Train(dataset, NaiveBayesOptions{})
+            .ValueOrDie();
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_NaiveBayesTraining)->Unit(benchmark::kMillisecond);
+
+void BM_Anatomize(benchmark::State& state) {
+  const size_t n = 100000;
+  const CensusDataset& census = SharedCensus(n);
+  Rng rng(9);
+  for (auto _ : state) {
+    auto release =
+        Anatomize(census.table, CensusColumns::kIncome, 4, rng).ValueOrDie();
+    benchmark::DoNotOptimize(release);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Anatomize)->Unit(benchmark::kMillisecond);
+
+void BM_MInvariantRound(benchmark::State& state) {
+  // One re-publication round over a 50k population with 20% churn.
+  Rng rng(10);
+  std::vector<std::pair<int64_t, int32_t>> alive;
+  for (int64_t i = 0; i < 50000; ++i) {
+    alive.push_back({i, static_cast<int32_t>(rng.UniformU64(30))});
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    MInvariantRepublisher republisher(3, 30, 11);
+    state.ResumeTiming();
+    auto release = republisher.PublishNext(alive).ValueOrDie();
+    benchmark::DoNotOptimize(release);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          alive.size());
+}
+BENCHMARK(BM_MInvariantRound)->Unit(benchmark::kMillisecond);
+
+void BM_GuaranteeSolver(benchmark::State& state) {
+  for (auto _ : state) {
+    auto p = MaxRetentionForRho(6, 0.1, 50, 0.2, 0.45).ValueOrDie();
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuaranteeSolver);
+
+void BM_CensusGeneration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto census = GenerateCensus(n, 7).ValueOrDie();
+    benchmark::DoNotOptimize(census);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_CensusGeneration)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pgpub
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+/// \file attack_demo.cpp
+/// Corruption in action (Sections I/III vs. Section VI): run the same
+/// corruption-aided adversary against (a) a conventional ℓ-diverse
+/// generalized table and (b) a PG release of the same microdata, sweeping
+/// the corruption rate. Conventional generalization collapses to certain
+/// disclosure (Lemma 2); PG's worst-case growth stays under the Theorem 3
+/// bound no matter how many owners are corrupted.
+///
+/// Usage: attack_demo [num_rows] [num_victims]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/breach_harness.h"
+#include "core/pg_publisher.h"
+#include "datagen/census.h"
+#include "diversity/ldiversity.h"
+#include "generalize/tds.h"
+
+using namespace pgpub;
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const size_t victims = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150;
+
+  CensusDataset census = GenerateCensus(n, /*seed=*/4).ValueOrDie();
+  const Table& microdata = census.table;
+  const int sens = CensusColumns::kIncome;
+  const std::vector<int> qi = microdata.schema().QiIndices();
+
+  // ---- (a) A conventional (0.5, 3)-diverse 4-anonymous generalization
+  // releasing exact sensitive values.
+  CLDiversity diversity(0.5, 3);
+  TdsOptions tds_options;
+  tds_options.k = 4;
+  tds_options.constraint = &diversity;
+  tds_options.constraint_attr = sens;
+  TopDownSpecializer tds(microdata, qi, census.TaxonomyPointers(),
+                         microdata.column(sens),
+                         microdata.domain(sens).size(), tds_options);
+  GlobalRecoding recoding = tds.Run().ValueOrDie();
+  QiGroups groups = ComputeQiGroups(microdata, recoding);
+  std::printf("conventional release: %zu QI-groups, min size %zu, "
+              "constraint %s\n",
+              groups.num_groups(), groups.MinGroupSize(),
+              diversity.name().c_str());
+
+  // ---- (b) A PG release (k = 4, p solved for a 0.25-growth guarantee).
+  PgOptions pg_options;
+  pg_options.k = 4;
+  pg_options.target.kind = PrivacyTarget::Kind::kDelta;
+  pg_options.target.delta = 0.25;
+  pg_options.target.lambda = 0.1;
+  pg_options.seed = 11;
+  PgPublisher publisher(pg_options);
+  PublishedTable published =
+      publisher.Publish(microdata, census.TaxonomyPointers()).ValueOrDie();
+  std::printf("PG release: %zu tuples, solved p = %.4f\n\n",
+              published.num_rows(), published.retention_p());
+
+  Rng rng(1234);
+  ExternalDatabase edb =
+      ExternalDatabase::FromMicrodata(microdata, n / 20, rng);
+
+  std::printf("%-16s | %-28s | %-28s\n", "", "conventional generalization",
+              "perturbed generalization");
+  std::printf("%-16s | %-9s %-9s %-8s | %-9s %-9s %-8s\n", "corruption",
+              "max-grow", "mean-grow", "certain", "max-grow", "bound",
+              "breaches");
+  for (double rate : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    BreachHarnessOptions harness;
+    harness.num_victims = victims;
+    harness.corruption_rate = rate;
+    harness.lambda = 0.1;
+    harness.prior_kind = BreachHarnessOptions::PriorKind::kSkewTrue;
+    harness.seed = 5000 + static_cast<uint64_t>(rate * 100);
+
+    GeneralizationBreachStats gen_stats = MeasureGeneralizationBreaches(
+        microdata, groups, sens, harness);
+    BreachStats pg_stats =
+        MeasurePgBreaches(published, edb, microdata, harness);
+
+    std::printf("%-16.2f | %-9.4f %-9.4f %-8zu | %-9.4f %-9.4f %-8zu\n",
+                rate, gen_stats.max_growth, gen_stats.mean_growth,
+                gen_stats.point_mass_disclosures, pg_stats.max_growth,
+                pg_stats.delta_bound, pg_stats.delta_breaches);
+  }
+  std::printf(
+      "\n'certain' counts attacks where the conventional release left the\n"
+      "adversary with a single possible sensitive value (Lemma 2). PG's\n"
+      "observed growth never exceeds the Theorem 3 bound.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// \file guarantee_explorer.cpp
+/// Interactive-ish CLI around the Section VI guarantee calculator: give it
+/// p, k, lambda, |U^s| and rho1, get h_top and the strongest rho1-to-rho2
+/// and Delta-growth guarantees; or give a target and solve for the largest
+/// retention probability p.
+///
+/// Usage:
+///   guarantee_explorer [p k lambda us rho1]
+///   guarantee_explorer solve-rho  k lambda us rho1 rho2
+///   guarantee_explorer solve-delta k lambda us delta
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/guarantees.h"
+
+using namespace pgpub;
+
+namespace {
+
+void PrintGuarantees(const PgParams& params, double rho1) {
+  std::printf("p = %.3f, k = %d, lambda = %.3f, |U^s| = %d\n", params.p,
+              params.k, params.lambda, params.sensitive_domain_size);
+  std::printf("  noise floor u = (1-p)/|U^s|     = %.6f\n",
+              NoiseFloor(params.p, params.sensitive_domain_size));
+  std::printf("  ownership bound h_top (Ineq.20) = %.6f\n", HTop(params));
+  std::printf("  strongest %.2f-to-rho2 guarantee: rho2 = %.4f (Thm 2)\n",
+              rho1, MinRho2(params, rho1));
+  std::printf("  strongest Delta-growth guarantee: Delta = %.4f (Thm 3)\n",
+              MinDelta(params));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "solve-rho") == 0) {
+    if (argc != 7) {
+      std::fprintf(stderr,
+                   "usage: %s solve-rho k lambda us rho1 rho2\n", argv[0]);
+      return 2;
+    }
+    const int k = std::atoi(argv[2]);
+    const double lambda = std::atof(argv[3]);
+    const int us = std::atoi(argv[4]);
+    const double rho1 = std::atof(argv[5]);
+    const double rho2 = std::atof(argv[6]);
+    auto p = MaxRetentionForRho(k, lambda, us, rho1, rho2);
+    if (!p.ok()) {
+      std::fprintf(stderr, "infeasible: %s\n", p.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("largest p establishing the %.2f-to-%.2f guarantee: %.6f\n",
+                rho1, rho2, *p);
+    PrintGuarantees({*p, k, lambda, us}, rho1);
+    return 0;
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "solve-delta") == 0) {
+    if (argc != 6) {
+      std::fprintf(stderr, "usage: %s solve-delta k lambda us delta\n",
+                   argv[0]);
+      return 2;
+    }
+    const int k = std::atoi(argv[2]);
+    const double lambda = std::atof(argv[3]);
+    const int us = std::atoi(argv[4]);
+    const double delta = std::atof(argv[5]);
+    auto p = MaxRetentionForDelta(k, lambda, us, delta);
+    if (!p.ok()) {
+      std::fprintf(stderr, "infeasible: %s\n", p.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("largest p establishing the %.2f-growth guarantee: %.6f\n",
+                delta, *p);
+    PrintGuarantees({*p, k, lambda, us}, 0.2);
+    return 0;
+  }
+
+  PgParams params;
+  double rho1 = 0.2;
+  if (argc == 6) {
+    params.p = std::atof(argv[1]);
+    params.k = std::atoi(argv[2]);
+    params.lambda = std::atof(argv[3]);
+    params.sensitive_domain_size = std::atoi(argv[4]);
+    rho1 = std::atof(argv[5]);
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [p k lambda us rho1]\n", argv[0]);
+    return 2;
+  }
+  PrintGuarantees(params, rho1);
+  return 0;
+}

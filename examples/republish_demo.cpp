@@ -1,0 +1,112 @@
+/// \file republish_demo.cpp
+/// The paper's Section IX future-work scenario, live: a hospital's
+/// population churns (discharges + admissions) and an anonymized version
+/// is re-published after every change. Naive, history-free re-publication
+/// lets an adversary intersect a returning patient's candidate diagnoses
+/// across releases — often down to a single value. m-invariant
+/// re-publication (Xiao & Tao's [22], implemented in src/republish) keeps
+/// every returning patient's bucket signature fixed, so the intersection
+/// never shrinks below m.
+///
+/// Usage: republish_demo [num_owners] [rounds] [m]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "republish/minvariance.h"
+
+using namespace pgpub;
+
+namespace {
+
+struct AttackTally {
+  size_t attacked = 0;
+  size_t shrunk = 0;
+  size_t certain = 0;
+};
+
+AttackTally Tally(const std::vector<RepublishRelease>& releases,
+                  int64_t max_owner, int m) {
+  std::vector<const RepublishRelease*> pointers;
+  for (const auto& r : releases) pointers.push_back(&r);
+  AttackTally tally;
+  for (int64_t owner = 0; owner < max_owner; ++owner) {
+    std::vector<int32_t> candidates = IntersectionAttack(pointers, owner);
+    if (candidates.empty()) continue;
+    ++tally.attacked;
+    if (static_cast<int>(candidates.size()) < m) ++tally.shrunk;
+    if (candidates.size() == 1) ++tally.certain;
+  }
+  return tally;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+  const int rounds = argc > 2 ? std::atoi(argv[2]) : 5;
+  const int m = argc > 3 ? std::atoi(argv[3]) : 3;
+  const int32_t domain = 20;
+
+  // Churning population with fixed per-owner diagnoses.
+  Rng rng(2007);
+  std::map<int64_t, int32_t> population;
+  int64_t next_id = 0;
+  auto admit = [&](size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      population[next_id++] = static_cast<int32_t>(rng.UniformU64(domain));
+    }
+  };
+  auto discharge = [&](double rate) {
+    std::vector<int64_t> leaving;
+    for (const auto& [owner, value] : population) {
+      if (rng.Bernoulli(rate)) leaving.push_back(owner);
+    }
+    for (int64_t owner : leaving) population.erase(owner);
+  };
+  auto snapshot = [&]() {
+    return std::vector<std::pair<int64_t, int32_t>>(population.begin(),
+                                                    population.end());
+  };
+
+  admit(n);
+  MInvariantRepublisher invariant(m, domain, 42);
+  std::vector<RepublishRelease> invariant_releases;
+  std::vector<RepublishRelease> naive_releases;
+
+  std::printf("%-7s %-10s %-22s %-18s\n", "round", "alive",
+              "m-invariant buckets", "counterfeits");
+  for (int round = 0; round < rounds; ++round) {
+    auto alive = snapshot();
+    invariant_releases.push_back(
+        invariant.PublishNext(alive).ValueOrDie());
+    // Naive: a brand-new publisher per round (no signature memory).
+    MInvariantRepublisher fresh(m, domain, 1000 + round);
+    naive_releases.push_back(fresh.PublishNext(alive).ValueOrDie());
+
+    std::printf("%-7d %-10zu %-22zu %-18zu\n", round, alive.size(),
+                invariant_releases.back().num_buckets(),
+                invariant_releases.back().TotalCounterfeits());
+    discharge(0.25);
+    admit(n / 10);
+  }
+
+  AttackTally inv = Tally(invariant_releases, next_id, m);
+  AttackTally naive = Tally(naive_releases, next_id, m);
+
+  std::printf("\nintersection attack over %d releases (m = %d):\n", rounds,
+              m);
+  std::printf("%-14s %-10s %-22s %-22s\n", "", "attacked",
+              "candidates < m", "certain disclosure");
+  std::printf("%-14s %-10zu %-22zu %-22zu\n", "m-invariant", inv.attacked,
+              inv.shrunk, inv.certain);
+  std::printf("%-14s %-10zu %-22zu %-22zu\n", "naive", naive.attacked,
+              naive.shrunk, naive.certain);
+  std::printf(
+      "\nm-invariance must show 0 shrunk candidate sets; the naive scheme\n"
+      "leaks more every round a patient stays in the data.\n");
+  return 0;
+}

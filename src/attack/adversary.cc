@@ -1,0 +1,95 @@
+#include "attack/adversary.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace pgpub {
+
+BackgroundKnowledge BackgroundKnowledge::Uniform(int32_t domain_size) {
+  PGPUB_CHECK_GT(domain_size, 0);
+  BackgroundKnowledge bk;
+  bk.pdf.assign(domain_size, 1.0 / domain_size);
+  return bk;
+}
+
+BackgroundKnowledge BackgroundKnowledge::SkewedTowards(int32_t domain_size,
+                                                       int32_t value,
+                                                       double lambda) {
+  PGPUB_CHECK_GT(domain_size, 0);
+  PGPUB_CHECK(value >= 0 && value < domain_size);
+  PGPUB_CHECK(lambda >= 1.0 / domain_size && lambda <= 1.0)
+      << "lambda " << lambda << " infeasible for domain " << domain_size;
+  BackgroundKnowledge bk;
+  if (domain_size == 1) {
+    bk.pdf = {1.0};
+    return bk;
+  }
+  bk.pdf.assign(domain_size, (1.0 - lambda) / (domain_size - 1));
+  bk.pdf[value] = lambda;
+  return bk;
+}
+
+BackgroundKnowledge BackgroundKnowledge::Excluding(
+    int32_t domain_size, const std::vector<int32_t>& impossible) {
+  PGPUB_CHECK_GT(domain_size, 0);
+  BackgroundKnowledge bk;
+  bk.pdf.assign(domain_size, 1.0);
+  for (int32_t v : impossible) {
+    PGPUB_CHECK(v >= 0 && v < domain_size);
+    bk.pdf[v] = 0.0;
+  }
+  PGPUB_CHECK(NormalizeInPlace(bk.pdf))
+      << "cannot exclude every sensitive value";
+  return bk;
+}
+
+BackgroundKnowledge BackgroundKnowledge::RandomSkewed(int32_t domain_size,
+                                                      double lambda,
+                                                      Rng& rng) {
+  PGPUB_CHECK_GT(domain_size, 0);
+  PGPUB_CHECK(lambda >= 1.0 / domain_size && lambda <= 1.0);
+  BackgroundKnowledge bk;
+  bk.pdf.resize(domain_size);
+  for (double& v : bk.pdf) v = rng.UniformDouble();
+  NormalizeInPlace(bk.pdf);
+  // Iteratively clamp masses above lambda, re-spreading the excess.
+  for (int iter = 0; iter < 64; ++iter) {
+    double excess = 0.0;
+    int free_count = 0;
+    for (double v : bk.pdf) {
+      if (v > lambda) {
+        excess += v - lambda;
+      } else {
+        ++free_count;
+      }
+    }
+    if (excess <= 1e-15 || free_count == 0) break;
+    const double share = excess / free_count;
+    for (double& v : bk.pdf) {
+      if (v > lambda) {
+        v = lambda;
+      } else {
+        v += share;
+      }
+    }
+  }
+  for (double& v : bk.pdf) v = std::min(v, lambda);
+  NormalizeInPlace(bk.pdf);
+  return bk;
+}
+
+double BackgroundKnowledge::MaxMass() const {
+  return *std::max_element(pdf.begin(), pdf.end());
+}
+
+double BackgroundKnowledge::Confidence(const std::vector<bool>& q) const {
+  PGPUB_CHECK_EQ(q.size(), pdf.size());
+  double c = 0.0;
+  for (size_t i = 0; i < pdf.size(); ++i) {
+    if (q[i]) c += pdf[i];
+  }
+  return c;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace pgpub {
+
+/// \brief Background knowledge as a pdf over the sensitive domain
+/// (Definition 4): P[X = x] for each code x. λ-skewed when no mass exceeds
+/// λ.
+struct BackgroundKnowledge {
+  std::vector<double> pdf;
+
+  /// No non-trivial expertise: uniform over |U^s| values (λ = 1/|U^s|).
+  static BackgroundKnowledge Uniform(int32_t domain_size);
+
+  /// Puts mass λ on `value` and spreads the rest uniformly. Requires
+  /// λ >= 1/|U^s|.
+  static BackgroundKnowledge SkewedTowards(int32_t domain_size, int32_t value,
+                                           double lambda);
+
+  /// The (c,ℓ)-diversity style knowledge (Section III): `impossible`
+  /// values are known to be wrong, the rest equally likely.
+  static BackgroundKnowledge Excluding(int32_t domain_size,
+                                       const std::vector<int32_t>& impossible);
+
+  /// Random λ-skewed pdf: a Dirichlet-ish draw rescaled so its maximum is
+  /// exactly `lambda` where feasible. Used by property tests to sweep
+  /// adversary knowledge.
+  static BackgroundKnowledge RandomSkewed(int32_t domain_size, double lambda,
+                                          Rng& rng);
+
+  /// max_x P[X = x] — the λ this knowledge actually attains.
+  double MaxMass() const;
+
+  /// Σ_{x in q} pdf[x] — prior confidence of predicate Q (Equation 5).
+  double Confidence(const std::vector<bool>& q) const;
+};
+
+/// \brief Adversary state for one linking attack: prior knowledge about
+/// the victim and the results of corruption.
+///
+/// `corrupted` maps ℰ-individual index -> the learned sensitive code, or
+/// kExtraneousMark when corruption revealed the person to be extraneous
+/// (sensitive value ∅). The victim must not appear in it.
+struct Adversary {
+  static constexpr int32_t kExtraneousMark = -1;
+
+  BackgroundKnowledge victim_prior;
+  std::unordered_map<size_t, int32_t> corrupted;
+
+  /// Knowledge about non-corrupted candidates other than the victim
+  /// (the X_j of Equation 19); empty means uniform.
+  std::vector<double> others_prior;
+};
+
+}  // namespace pgpub

@@ -1,0 +1,150 @@
+#include "attack/breach_harness.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace pgpub {
+
+namespace {
+
+BackgroundKnowledge MakePrior(BreachHarnessOptions::PriorKind kind,
+                              int32_t us, int32_t true_value, double lambda,
+                              Rng& rng) {
+  switch (kind) {
+    case BreachHarnessOptions::PriorKind::kUniform:
+      return BackgroundKnowledge::Uniform(us);
+    case BreachHarnessOptions::PriorKind::kSkewTrue:
+      return BackgroundKnowledge::SkewedTowards(
+          us, true_value, std::max(lambda, 1.0 / us));
+    case BreachHarnessOptions::PriorKind::kRandom:
+      return BackgroundKnowledge::RandomSkewed(
+          us, std::max(lambda, 1.0 / us), rng);
+  }
+  return BackgroundKnowledge::Uniform(us);
+}
+
+}  // namespace
+
+BreachStats MeasurePgBreaches(const PublishedTable& published,
+                              const ExternalDatabase& edb,
+                              const Table& microdata,
+                              const BreachHarnessOptions& options) {
+  BreachStats stats;
+  const int sens = published.sensitive_attr();
+  const int32_t us = published.domain(sens).size();
+
+  PgParams params;
+  params.p = published.retention_p();
+  params.k = published.k();
+  params.lambda = std::max(options.lambda, 1.0 / us);
+  params.sensitive_domain_size = us;
+  stats.h_top = HTop(params);
+  stats.delta_bound = MinDelta(params);
+  stats.rho2_bound = MinRho2(params, options.rho1);
+
+  Rng rng(options.seed);
+  LinkingAttack attacker(&published, &edb);
+
+  // Victims: microdata members only.
+  std::vector<size_t> members;
+  members.reserve(edb.size());
+  for (size_t i = 0; i < edb.size(); ++i) {
+    if (!edb.individual(i).extraneous()) members.push_back(i);
+  }
+  PGPUB_CHECK(!members.empty());
+
+  double growth_sum = 0.0;
+  for (size_t v = 0; v < options.num_victims; ++v) {
+    const size_t victim = members[rng.UniformU64(members.size())];
+    const Individual& victim_ind = edb.individual(victim);
+    const int32_t true_value =
+        microdata.value(victim_ind.microdata_row, sens);
+
+    Adversary adv;
+    adv.victim_prior =
+        MakePrior(options.prior_kind, us, true_value, params.lambda, rng);
+
+    // Corrupt candidates sharing the victim's published cell (the most
+    // damaging corruption targets).
+    auto crucial = published.CrucialTuple(victim_ind.qi_codes);
+    PGPUB_CHECK(crucial.ok());
+    for (size_t i = 0; i < edb.size(); ++i) {
+      if (i == victim) continue;
+      auto other = published.CrucialTuple(edb.individual(i).qi_codes);
+      if (!other.ok() || *other != *crucial) continue;
+      if (!rng.Bernoulli(options.corruption_rate)) continue;
+      const Individual& ind = edb.individual(i);
+      adv.corrupted[i] = ind.extraneous()
+                             ? Adversary::kExtraneousMark
+                             : microdata.value(ind.microdata_row, sens);
+    }
+
+    auto result = attacker.Attack(victim, adv);
+    PGPUB_CHECK(result.ok()) << result.status().ToString();
+    ++stats.attacks;
+    stats.max_h = std::max(stats.max_h, result->h);
+    const double growth = result->MaxGrowth(adv.victim_prior);
+    growth_sum += growth;
+    stats.max_growth = std::max(stats.max_growth, growth);
+    if (growth > stats.delta_bound + 1e-9) ++stats.delta_breaches;
+    // Optimal adversary: exact knapsack over predicates with prior <=
+    // rho1 (the greedy heuristic is a lower bound of this).
+    const double post = result->MaxPosteriorGivenPriorBoundExact(
+        adv.victim_prior, options.rho1);
+    stats.max_posterior_rho1 = std::max(stats.max_posterior_rho1, post);
+    if (post > stats.rho2_bound + 1e-9) ++stats.rho_breaches;
+  }
+  stats.mean_growth =
+      stats.attacks == 0 ? 0.0 : growth_sum / static_cast<double>(stats.attacks);
+  return stats;
+}
+
+GeneralizationBreachStats MeasureGeneralizationBreaches(
+    const Table& microdata, const QiGroups& groups, int sensitive_attr,
+    const BreachHarnessOptions& options) {
+  GeneralizationBreachStats stats;
+  const int32_t us = microdata.domain(sensitive_attr).size();
+  Rng rng(options.seed);
+  const size_t n = microdata.num_rows();
+  PGPUB_CHECK_GT(n, 0u);
+
+  double growth_sum = 0.0;
+  for (size_t v = 0; v < options.num_victims; ++v) {
+    const uint32_t victim_row = static_cast<uint32_t>(rng.UniformU64(n));
+    const int32_t true_value = microdata.value(victim_row, sensitive_attr);
+    const auto& group_rows =
+        groups.group_rows[groups.row_to_group[victim_row]];
+
+    BackgroundKnowledge prior =
+        MakePrior(options.prior_kind, us, true_value,
+                  std::max(options.lambda, 1.0 / us), rng);
+
+    std::vector<uint32_t> corrupted;
+    for (uint32_t r : group_rows) {
+      if (r != victim_row && rng.Bernoulli(options.corruption_rate)) {
+        corrupted.push_back(r);
+      }
+    }
+
+    std::vector<double> post = GeneralizationAttackPosterior(
+        microdata, group_rows, sensitive_attr, victim_row, corrupted, prior);
+
+    ++stats.attacks;
+    double growth = 0.0;
+    int support = 0;
+    for (int32_t x = 0; x < us; ++x) {
+      growth += std::max(0.0, post[x] - prior.pdf[x]);
+      if (post[x] > 1e-12) ++support;
+    }
+    growth_sum += growth;
+    stats.max_growth = std::max(stats.max_growth, growth);
+    if (support == 1) ++stats.point_mass_disclosures;
+  }
+  stats.mean_growth = stats.attacks == 0
+                          ? 0.0
+                          : growth_sum / static_cast<double>(stats.attacks);
+  return stats;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,59 @@
+#include "attack/external_db.h"
+
+#include "common/logging.h"
+
+namespace pgpub {
+
+size_t ExternalDatabase::Add(Individual individual) {
+  PGPUB_CHECK_EQ(individual.qi_codes.size(), qi_attrs_.size());
+  const size_t idx = individuals_.size();
+  if (individual.microdata_row >= 0) {
+    const size_t row = static_cast<size_t>(individual.microdata_row);
+    if (row >= row_to_individual_.size()) {
+      row_to_individual_.resize(row + 1, -1);
+    }
+    PGPUB_CHECK_EQ(row_to_individual_[row], -1)
+        << "two individuals claim microdata row " << row;
+    row_to_individual_[row] = static_cast<int32_t>(idx);
+  }
+  individuals_.push_back(std::move(individual));
+  return idx;
+}
+
+ExternalDatabase ExternalDatabase::FromMicrodata(const Table& microdata,
+                                                 size_t num_extraneous,
+                                                 Rng& rng) {
+  ExternalDatabase edb;
+  edb.qi_attrs_ = microdata.schema().QiIndices();
+  const size_t n = microdata.num_rows();
+  edb.individuals_.reserve(n + num_extraneous);
+  edb.row_to_individual_.assign(n, -1);
+
+  for (size_t r = 0; r < n; ++r) {
+    Individual ind;
+    ind.id = "person_" + std::to_string(r);
+    ind.qi_codes.reserve(edb.qi_attrs_.size());
+    for (int a : edb.qi_attrs_) {
+      ind.qi_codes.push_back(microdata.value(r, a));
+    }
+    ind.microdata_row = static_cast<int32_t>(r);
+    edb.row_to_individual_[r] = static_cast<int32_t>(edb.individuals_.size());
+    edb.individuals_.push_back(std::move(ind));
+  }
+
+  for (size_t e = 0; e < num_extraneous; ++e) {
+    Individual ind;
+    ind.id = "extraneous_" + std::to_string(e);
+    ind.qi_codes.reserve(edb.qi_attrs_.size());
+    for (int a : edb.qi_attrs_) {
+      // Empirical marginal draw: copy the attribute value of a random row.
+      const size_t r = rng.UniformU64(n);
+      ind.qi_codes.push_back(microdata.value(r, a));
+    }
+    ind.microdata_row = -1;
+    edb.individuals_.push_back(std::move(ind));
+  }
+  return edb;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// One person known to the external database ℰ (e.g. a voter registration
+/// record): an identity plus exact QI values. Extraneous individuals
+/// (Section II-B) exist in ℰ but not in the microdata; their sensitive
+/// value is ∅.
+struct Individual {
+  std::string id;
+  /// Raw QI codes, parallel to the schema's QI attribute list.
+  std::vector<int32_t> qi_codes;
+  /// Row in the microdata, or -1 when extraneous.
+  int32_t microdata_row = -1;
+
+  bool extraneous() const { return microdata_row < 0; }
+};
+
+/// \brief The external database ℰ: given a QI-vector it returns everyone
+/// matching it. Every microdata owner appears; extraneous people may too.
+class ExternalDatabase {
+ public:
+  /// Builds ℰ containing one individual per microdata row plus
+  /// `num_extraneous` extraneous people whose QI-vectors are drawn by
+  /// sampling each QI attribute independently from its empirical
+  /// distribution in the microdata (so extraneous people plausibly fall in
+  /// populated QI cells).
+  static ExternalDatabase FromMicrodata(const Table& microdata,
+                                        size_t num_extraneous, Rng& rng);
+
+  size_t size() const { return individuals_.size(); }
+  const Individual& individual(size_t i) const { return individuals_[i]; }
+  const std::vector<int>& qi_attrs() const { return qi_attrs_; }
+
+  /// Index of the individual owning microdata row `row`; -1 if absent.
+  int32_t IndividualOfRow(uint32_t row) const {
+    return row < row_to_individual_.size() ? row_to_individual_[row] : -1;
+  }
+
+  /// Appends an individual (used by hand-built fixtures, e.g. the paper's
+  /// Table Ib). Returns its index.
+  size_t Add(Individual individual);
+
+  /// Sets the QI attribute indices (schema order) — call before Add when
+  /// building by hand.
+  void SetQiAttrs(std::vector<int> qi_attrs) {
+    qi_attrs_ = std::move(qi_attrs);
+  }
+
+ private:
+  std::vector<int> qi_attrs_;
+  std::vector<Individual> individuals_;
+  std::vector<int32_t> row_to_individual_;
+};
+
+}  // namespace pgpub

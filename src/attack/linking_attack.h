@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/adversary.h"
+#include "attack/external_db.h"
+#include "common/result.h"
+#include "core/published_table.h"
+
+namespace pgpub {
+
+/// Outcome of one corruption-aided linking attack (Section V).
+struct AttackResult {
+  size_t crucial_row = 0;   ///< Published tuple t found in step A1.
+  int32_t observed_y = 0;   ///< t's (possibly perturbed) sensitive value.
+  uint32_t g_value = 0;     ///< t.G.
+  size_t e = 0;             ///< |𝒪| — candidates other than the victim (A2).
+  size_t alpha = 0;         ///< |𝒞 ∩ 𝒪|.
+  size_t beta = 0;          ///< Non-extraneous members of 𝒞 ∩ 𝒪.
+  double g = 0.0;           ///< Membership probability of unknowns (Eq. 13).
+  double h = 0.0;           ///< P[o owns t | y] (Eq. 8/14).
+  std::vector<double> posterior;  ///< P[X = x | y] (Eq. 9).
+
+  /// Posterior confidence of predicate Q (Equation 10).
+  double Confidence(const std::vector<bool>& q) const;
+
+  /// The adversary's best possible knowledge growth over any predicate:
+  /// Σ_x max(0, posterior[x] - prior[x]). By Theorem 1's argument this is
+  /// attained by a Q containing exactly the values whose mass grew.
+  double MaxGrowth(const BackgroundKnowledge& prior) const;
+
+  /// Greedy search for the predicate with the largest posterior confidence
+  /// among those with prior confidence <= rho1; returns that posterior
+  /// confidence (a lower bound on the adversary's optimum).
+  double MaxPosteriorGivenPriorBound(const BackgroundKnowledge& prior,
+                                     double rho1) const;
+
+  /// Exact (up to the prior grid `resolution`) optimum of the same
+  /// predicate search via 0/1 knapsack: maximize sum of posterior over Q
+  /// subject to sum of prior over Q <= rho1. Priors are rounded *down* to
+  /// the grid, so the result upper-bounds the true optimum by at most
+  /// |U^s| * resolution worth of prior slack — suitable for verifying
+  /// that even an optimal adversary stays below the Theorem 2 bound.
+  double MaxPosteriorGivenPriorBoundExact(const BackgroundKnowledge& prior,
+                                          double rho1,
+                                          double resolution = 1e-4) const;
+};
+
+/// \brief Executes corruption-aided linking attacks (steps A1–A3) against a
+/// PG release, with the exact probabilistic analysis of Section V-B /
+/// Section VI (Equations 8–19).
+class LinkingAttack {
+ public:
+  /// Both referents must outlive the attacker.
+  LinkingAttack(const PublishedTable* published,
+                const ExternalDatabase* edb);
+
+  /// Attacks the victim (an ℰ index that must be non-extraneous and must
+  /// not be in `adversary.corrupted`).
+  Result<AttackResult> Attack(size_t victim_index,
+                              const Adversary& adversary) const;
+
+ private:
+  const PublishedTable* published_;
+  const ExternalDatabase* edb_;
+  /// Cached crucial-row id per ℰ individual (-1 = no match).
+  std::vector<int64_t> crucial_of_individual_;
+  /// ℰ individuals per published row (candidate lists).
+  std::vector<std::vector<uint32_t>> candidates_of_row_;
+};
+
+/// \brief Baseline: the same linking attack against a *conventional*
+/// generalized table (no perturbation, no sampling — every tuple published
+/// with exact sensitive values). Returns the adversary's posterior pdf for
+/// the victim under the random-worlds model: corruption removes the
+/// corrupted members' sensitive values from the victim's QI-group multiset,
+/// and the victim is equally likely to own any remaining tuple.
+///
+/// This realizes the Section III defect analysis (Lemmas 1 and 2): with
+/// enough corruption the posterior collapses to a point mass.
+std::vector<double> GeneralizationAttackPosterior(
+    const Table& microdata, const std::vector<uint32_t>& victim_group_rows,
+    int sensitive_attr, uint32_t victim_row,
+    const std::vector<uint32_t>& corrupted_rows,
+    const BackgroundKnowledge& prior);
+
+}  // namespace pgpub

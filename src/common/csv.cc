@@ -1,0 +1,116 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pgpub {
+
+Result<std::vector<std::string>> Csv::ParseLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  const size_t n = line.size();
+  while (i < n) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && line[i + 1] == '"') {
+          cur += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        cur += c;
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) {
+          return Status::InvalidArgument(
+              "quote in the middle of an unquoted field: " + line);
+        }
+        in_quotes = true;
+        ++i;
+      } else if (c == ',') {
+        fields.push_back(std::move(cur));
+        cur.clear();
+        ++i;
+      } else {
+        cur += c;
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field: " + line);
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Csv::File> Csv::ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  File file;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && in.eof()) break;
+    ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseLine(line));
+    if (first) {
+      file.header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != file.header.size()) {
+        return Status::InvalidArgument(
+            "ragged row in " + path + ": expected " +
+            std::to_string(file.header.size()) + " fields, got " +
+            std::to_string(fields.size()));
+      }
+      file.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return Status::InvalidArgument("empty CSV file: " + path);
+  return file;
+}
+
+std::string Csv::EscapeField(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status Csv::WriteFile(const std::string& path,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << EscapeField(row[i]);
+    }
+    out << '\n';
+  };
+  write_row(header);
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      return Status::InvalidArgument("row width does not match header");
+    }
+    write_row(row);
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace pgpub

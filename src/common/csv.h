@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pgpub {
+
+/// \brief Minimal RFC-4180-ish CSV support: comma separator, optional
+/// double-quote quoting with "" escapes, \n or \r\n line endings.
+///
+/// This backs dataset import/export; it is not a general streaming parser.
+class Csv {
+ public:
+  /// Parses one CSV record (no trailing newline) into fields.
+  static Result<std::vector<std::string>> ParseLine(const std::string& line);
+
+  /// Reads a whole file: first row is the header, the rest are records.
+  /// Fails with IOError if the file cannot be opened, InvalidArgument on
+  /// malformed quoting or ragged rows.
+  struct File {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+  static Result<File> ReadFile(const std::string& path);
+
+  /// Quotes a field if it contains a comma, quote, or newline.
+  static std::string EscapeField(const std::string& field);
+
+  /// Writes header + rows to `path`, overwriting.
+  static Status WriteFile(const std::string& path,
+                          const std::vector<std::string>& header,
+                          const std::vector<std::vector<std::string>>& rows);
+};
+
+}  // namespace pgpub

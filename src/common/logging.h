@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pgpub {
+namespace internal {
+
+/// Accumulates a message and terminates the process on destruction.
+/// Backs the PGPUB_CHECK family below; never instantiate directly.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "FATAL " << file << ":" << line
+            << " Check failed: " << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowers a stream expression to void so the check macro can use ?: .
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace pgpub
+
+/// Invariant check: aborts with file/line and the streamed message when the
+/// condition is false. Active in all build types — these guard logic errors;
+/// recoverable errors surface as Status instead.
+///
+///   PGPUB_CHECK(n > 0) << "need rows, got " << n;
+#define PGPUB_CHECK(cond)                                              \
+  (cond) ? (void)0                                                     \
+         : ::pgpub::internal::Voidify() &                              \
+               ::pgpub::internal::FatalLogMessage(__FILE__, __LINE__,  \
+                                                  #cond)               \
+                   .stream()
+
+#define PGPUB_CHECK_EQ(a, b) PGPUB_CHECK((a) == (b))
+#define PGPUB_CHECK_NE(a, b) PGPUB_CHECK((a) != (b))
+#define PGPUB_CHECK_LT(a, b) PGPUB_CHECK((a) < (b))
+#define PGPUB_CHECK_LE(a, b) PGPUB_CHECK((a) <= (b))
+#define PGPUB_CHECK_GT(a, b) PGPUB_CHECK((a) > (b))
+#define PGPUB_CHECK_GE(a, b) PGPUB_CHECK((a) >= (b))

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pgpub {
+
+/// Splits `s` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Parses a base-10 signed integer; the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a floating-point number; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+}  // namespace pgpub

@@ -1,0 +1,178 @@
+#include "core/guarantees.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pgpub {
+
+namespace {
+
+void ValidateParams(const PgParams& params) {
+  PGPUB_CHECK(params.p >= 0.0 && params.p <= 1.0)
+      << "retention p = " << params.p;
+  PGPUB_CHECK_GE(params.k, 1);
+  PGPUB_CHECK(params.lambda > 0.0 && params.lambda <= 1.0)
+      << "lambda = " << params.lambda;
+  PGPUB_CHECK_GE(params.sensitive_domain_size, 1);
+}
+
+}  // namespace
+
+double NoiseFloor(double p, int sensitive_domain_size) {
+  return (1.0 - p) / static_cast<double>(sensitive_domain_size);
+}
+
+double HTop(const PgParams& params) {
+  ValidateParams(params);
+  const double u = NoiseFloor(params.p, params.sensitive_domain_size);
+  const double pl = params.p * params.lambda;
+  const double denom = pl + static_cast<double>(params.k) * u;
+  if (denom <= 0.0) return 1.0;  // p == 1: no replacement noise at all
+  return (pl + u) / denom;
+}
+
+double TheoremF(double w, double p, int sensitive_domain_size) {
+  const double u = NoiseFloor(p, sensitive_domain_size);
+  const double denom = p * w + u;
+  if (denom <= 0.0) {
+    // p == 1 (u == 0) and w == 0: F(w) = p(1-w) in the u->0 limit, whose
+    // supremum over w -> 0+ is p.
+    return p;
+  }
+  return (-p * w * w + p * w) / denom;
+}
+
+double TheoremWm(double p, int sensitive_domain_size) {
+  if (p <= 0.0) return 1.0;
+  const double u = NoiseFloor(p, sensitive_domain_size);
+  return (std::sqrt(u * u + p * u) - u) / p;
+}
+
+double MinRho2(const PgParams& params, double rho1) {
+  ValidateParams(params);
+  PGPUB_CHECK(rho1 > 0.0 && rho1 < 1.0) << "rho1 = " << rho1;
+  const double u = NoiseFloor(params.p, params.sensitive_domain_size);
+  const double htop = HTop(params);
+  if (u <= 0.0) {
+    // p == 1: the observed value is the true value whenever o owns t; the
+    // theorem degenerates to rho2' = 1.
+    return rho1 * (1.0 - htop) + htop;
+  }
+  // Inequality 23 at equality: rho2' (1-rho1) / (rho1 (1-rho2')) = R,
+  // R = 1 + p/u  =>  rho2' = R*rho1 / (1 - rho1 + R*rho1).
+  const double r = 1.0 + params.p / u;
+  const double rho2_prime = r * rho1 / (1.0 - rho1 + r * rho1);
+  return rho1 * (1.0 - htop) + htop * rho2_prime;
+}
+
+bool SatisfiesRhoGuarantee(const PgParams& params, double rho1,
+                           double rho2) {
+  return MinRho2(params, rho1) <= rho2 + 1e-12;
+}
+
+double CombinedMinRho2(const PgParams& params, double rho1) {
+  return std::min(MinRho2(params, rho1), rho1 + MinDelta(params));
+}
+
+double MinDelta(const PgParams& params) {
+  ValidateParams(params);
+  if (params.p <= 0.0) return 0.0;  // full randomization: zero growth
+  if (params.p >= 1.0) return 1.0;  // no perturbation: growth can reach 1
+  const double wm = TheoremWm(params.p, params.sensitive_domain_size);
+  const double w = std::min(params.lambda, wm);
+  return HTop(params) * TheoremF(w, params.p, params.sensitive_domain_size);
+}
+
+double MaxDownwardRho2(const PgParams& params, double rho1) {
+  PGPUB_CHECK(rho1 > 0.0 && rho1 < 1.0) << "rho1 = " << rho1;
+  return 1.0 - MinRho2(params, 1.0 - rho1);
+}
+
+bool SatisfiesDeltaGuarantee(const PgParams& params, double delta) {
+  return MinDelta(params) <= delta + 1e-12;
+}
+
+namespace {
+
+/// Bisection for the largest p in [0,1] with predicate(p) true, given
+/// predicate monotonically true-then-false as p grows. Assumes
+/// predicate(0) == true.
+template <typename Pred>
+double BisectMaxP(const Pred& predicate) {
+  if (predicate(1.0)) return 1.0;
+  double lo = 0.0, hi = 1.0;  // predicate(lo) true, predicate(hi) false
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (predicate(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<double> MaxRetentionForRho(int k, double lambda,
+                                  int sensitive_domain_size, double rho1,
+                                  double rho2) {
+  if (!(rho1 > 0.0 && rho1 < rho2 && rho2 <= 1.0)) {
+    return Status::InvalidArgument(
+        "need 0 < rho1 < rho2 <= 1 for a rho1-to-rho2 guarantee");
+  }
+  PgParams params{0.0, k, lambda, sensitive_domain_size};
+  auto pred = [&](double p) {
+    PgParams q = params;
+    q.p = p;
+    return SatisfiesRhoGuarantee(q, rho1, rho2);
+  };
+  if (!pred(0.0)) {
+    return Status::NotFound(
+        "even full randomization (p = 0) violates the requested guarantee");
+  }
+  return BisectMaxP(pred);
+}
+
+Result<double> MaxRetentionForDelta(int k, double lambda,
+                                    int sensitive_domain_size,
+                                    double delta) {
+  if (!(delta > 0.0 && delta <= 1.0)) {
+    return Status::InvalidArgument("need 0 < delta <= 1");
+  }
+  PgParams params{0.0, k, lambda, sensitive_domain_size};
+  auto pred = [&](double p) {
+    PgParams q = params;
+    q.p = p;
+    return SatisfiesDeltaGuarantee(q, delta);
+  };
+  if (!pred(0.0)) {
+    return Status::NotFound(
+        "even full randomization (p = 0) violates the requested guarantee");
+  }
+  return BisectMaxP(pred);
+}
+
+Result<int> MinKForRho(double p, double lambda, int sensitive_domain_size,
+                       double rho1, double rho2, int k_max) {
+  if (k_max < 1) return Status::InvalidArgument("k_max must be >= 1");
+  for (int k = 1; k <= k_max; ++k) {
+    PgParams params{p, k, lambda, sensitive_domain_size};
+    if (SatisfiesRhoGuarantee(params, rho1, rho2)) return k;
+  }
+  return Status::NotFound("no k <= k_max establishes the guarantee");
+}
+
+Result<int> MinKForDelta(double p, double lambda, int sensitive_domain_size,
+                         double delta, int k_max) {
+  if (k_max < 1) return Status::InvalidArgument("k_max must be >= 1");
+  for (int k = 1; k <= k_max; ++k) {
+    PgParams params{p, k, lambda, sensitive_domain_size};
+    if (SatisfiesDeltaGuarantee(params, delta)) return k;
+  }
+  return Status::NotFound("no k <= k_max establishes the guarantee");
+}
+
+}  // namespace pgpub

@@ -1,0 +1,88 @@
+#pragma once
+
+#include "common/result.h"
+
+namespace pgpub {
+
+/// \brief Parameter bundle for the privacy-guarantee formulas of Section VI.
+struct PgParams {
+  /// Retention probability p of Phase 1.
+  double p = 0.3;
+  /// Minimum QI-group size k of Phase 2 (= ceil(1/s)).
+  int k = 2;
+  /// Background-knowledge skew bound λ (Definition 4): the adversary's
+  /// prior pdf puts at most λ on any single sensitive value. λ >= 1/|U^s|
+  /// for a proper pdf; λ = 1 means the adversary already knows the value.
+  double lambda = 0.1;
+  /// |U^s| — size of the sensitive domain.
+  int sensitive_domain_size = 50;
+};
+
+/// The paper's u = (1-p)/|U^s| — probability mass of any fixed replacement
+/// value under non-retention.
+double NoiseFloor(double p, int sensitive_domain_size);
+
+/// Upper bound h⊤ on the ownership probability h (Inequality 20):
+///   h⊤ = (pλ + (1-p)/|U^s|) / (pλ + k(1-p)/|U^s|).
+double HTop(const PgParams& params);
+
+/// Theorem 3's F(w) = (-p w² + p w) / (p w + u) with u = NoiseFloor.
+double TheoremF(double w, double p, int sensitive_domain_size);
+
+/// Theorem 3's maximizer w_m = (sqrt(u² + p·u) - u)/p; returns 1.0 when
+/// p == 0 (F ≡ 0, any w maximizes).
+double TheoremWm(double p, int sensitive_domain_size);
+
+/// Theorem 2: the smallest ρ₂ for which the ρ₁-to-ρ₂ guarantee is
+/// established, i.e. ρ₂ = ρ₁(1-h⊤) + h⊤·ρ₂' with ρ₂' solving Inequality 23
+/// at equality. Requires ρ₁ in (0,1).
+double MinRho2(const PgParams& params, double rho1);
+
+/// True iff Theorem 2 establishes the ρ₁-to-ρ₂ guarantee for these
+/// parameters.
+bool SatisfiesRhoGuarantee(const PgParams& params, double rho1, double rho2);
+
+/// Tighter ρ₂ bound than Theorem 2 alone: since a Δ-growth guarantee with
+/// Δ = ρ₂ - ρ₁ implies the ρ₁-to-ρ₂ guarantee (Section II-B), the minimum
+/// of the Theorem-2 bound and ρ₁ + MinDelta is also established. (The
+/// paper's Table III prints the pure Theorem-2 values; MinRho2 matches
+/// those.)
+double CombinedMinRho2(const PgParams& params, double rho1);
+
+/// Theorem 3: the smallest Δ for which the Δ-growth guarantee is
+/// established: h⊤ · F(min(λ, w_m)).
+double MinDelta(const PgParams& params);
+
+/// Downward-breach guarantee (footnote 1 of the paper): a downward
+/// ρ₁-to-ρ₂ breach occurs when the posterior drops below ρ₂ although the
+/// prior exceeded ρ₁ (the adversary learns "probably not Q"). Absence of
+/// upward (1-ρ₁)-to-(1-ρ₂) breaches rules it out, so the strongest
+/// establishable floor is 1 - MinRho2(params, 1 - ρ₁). Requires ρ₁ in
+/// (0,1). Returns the largest ρ₂ such that no ρ₁-to-ρ₂ downward breach
+/// can occur.
+double MaxDownwardRho2(const PgParams& params, double rho1);
+
+/// True iff Theorem 3 establishes the Δ-growth guarantee.
+bool SatisfiesDeltaGuarantee(const PgParams& params, double delta);
+
+/// Largest retention probability p (best utility) such that the ρ₁-to-ρ₂
+/// guarantee holds at (k, λ); NotFound when even p = 0 fails (ρ₂ < ρ₁).
+Result<double> MaxRetentionForRho(int k, double lambda,
+                                  int sensitive_domain_size, double rho1,
+                                  double rho2);
+
+/// Largest retention probability p such that the Δ-growth guarantee holds;
+/// NotFound when even p = 0 fails (Δ < 0).
+Result<double> MaxRetentionForDelta(int k, double lambda,
+                                    int sensitive_domain_size, double delta);
+
+/// Smallest k in [1, k_max] such that the ρ₁-to-ρ₂ guarantee holds at
+/// (p, λ); NotFound when k_max is insufficient.
+Result<int> MinKForRho(double p, double lambda, int sensitive_domain_size,
+                       double rho1, double rho2, int k_max);
+
+/// Smallest k in [1, k_max] such that the Δ-growth guarantee holds.
+Result<int> MinKForDelta(double p, double lambda, int sensitive_domain_size,
+                         double delta, int k_max);
+
+}  // namespace pgpub

@@ -1,0 +1,158 @@
+#include "core/pg_publisher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "generalize/incognito.h"
+#include "generalize/metrics.h"
+#include "generalize/tds.h"
+#include "perturb/randomized_response.h"
+#include "sample/stratified.h"
+
+namespace pgpub {
+
+Result<int> PgPublisher::EffectiveK(const PgOptions& options) {
+  if (options.k > 0) return options.k;
+  if (!(options.s > 0.0 && options.s <= 1.0)) {
+    return Status::InvalidArgument("sampling parameter s must be in (0,1]");
+  }
+  return static_cast<int>(std::ceil(1.0 / options.s));
+}
+
+Result<double> PgPublisher::EffectiveRetention(const PgOptions& options,
+                                               int k,
+                                               int sensitive_domain_size) {
+  if (options.p >= 0.0) {
+    if (options.p > 1.0) {
+      return Status::InvalidArgument("retention p must be in [0,1]");
+    }
+    return options.p;
+  }
+  switch (options.target.kind) {
+    case PrivacyTarget::Kind::kNone:
+      return Status::InvalidArgument(
+          "no retention probability given and no privacy target to solve "
+          "it from");
+    case PrivacyTarget::Kind::kRho:
+      return MaxRetentionForRho(k, options.target.lambda,
+                                sensitive_domain_size, options.target.rho1,
+                                options.target.rho2);
+    case PrivacyTarget::Kind::kDelta:
+      return MaxRetentionForDelta(k, options.target.lambda,
+                                  sensitive_domain_size,
+                                  options.target.delta);
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<PublishedTable> PgPublisher::Publish(
+    const Table& microdata,
+    const std::vector<const Taxonomy*>& taxonomies) const {
+  const std::vector<int> qi = microdata.schema().QiIndices();
+  if (qi.empty()) {
+    return Status::InvalidArgument("schema declares no QI attributes");
+  }
+  if (taxonomies.size() != qi.size()) {
+    return Status::InvalidArgument(
+        "need one taxonomy entry (possibly null) per QI attribute");
+  }
+  ASSIGN_OR_RETURN(int sens, microdata.schema().SensitiveIndex());
+  const int32_t us = microdata.domain(sens).size();
+  ASSIGN_OR_RETURN(int k, EffectiveK(options_));
+  ASSIGN_OR_RETURN(double p, EffectiveRetention(options_, k, us));
+  if (microdata.num_rows() < static_cast<size_t>(k)) {
+    return Status::FailedPrecondition(
+        "microdata has fewer rows than k");
+  }
+
+  Rng master(options_.seed);
+  Rng perturb_rng(master.Fork());
+  Rng sample_rng(master.Fork());
+
+  // ---- Phase 1: perturbation (P1/P2). QI untouched; sensitive retained
+  // with probability p, otherwise uniformly regenerated.
+  const UniformPerturbation channel(p, us);
+  std::vector<int32_t> perturbed =
+      channel.PerturbColumn(microdata.column(sens), perturb_rng);
+
+  // ---- Phase 2: k-anonymous global-recoding generalization (G1-G3),
+  // guided by the *perturbed* sensitive values (the publisher must not let
+  // the generalization leak un-perturbed information).
+  std::vector<int32_t> class_labels;
+  int num_classes;
+  if (options_.class_category_starts.empty()) {
+    class_labels = perturbed;
+    num_classes = us;
+  } else {
+    const auto& starts = options_.class_category_starts;
+    if (starts[0] != 0) {
+      return Status::InvalidArgument("class_category_starts must begin at 0");
+    }
+    for (size_t i = 1; i < starts.size(); ++i) {
+      if (starts[i] <= starts[i - 1] || starts[i] >= us) {
+        return Status::InvalidArgument(
+            "class_category_starts must be ascending and within |U^s|");
+      }
+    }
+    num_classes = static_cast<int>(starts.size());
+    class_labels.reserve(perturbed.size());
+    for (int32_t code : perturbed) {
+      int cls = static_cast<int>(
+          std::upper_bound(starts.begin(), starts.end(), code) -
+          starts.begin() - 1);
+      class_labels.push_back(cls);
+    }
+  }
+
+  GlobalRecoding recoding;
+  if (options_.generalizer == PgOptions::Generalizer::kTds) {
+    TdsOptions tds_options;
+    tds_options.k = k;
+    TopDownSpecializer tds(microdata, qi, taxonomies,
+                           std::move(class_labels), num_classes,
+                           tds_options);
+    ASSIGN_OR_RETURN(recoding, tds.Run());
+  } else {
+    IncognitoOptions inc_options;
+    inc_options.k = k;
+    ASSIGN_OR_RETURN(recoding,
+                     IncognitoSearch(microdata, qi, taxonomies, inc_options));
+  }
+
+  QiGroups groups = ComputeQiGroups(microdata, recoding);
+  PGPUB_CHECK(IsKAnonymous(groups, k))
+      << "generalizer returned a non-k-anonymous recoding";
+
+  // ---- Phase 3: stratified sampling (S1-S4).
+  std::vector<StratumSample> samples = StratifiedSample(groups, sample_rng);
+
+  std::vector<std::vector<int32_t>> qi_gen;
+  std::vector<int32_t> sensitive;
+  std::vector<uint32_t> group_sizes;
+  qi_gen.reserve(samples.size());
+  sensitive.reserve(samples.size());
+  group_sizes.reserve(samples.size());
+  for (const StratumSample& s : samples) {
+    qi_gen.push_back(recoding.GenVectorOfRow(microdata, s.row));
+    sensitive.push_back(perturbed[s.row]);
+    group_sizes.push_back(s.group_size);
+  }
+
+  PublishedTable published(microdata.schema(), microdata.domains(), recoding,
+                           sens, p, k, std::move(qi_gen),
+                           std::move(sensitive), std::move(group_sizes));
+
+  if (options_.keep_provenance) {
+    PublishedTable::Provenance prov;
+    prov.source_row.reserve(samples.size());
+    prov.group_members.reserve(samples.size());
+    for (const StratumSample& s : samples) {
+      prov.source_row.push_back(s.row);
+      prov.group_members.push_back(groups.group_rows[s.group]);
+    }
+    published.set_provenance(std::move(prov));
+  }
+  return published;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,99 @@
+#include "core/verify.h"
+
+#include <unordered_map>
+
+#include "generalize/qi_groups.h"
+
+namespace pgpub {
+
+Status VerifyPublication(const Table& microdata,
+                         const PublishedTable& published) {
+  const GlobalRecoding& recoding = published.recoding();
+  if (recoding.qi_attrs.empty()) {
+    return Status::FailedPrecondition("release carries no QI attributes");
+  }
+
+  // G3 (structural re-check): each attribute's generalized values tile its
+  // domain.
+  for (size_t i = 0; i < recoding.per_attr.size(); ++i) {
+    const AttributeRecoding& rec = recoding.per_attr[i];
+    const int attr = recoding.qi_attrs[i];
+    if (rec.domain_size() != microdata.domain(attr).size()) {
+      return Status::FailedPrecondition(
+          "recoding domain mismatch on attribute " +
+          microdata.schema().attribute(attr).name);
+    }
+    int32_t expect_lo = 0;
+    for (int32_t g = 0; g < rec.num_gen_values(); ++g) {
+      if (rec.GenInterval(g).lo != expect_lo) {
+        return Status::FailedPrecondition(
+            "G3 violated: generalized values do not partition attribute " +
+            microdata.schema().attribute(attr).name);
+      }
+      expect_lo = rec.GenInterval(g).hi + 1;
+    }
+    if (expect_lo != rec.domain_size()) {
+      return Status::FailedPrecondition(
+          "G3 violated: generalized values do not cover attribute " +
+          microdata.schema().attribute(attr).name);
+    }
+  }
+
+  // Group the microdata under the released recoding.
+  QiGroups groups = ComputeQiGroups(microdata, recoding);
+
+  // Cardinality and Phase-3 shape: one tuple per populated cell.
+  if (published.num_rows() != groups.num_groups()) {
+    return Status::FailedPrecondition(
+        "release must hold exactly one tuple per populated QI-cell (got " +
+        std::to_string(published.num_rows()) + " tuples for " +
+        std::to_string(groups.num_groups()) + " cells)");
+  }
+  if (published.k() > 0 &&
+      published.num_rows() >
+          microdata.num_rows() / static_cast<size_t>(published.k())) {
+    return Status::FailedPrecondition(
+        "cardinality requirement violated: more than |D|/k tuples");
+  }
+
+  // G1/G2 per published tuple; uniqueness of signatures.
+  std::unordered_map<uint64_t, size_t> seen;
+  for (size_t r = 0; r < published.num_rows(); ++r) {
+    uint64_t key = 0;
+    for (size_t i = 0; i < recoding.qi_attrs.size(); ++i) {
+      key = key * static_cast<uint64_t>(
+                      recoding.per_attr[i].num_gen_values()) +
+            static_cast<uint64_t>(published.qi_gen(r, static_cast<int>(i)));
+    }
+    if (!seen.emplace(key, r).second) {
+      return Status::FailedPrecondition(
+          "Phase-3 uniqueness violated: duplicate generalized QI-vector");
+    }
+  }
+  // Every microdata tuple resolves to exactly one published tuple whose
+  // G equals the cell population, and the population is >= k.
+  for (size_t g = 0; g < groups.num_groups(); ++g) {
+    const auto& rows = groups.group_rows[g];
+    std::vector<int32_t> qi_codes;
+    for (int a : recoding.qi_attrs) {
+      qi_codes.push_back(microdata.value(rows[0], a));
+    }
+    auto crucial = published.CrucialTuple(qi_codes);
+    if (!crucial.ok()) {
+      return Status::FailedPrecondition(
+          "coverage violated: a microdata cell has no published tuple");
+    }
+    if (published.group_size(*crucial) != rows.size()) {
+      return Status::FailedPrecondition(
+          "G1 violated: published G does not match the cell population");
+    }
+    if (published.k() > 0 &&
+        rows.size() < static_cast<size_t>(published.k())) {
+      return Status::FailedPrecondition(
+          "G2 violated: a QI-cell holds fewer than k tuples");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pgpub

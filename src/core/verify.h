@@ -1,0 +1,27 @@
+#pragma once
+
+#include "common/result.h"
+#include "core/published_table.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// \brief Independent audit of a PG release against its microdata —
+/// checks every requirement of Sections II and IV:
+///
+///  * Cardinality: |𝒟*| <= |𝒟| / k (and hence <= |𝒟|·s for k = ⌈1/s⌉).
+///  * G1: every published tuple generalizes at least one microdata tuple
+///    and its G equals its cell's microdata population.
+///  * G2: every cell population is at least k (k-anonymity).
+///  * G3: generalized values of each attribute partition its domain
+///    (structural in this library, still re-verified) and published
+///    QI-vectors are pairwise distinct (Phase 3 uniqueness).
+///  * Coverage: every microdata tuple has exactly one crucial tuple.
+///
+/// Returns OK when all hold; FailedPrecondition naming the first violated
+/// property otherwise. Publishers can run this before releasing; auditors
+/// can run it on (microdata, release) pairs.
+Status VerifyPublication(const Table& microdata,
+                         const PublishedTable& published);
+
+}  // namespace pgpub

@@ -1,0 +1,221 @@
+#include "datagen/census.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace pgpub {
+
+namespace {
+
+constexpr int32_t kAgeMin = 17;
+constexpr int32_t kAgeMax = 84;
+constexpr int32_t kAgeDomain = kAgeMax - kAgeMin + 1;  // 68
+constexpr int32_t kEducationDomain = 17;
+constexpr int32_t kBirthplaceDomain = 57;
+constexpr int32_t kOccupationDomain = 50;
+constexpr int32_t kRaceDomain = 9;
+constexpr int32_t kWorkclassDomain = 9;
+constexpr int32_t kMaritalDomain = 6;
+constexpr int32_t kIncomeDomain = 50;
+
+/// Work-class additive income effect (codes grouped: 0-2 government,
+/// 3-5 private, 6-7 self-employed, 8 other/unpaid). Kept small: like the
+/// real census, income is dominated by occupation/education, so that
+/// decision-tree accuracy plateaus at coarse granularity.
+constexpr double kWorkclassEffect[kWorkclassDomain] = {
+    0.7, 1.0, 1.2, 1.7, 2.0, 2.2, 3.1, 3.6, -4.8};
+
+/// Marital additive effect (0-1 never-married, 2-3 married, 4-5
+/// separated/widowed).
+constexpr double kMaritalEffect[kMaritalDomain] = {-1.0, -0.8, 1.0,
+                                                   1.0,  -0.3, -0.5};
+
+/// Birthplace region effect (12 regions of sizes 5,...,5,4,4,4).
+constexpr double kRegionEffect[12] = {0.4,  0.2, -0.1, 0.3, -0.3, 0.0,
+                                      -0.4, 0.1, -0.2, 0.2, 0.0,  -0.1};
+
+int32_t RegionOf(int32_t birthplace) {
+  // Regions: nine of size 5 (codes 0..44), three of size 4 (45..56).
+  return birthplace < 45 ? birthplace / 5 : 9 + (birthplace - 45) / 4;
+}
+
+Schema MakeSchema() {
+  Schema schema;
+  auto qi = [](const char* name, AttributeType type) {
+    return Attribute{name, type, AttributeRole::kQuasiIdentifier};
+  };
+  schema.AddAttribute(qi("Age", AttributeType::kNumeric));
+  schema.AddAttribute(qi("Gender", AttributeType::kCategorical));
+  schema.AddAttribute(qi("Education", AttributeType::kNumeric));
+  schema.AddAttribute(qi("Birthplace", AttributeType::kNumeric));
+  schema.AddAttribute(qi("Occupation", AttributeType::kNumeric));
+  schema.AddAttribute(qi("Race", AttributeType::kNumeric));
+  schema.AddAttribute(qi("Workclass", AttributeType::kNumeric));
+  schema.AddAttribute(qi("Marital", AttributeType::kNumeric));
+  schema.AddAttribute(
+      Attribute{"Income", AttributeType::kNumeric, AttributeRole::kSensitive});
+  return schema;
+}
+
+std::vector<AttributeDomain> MakeDomains() {
+  std::vector<AttributeDomain> domains;
+  domains.push_back(AttributeDomain::Numeric(kAgeMin, kAgeMax));
+  domains.push_back(AttributeDomain::Categorical({"Male", "Female"}));
+  domains.push_back(AttributeDomain::Numeric(0, kEducationDomain - 1));
+  domains.push_back(AttributeDomain::Numeric(0, kBirthplaceDomain - 1));
+  domains.push_back(AttributeDomain::Numeric(0, kOccupationDomain - 1));
+  domains.push_back(AttributeDomain::Numeric(0, kRaceDomain - 1));
+  domains.push_back(AttributeDomain::Numeric(0, kWorkclassDomain - 1));
+  domains.push_back(AttributeDomain::Numeric(0, kMaritalDomain - 1));
+  domains.push_back(AttributeDomain::Numeric(0, kIncomeDomain - 1));
+  return domains;
+}
+
+std::vector<Taxonomy> MakeTaxonomies() {
+  // Ordered attributes get balanced binary hierarchies: each
+  // specialization step halves one interval, which lets TDS refine in the
+  // smallest valid increments (a wide multiway fanout is blocked as soon
+  // as one QI-group would drop below k in any child). Code order is
+  // semantic (education ordinal, occupation grouped into tiers of 5,
+  // birthplace grouped into regions), so binary cuts respect the grouping
+  // boundaries approximately.
+  std::vector<Taxonomy> taxonomies;
+  taxonomies.push_back(Taxonomy::Binary(kAgeDomain, "Age:*"));
+  taxonomies.push_back(Taxonomy::Flat(2, "Gender:*"));
+  taxonomies.push_back(Taxonomy::Binary(kEducationDomain, "Education:*"));
+  taxonomies.push_back(Taxonomy::Binary(kBirthplaceDomain, "Birthplace:*"));
+  taxonomies.push_back(Taxonomy::Binary(kOccupationDomain, "Occupation:*"));
+  taxonomies.push_back(
+      Taxonomy::FromSpec(Taxonomy::Spec::Internal(
+                             "Race:*", {Taxonomy::Spec::Group("groupA", 3),
+                                        Taxonomy::Spec::Group("groupB", 3),
+                                        Taxonomy::Spec::Group("groupC", 3)}))
+          .ValueOrDie());
+  taxonomies.push_back(
+      Taxonomy::FromSpec(
+          Taxonomy::Spec::Internal("Workclass:*",
+                                   {Taxonomy::Spec::Group("government", 3),
+                                    Taxonomy::Spec::Group("private", 3),
+                                    Taxonomy::Spec::Group("self-employed", 2),
+                                    Taxonomy::Spec::Group("other", 1)}))
+          .ValueOrDie());
+  taxonomies.push_back(
+      Taxonomy::FromSpec(Taxonomy::Spec::Internal(
+                             "Marital:*",
+                             {Taxonomy::Spec::Group("never-married", 2),
+                              Taxonomy::Spec::Group("married", 2),
+                              Taxonomy::Spec::Group("formerly-married", 2)}))
+          .ValueOrDie());
+  return taxonomies;
+}
+
+}  // namespace
+
+std::vector<const Taxonomy*> CensusDataset::TaxonomyPointers() const {
+  std::vector<const Taxonomy*> out;
+  out.reserve(taxonomies.size());
+  for (const Taxonomy& t : taxonomies) out.push_back(&t);
+  return out;
+}
+
+Result<CensusDataset> GenerateCensus(size_t num_rows, uint64_t seed) {
+  if (num_rows == 0) return Status::InvalidArgument("num_rows must be > 0");
+
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> cols(9);
+  for (auto& c : cols) c.reserve(num_rows);
+
+  for (size_t i = 0; i < num_rows; ++i) {
+    // Age: average of two uniforms over the range — a mild mid-life bulge.
+    const double age_frac =
+        0.5 * (rng.UniformDouble() + rng.UniformDouble());
+    const int32_t age =
+        kAgeMin + static_cast<int32_t>(age_frac * (kAgeDomain - 1) + 0.5);
+
+    // Gender.
+    const int32_t gender = rng.Bernoulli(0.5) ? 1 : 0;
+
+    // Education: normal around high school / early college.
+    const int32_t education = static_cast<int32_t>(Clamp(
+        std::round(9.0 + 3.5 * rng.Gaussian()), 0, kEducationDomain - 1));
+
+    // Occupation: tier follows education with noise; fine code uniform
+    // within the tier.
+    const int32_t tier = static_cast<int32_t>(Clamp(
+        std::round(education * 9.0 / 16.0 + 1.6 * rng.Gaussian()), 0, 9));
+    const int32_t occupation =
+        tier * 5 + static_cast<int32_t>(rng.UniformU64(5));
+
+    // Birthplace: mildly skewed across 57 codes.
+    int32_t birthplace = static_cast<int32_t>(rng.UniformU64(57));
+    if (rng.Bernoulli(0.35)) {
+      birthplace = static_cast<int32_t>(rng.UniformU64(10));  // home states
+    }
+
+    // Race: skewed categorical, no income effect.
+    const int32_t race =
+        rng.Bernoulli(0.7) ? static_cast<int32_t>(rng.UniformU64(3))
+                           : static_cast<int32_t>(rng.UniformU64(9));
+
+    // Workclass: tier-dependent self-employment odds.
+    int32_t workclass;
+    const double wroll = rng.UniformDouble();
+    if (wroll < 0.18) {
+      workclass = static_cast<int32_t>(rng.UniformU64(3));  // government
+    } else if (wroll < 0.18 + 0.62) {
+      workclass = 3 + static_cast<int32_t>(rng.UniformU64(3));  // private
+    } else if (wroll < 0.18 + 0.62 + 0.12 + 0.02 * tier) {
+      workclass = 6 + static_cast<int32_t>(rng.UniformU64(2));  // self
+    } else {
+      workclass = 8;  // other / unpaid
+    }
+
+    // Marital: age-dependent.
+    int32_t marital;
+    const double mroll = rng.UniformDouble();
+    const double never_prob = age < 28 ? 0.7 : (age < 40 ? 0.3 : 0.12);
+    if (mroll < never_prob) {
+      marital = static_cast<int32_t>(rng.UniformU64(2));
+    } else if (mroll < never_prob + 0.55) {
+      marital = 2 + static_cast<int32_t>(rng.UniformU64(2));
+    } else {
+      marital = 4 + static_cast<int32_t>(rng.UniformU64(2));
+    }
+
+    // Latent earning potential -> Income bucket. Occupation tier carries
+    // most of the signal (coefficient 4.6 over tiers 0..9); the other
+    // attributes contribute small corrections.
+    const double age_curve =
+        6.0 - (static_cast<double>(age - 48) * (age - 48)) / 160.0;
+    const double latent = 4.0 * tier + 0.6 * education + age_curve +
+                          kWorkclassEffect[workclass] +
+                          (gender == 0 ? 1.6 : 0.0) +
+                          kMaritalEffect[marital] +
+                          kRegionEffect[RegionOf(birthplace)] - 10.0 +
+                          2.2 * rng.Gaussian();
+    const int32_t income = static_cast<int32_t>(
+        Clamp(std::round(latent), 0, kIncomeDomain - 1));
+
+    cols[CensusColumns::kAge].push_back(age - kAgeMin);
+    cols[CensusColumns::kGender].push_back(gender);
+    cols[CensusColumns::kEducation].push_back(education);
+    cols[CensusColumns::kBirthplace].push_back(birthplace);
+    cols[CensusColumns::kOccupation].push_back(occupation);
+    cols[CensusColumns::kRace].push_back(race);
+    cols[CensusColumns::kWorkclass].push_back(workclass);
+    cols[CensusColumns::kMarital].push_back(marital);
+    cols[CensusColumns::kIncome].push_back(income);
+  }
+
+  ASSIGN_OR_RETURN(Table table, Table::Create(MakeSchema(), MakeDomains(),
+                                              std::move(cols)));
+  CensusDataset ds{std::move(table), MakeTaxonomies(),
+                   /*nominal=*/{false, true, false, true, false, true, true,
+                                true}};
+  return ds;
+}
+
+}  // namespace pgpub

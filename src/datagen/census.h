@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "hierarchy/taxonomy.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// \brief Synthetic stand-in for the SAL (ipums.org) census table used in
+/// Section VII. Same shape: 9 attributes — Age, Gender, Education,
+/// Birthplace, Occupation, Race, Workclass, Marital (quasi-identifiers)
+/// and Income (sensitive, 50 ordered buckets of $2000).
+///
+/// Income is driven by a latent earning model over education, occupation
+/// tier, age (peaking mid-career), work class, gender and marital status,
+/// plus Gaussian noise — calibrated so a decision tree on the clean data
+/// reaches accuracy comparable to the paper's *optimistic* baseline. This
+/// preserves what the utility experiments exercise: a learnable QI→Income
+/// signal degraded gracefully by perturbation and generalization. (The real
+/// SAL is redistribution-restricted; see DESIGN.md §4.)
+struct CensusDataset {
+  Table table;
+  /// One generalization taxonomy per QI attribute (schema order).
+  std::vector<Taxonomy> taxonomies;
+  /// Whether each QI attribute is nominal (one-vs-rest tree splits) or
+  /// ordered (threshold splits).
+  std::vector<bool> nominal;
+
+  /// Taxonomy pointers in the form PgPublisher/TDS consume.
+  std::vector<const Taxonomy*> TaxonomyPointers() const;
+};
+
+/// Attribute positions in the census schema.
+struct CensusColumns {
+  static constexpr int kAge = 0;
+  static constexpr int kGender = 1;
+  static constexpr int kEducation = 2;
+  static constexpr int kBirthplace = 3;
+  static constexpr int kOccupation = 4;
+  static constexpr int kRace = 5;
+  static constexpr int kWorkclass = 6;
+  static constexpr int kMarital = 7;
+  static constexpr int kIncome = 8;
+};
+
+/// Generates `num_rows` census records deterministically from `seed`.
+Result<CensusDataset> GenerateCensus(size_t num_rows, uint64_t seed);
+
+}  // namespace pgpub

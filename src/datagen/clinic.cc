@@ -1,0 +1,98 @@
+#include "datagen/clinic.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace pgpub {
+
+namespace {
+
+constexpr int32_t kAgeMin = 18;
+constexpr int32_t kAgeMax = 90;
+constexpr int32_t kAgeDomain = kAgeMax - kAgeMin + 1;  // 73
+constexpr int32_t kZipDomain = 80;
+constexpr int32_t kDiseaseDomain = 40;
+
+}  // namespace
+
+Result<CensusDataset> GenerateClinic(size_t num_rows, uint64_t seed) {
+  if (num_rows == 0) return Status::InvalidArgument("num_rows must be > 0");
+
+  Schema schema;
+  schema.AddAttribute(
+      {"Age", AttributeType::kNumeric, AttributeRole::kQuasiIdentifier});
+  schema.AddAttribute({"Gender", AttributeType::kCategorical,
+                       AttributeRole::kQuasiIdentifier});
+  schema.AddAttribute(
+      {"Zipcode", AttributeType::kNumeric, AttributeRole::kQuasiIdentifier});
+  schema.AddAttribute(
+      {"Disease", AttributeType::kNumeric, AttributeRole::kSensitive});
+
+  std::vector<AttributeDomain> domains;
+  domains.push_back(AttributeDomain::Numeric(kAgeMin, kAgeMax));
+  domains.push_back(AttributeDomain::Categorical({"M", "F"}));
+  domains.push_back(AttributeDomain::Numeric(0, kZipDomain - 1));
+  domains.push_back(AttributeDomain::Numeric(0, kDiseaseDomain - 1));
+
+  // Disease prevalence: Zipf-ish tail. Diseases are laid out in four
+  // age-affinity bands of 10 codes each (young, adult, middle, elderly) so
+  // the QI->Disease correlation is learnable yet the marginal stays
+  // heavily skewed.
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> cols(4);
+  for (auto& c : cols) c.reserve(num_rows);
+
+  std::vector<double> base_weight(kDiseaseDomain);
+  for (int32_t d = 0; d < kDiseaseDomain; ++d) {
+    base_weight[d] = 1.0 / (1.0 + (d % 10));  // skew within each band
+  }
+
+  for (size_t i = 0; i < num_rows; ++i) {
+    const int32_t age =
+        kAgeMin + static_cast<int32_t>(
+                      Clamp(36.0 * (rng.UniformDouble() +
+                                    rng.UniformDouble()),
+                            0, kAgeDomain - 1));
+    const int32_t gender = rng.Bernoulli(0.52) ? 1 : 0;
+    // Zipcodes cluster: half the mass on 16 "urban" codes.
+    const int32_t zip =
+        rng.Bernoulli(0.5)
+            ? static_cast<int32_t>(rng.UniformU64(16))
+            : static_cast<int32_t>(rng.UniformU64(kZipDomain));
+
+    // Age band affinity: band b gets weight boosted when the patient's
+    // age falls in its range; gender tilts two bands mildly.
+    const double age_frac =
+        static_cast<double>(age - kAgeMin) / (kAgeDomain - 1);
+    std::vector<double> weights = base_weight;
+    for (int32_t d = 0; d < kDiseaseDomain; ++d) {
+      const int band = d / 10;
+      const double band_center = 0.125 + 0.25 * band;
+      const double affinity =
+          std::exp(-12.0 * (age_frac - band_center) * (age_frac - band_center));
+      weights[d] *= 0.15 + affinity;
+      if (band == 1 && gender == 0) weights[d] *= 1.3;
+      if (band == 2 && gender == 1) weights[d] *= 1.3;
+    }
+    cols[ClinicColumns::kAge].push_back(age - kAgeMin);
+    cols[ClinicColumns::kGender].push_back(gender);
+    cols[ClinicColumns::kZipcode].push_back(zip);
+    cols[ClinicColumns::kDisease].push_back(
+        static_cast<int32_t>(rng.Discrete(weights)));
+  }
+
+  ASSIGN_OR_RETURN(Table table,
+                   Table::Create(std::move(schema), std::move(domains),
+                                 std::move(cols)));
+  std::vector<Taxonomy> taxonomies;
+  taxonomies.push_back(Taxonomy::Binary(kAgeDomain, "Age:*"));
+  taxonomies.push_back(Taxonomy::Flat(2, "Gender:*"));
+  taxonomies.push_back(Taxonomy::Binary(kZipDomain, "Zipcode:*"));
+  CensusDataset ds{std::move(table), std::move(taxonomies),
+                   /*nominal=*/{false, true, true}};
+  return ds;
+}
+
+}  // namespace pgpub

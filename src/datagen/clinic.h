@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/census.h"
+
+namespace pgpub {
+
+/// \brief Second synthetic workload: a hospital's diagnosis table at
+/// scale — the domain the paper's introduction motivates. QI = Age,
+/// Gender, Zipcode; sensitive = Disease over a *skewed* 40-value domain
+/// (a few common conditions dominate; rare diseases form a long tail),
+/// with age- and gender-dependent prevalence. Exercises the pipeline on a
+/// shape the census lacks: 3 low-cardinality QI attributes and a highly
+/// non-uniform sensitive distribution.
+struct ClinicColumns {
+  static constexpr int kAge = 0;
+  static constexpr int kGender = 1;
+  static constexpr int kZipcode = 2;
+  static constexpr int kDisease = 3;
+};
+
+/// Generates `num_rows` patient records deterministically from `seed`.
+/// Disease domain size is 40; Age spans 18-90; Zipcode has 80 values.
+Result<CensusDataset> GenerateClinic(size_t num_rows, uint64_t seed);
+
+}  // namespace pgpub

@@ -1,0 +1,113 @@
+#include "datagen/hospital.h"
+
+namespace pgpub {
+
+std::vector<const Taxonomy*> HospitalDataset::TaxonomyPointers() const {
+  std::vector<const Taxonomy*> out;
+  out.reserve(taxonomies.size());
+  for (const Taxonomy& t : taxonomies) out.push_back(&t);
+  return out;
+}
+
+Result<HospitalDataset> MakeHospitalDataset() {
+  Schema schema;
+  schema.AddAttribute(
+      {"Age", AttributeType::kNumeric, AttributeRole::kQuasiIdentifier});
+  schema.AddAttribute(
+      {"Gender", AttributeType::kCategorical,
+       AttributeRole::kQuasiIdentifier});
+  schema.AddAttribute(
+      {"Zipcode", AttributeType::kNumeric, AttributeRole::kQuasiIdentifier});
+  schema.AddAttribute(
+      {"Disease", AttributeType::kCategorical, AttributeRole::kSensitive});
+
+  std::vector<AttributeDomain> domains;
+  domains.push_back(AttributeDomain::Numeric(21, 80));  // Age
+  domains.push_back(AttributeDomain::Categorical({"M", "F"}));
+  domains.push_back(AttributeDomain::Numeric(15, 65));  // Zipcode / 1000
+  domains.push_back(AttributeDomain::Categorical(
+      {"bronchitis", "pneumonia", "breast-cancer", "ovarian-cancer",
+       "hypertension", "Alzheimer", "dementia"}));
+
+  // Table Ia. (Age, Gender, Zipcode-in-thousands, Disease.)
+  struct Row {
+    const char* owner;
+    int age;
+    const char* gender;
+    int zip;
+    const char* disease;
+  };
+  const Row rows[] = {
+      {"Bob", 25, "M", 25, "bronchitis"},
+      {"Calvin", 30, "M", 27, "pneumonia"},
+      {"Debbie", 45, "F", 20, "pneumonia"},
+      {"Ellie", 50, "F", 15, "breast-cancer"},
+      {"Fiona", 55, "F", 45, "ovarian-cancer"},
+      {"Gloria", 58, "F", 32, "hypertension"},
+      {"Henry", 65, "M", 65, "Alzheimer"},
+      {"Isaac", 80, "M", 55, "dementia"},
+  };
+
+  std::vector<std::vector<int32_t>> cols(4);
+  std::vector<std::string> owners;
+  for (const Row& r : rows) {
+    ASSIGN_OR_RETURN(int32_t age, domains[0].EncodeNumeric(r.age));
+    ASSIGN_OR_RETURN(int32_t gender, domains[1].EncodeString(r.gender));
+    ASSIGN_OR_RETURN(int32_t zip, domains[2].EncodeNumeric(r.zip));
+    ASSIGN_OR_RETURN(int32_t disease, domains[3].EncodeString(r.disease));
+    cols[0].push_back(age);
+    cols[1].push_back(gender);
+    cols[2].push_back(zip);
+    cols[3].push_back(disease);
+    owners.emplace_back(r.owner);
+  }
+  ASSIGN_OR_RETURN(Table table,
+                   Table::Create(schema, domains, std::move(cols)));
+
+  // Table Ib — the voter registration list, including extraneous Emily
+  // (52, F, 28000).
+  ExternalDatabase edb;
+  edb.SetQiAttrs(table.schema().QiIndices());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    Individual ind;
+    ind.id = owners[r];
+    ind.qi_codes = {table.value(r, 0), table.value(r, 1), table.value(r, 2)};
+    ind.microdata_row = static_cast<int32_t>(r);
+    edb.Add(std::move(ind));
+  }
+  {
+    Individual emily;
+    emily.id = "Emily";
+    emily.qi_codes = {52 - 21, 1 /*F*/, 28 - 15};
+    emily.microdata_row = -1;
+    edb.Add(std::move(emily));
+  }
+
+  std::vector<Taxonomy> taxonomies;
+  // Age in [21,80] (60 codes): 20-year bands then 5-year bands — matches
+  // the paper's [21,40]/[41,60]/[61,80] generalization.
+  taxonomies.push_back(
+      Taxonomy::UniformLevels(60, "Age:*", {20, 5}).ValueOrDie());
+  taxonomies.push_back(Taxonomy::Flat(2, "Gender:*"));
+  // Zipcode in [15,65] thousands (51 codes): 20k bands starting at 11k in
+  // the paper ([11k,30k], [31k,50k], [51k,70k]) — code offsets 0/16/36.
+  {
+    std::vector<Taxonomy::Spec> bands;
+    bands.push_back(Taxonomy::Spec::Group("[11k,30k]", 16));  // 15..30
+    bands.push_back(Taxonomy::Spec::Group("[31k,50k]", 20));  // 31..50
+    bands.push_back(Taxonomy::Spec::Group("[51k,70k]", 15));  // 51..65
+    taxonomies.push_back(
+        Taxonomy::FromSpec(
+            Taxonomy::Spec::Internal("Zipcode:*", std::move(bands)))
+            .ValueOrDie());
+  }
+
+  HospitalDataset ds{std::move(table),
+                     std::move(owners),
+                     std::move(edb),
+                     std::move(taxonomies),
+                     /*nominal=*/{false, true, false}};
+  return ds;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/external_db.h"
+#include "common/result.h"
+#include "hierarchy/taxonomy.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// \brief The paper's running example: the hospital microdata of Table Ia
+/// (8 patients, QI = Age/Gender/Zipcode, sensitive = Disease) and the voter
+/// registration list ℰ of Table Ib (the same people plus the extraneous
+/// Emily). Zipcodes are stored in thousands of dollars... of zip: code
+/// value 25 stands for zipcode 25000.
+struct HospitalDataset {
+  Table table;
+  std::vector<std::string> owners;  ///< Row owner names (never published).
+  ExternalDatabase voter_list;      ///< Table Ib.
+  std::vector<Taxonomy> taxonomies;  ///< Per QI attribute.
+  std::vector<bool> nominal;
+
+  std::vector<const Taxonomy*> TaxonomyPointers() const;
+};
+
+/// Attribute positions in the hospital schema.
+struct HospitalColumns {
+  static constexpr int kAge = 0;
+  static constexpr int kGender = 1;
+  static constexpr int kZipcode = 2;
+  static constexpr int kDisease = 3;
+};
+
+/// Builds the fixture.
+Result<HospitalDataset> MakeHospitalDataset();
+
+}  // namespace pgpub

@@ -1,0 +1,61 @@
+#include "diversity/tcloseness.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace pgpub {
+
+TCloseness::TCloseness(double t, std::vector<int64_t> global_histogram,
+                       Ground ground)
+    : t_(t), global_(std::move(global_histogram)), ground_(ground) {
+  PGPUB_CHECK_GT(t, 0.0);
+  PGPUB_CHECK(!global_.empty());
+}
+
+double TCloseness::Emd(const std::vector<int64_t>& a,
+                       const std::vector<int64_t>& b, Ground ground) {
+  PGPUB_CHECK_EQ(a.size(), b.size());
+  const size_t m = a.size();
+  int64_t ta = 0, tb = 0;
+  for (size_t i = 0; i < m; ++i) {
+    ta += a[i];
+    tb += b[i];
+  }
+  PGPUB_CHECK_GT(ta, 0);
+  PGPUB_CHECK_GT(tb, 0);
+
+  if (ground == Ground::kEqual) {
+    // EMD under the uniform ground distance = total variation distance.
+    double d = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      d += std::fabs(static_cast<double>(a[i]) / ta -
+                     static_cast<double>(b[i]) / tb);
+    }
+    return d / 2.0;
+  }
+
+  // Ordered ground distance |i-j|/(m-1): EMD = sum of |cumulative
+  // difference| / (m-1).
+  if (m == 1) return 0.0;
+  double cum = 0.0, d = 0.0;
+  for (size_t i = 0; i + 1 < m; ++i) {
+    cum += static_cast<double>(a[i]) / ta - static_cast<double>(b[i]) / tb;
+    d += std::fabs(cum);
+  }
+  return d / static_cast<double>(m - 1);
+}
+
+bool TCloseness::Satisfied(const std::vector<int64_t>& histogram) const {
+  int64_t total = 0;
+  for (int64_t c : histogram) total += c;
+  if (total == 0) return true;
+  return Emd(histogram, global_, ground_) <= t_ + 1e-12;
+}
+
+std::string TCloseness::name() const {
+  return StrFormat("%.3g-closeness", t_);
+}
+
+}  // namespace pgpub

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "generalize/qi_groups.h"
+
+namespace pgpub {
+
+/// \brief t-closeness (Li, Li & Venkatasubramanian, ICDE'07): the earth
+/// mover's distance between a group's sensitive distribution and the whole
+/// table's must not exceed t. Provided as an additional pluggable Phase-2
+/// principle (the paper cites it among generalization principles that
+/// still succumb to corruption — see Section VIII).
+class TCloseness : public GroupConstraint {
+ public:
+  /// Ground distance between sensitive values.
+  enum class Ground {
+    /// |i-j|/(m-1) for an ordered domain (e.g. Income buckets).
+    kOrdered,
+    /// 1 for any two distinct values (nominal domains).
+    kEqual,
+  };
+
+  /// `global_histogram` is the sensitive histogram of the full table.
+  TCloseness(double t, std::vector<int64_t> global_histogram, Ground ground);
+
+  bool Satisfied(const std::vector<int64_t>& histogram) const override;
+  std::string name() const override;
+
+  /// EMD between two distributions (histograms are normalized internally).
+  static double Emd(const std::vector<int64_t>& a,
+                    const std::vector<int64_t>& b, Ground ground);
+
+ private:
+  double t_;
+  std::vector<int64_t> global_;
+  Ground ground_;
+};
+
+}  // namespace pgpub

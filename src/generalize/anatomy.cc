@@ -1,0 +1,105 @@
+#include "generalize/anatomy.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace pgpub {
+
+Result<AnatomyRelease> Anatomize(const Table& table, int sensitive_attr,
+                                 int l, Rng& rng) {
+  const size_t n = table.num_rows();
+  if (l <= 1) return Status::InvalidArgument("l must be at least 2");
+  if (n == 0) return Status::InvalidArgument("empty table");
+
+  // Hash every row into its sensitive-value class, shuffled so the draw
+  // "one random tuple of the class" is a pop from the back.
+  const int32_t us = table.domain(sensitive_attr).size();
+  std::vector<std::vector<uint32_t>> classes(us);
+  for (size_t r = 0; r < n; ++r) {
+    classes[table.value(r, sensitive_attr)].push_back(
+        static_cast<uint32_t>(r));
+  }
+  int distinct = 0;
+  size_t max_class = 0;
+  for (auto& cls : classes) {
+    if (!cls.empty()) ++distinct;
+    max_class = std::max(max_class, cls.size());
+    rng.Shuffle(cls);
+  }
+  if (distinct < l) {
+    return Status::InvalidArgument(
+        "fewer distinct sensitive values than l");
+  }
+  // Eligibility (Xiao & Tao): no value may occur more than ceil(n/l)
+  // times, otherwise some group must repeat it.
+  if (max_class > (n + l - 1) / static_cast<size_t>(l)) {
+    return Status::FailedPrecondition(
+        "table is not l-eligible: a sensitive value dominates");
+  }
+
+  AnatomyRelease release;
+  release.row_to_group.assign(n, -1);
+
+  // Group-creation: while at least l non-empty classes remain, open a
+  // group with one tuple from each of the l largest classes.
+  auto cmp = [&classes](int32_t a, int32_t b) {
+    return classes[a].size() < classes[b].size();
+  };
+  std::priority_queue<int32_t, std::vector<int32_t>, decltype(cmp)> heap(
+      cmp);
+  for (int32_t v = 0; v < us; ++v) {
+    if (!classes[v].empty()) heap.push(v);
+  }
+  while (static_cast<int>(heap.size()) >= l) {
+    const int32_t gid = static_cast<int32_t>(release.group_rows.size());
+    release.group_rows.emplace_back();
+    release.group_stats.emplace_back();
+    std::vector<int32_t> drawn;
+    for (int i = 0; i < l; ++i) {
+      const int32_t v = heap.top();
+      heap.pop();
+      const uint32_t row = classes[v].back();
+      classes[v].pop_back();
+      release.row_to_group[row] = gid;
+      release.group_rows[gid].push_back(row);
+      release.group_stats[gid].push_back({v, 1});
+      drawn.push_back(v);
+    }
+    for (int32_t v : drawn) {
+      if (!classes[v].empty()) heap.push(v);
+    }
+  }
+
+  // Residue assignment: every leftover tuple joins a random group that
+  // does not yet contain its value.
+  for (int32_t v = 0; v < us; ++v) {
+    for (uint32_t row : classes[v]) {
+      // Collect eligible groups lazily; with eligibility guaranteed there
+      // is always at least one (see the original paper's Lemma 1).
+      std::vector<int32_t> eligible;
+      for (size_t g = 0; g < release.num_groups(); ++g) {
+        bool has = false;
+        for (const auto& [value, count] : release.group_stats[g]) {
+          if (value == v) {
+            has = true;
+            break;
+          }
+        }
+        if (!has) eligible.push_back(static_cast<int32_t>(g));
+      }
+      if (eligible.empty()) {
+        return Status::Internal(
+            "anatomy residue assignment found no eligible group despite "
+            "l-eligibility");
+      }
+      const int32_t gid = eligible[rng.UniformU64(eligible.size())];
+      release.row_to_group[row] = gid;
+      release.group_rows[gid].push_back(row);
+      release.group_stats[gid].push_back({v, 1});
+    }
+    classes[v].clear();
+  }
+  return release;
+}
+
+}  // namespace pgpub

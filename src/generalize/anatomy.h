@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// \brief An Anatomy release (Xiao & Tao, VLDB'06): the quasi-identifier
+/// table (QIT) keeps every tuple's *exact* QI values plus a group id; the
+/// sensitive table (ST) lists each group's sensitive values with counts.
+/// Linking QIT and ST only reveals that a tuple's value is one of its
+/// group's ℓ distinct values.
+///
+/// Anatomy is the same authors' pre-PG design and is cited by the paper's
+/// related work; like every method that releases exact sensitive values
+/// it collapses under corruption (Lemma 2 applies verbatim to a group
+/// whose other members are corrupted) — which the `breach_empirical`
+/// ablation demonstrates by attacking it alongside generalization and PG.
+struct AnatomyRelease {
+  /// QIT: row -> group id.
+  std::vector<int32_t> row_to_group;
+  /// ST: per group, (sensitive code, count) pairs.
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> group_stats;
+  /// Convenience: per group, the member rows.
+  std::vector<std::vector<uint32_t>> group_rows;
+
+  size_t num_groups() const { return group_stats.size(); }
+
+  /// Number of distinct sensitive values in a group.
+  int DistinctValues(size_t group) const {
+    return static_cast<int>(group_stats[group].size());
+  }
+};
+
+/// Runs the Anatomy bucketization: groups of ℓ tuples with pairwise
+/// distinct sensitive values, built by repeatedly drawing one random
+/// tuple from each of the ℓ currently largest value classes, followed by
+/// the residue assignment (each leftover tuple joins a group lacking its
+/// value).
+///
+/// Fails with FailedPrecondition when the table is not ℓ-eligible (some
+/// sensitive value occurs in more than ⌈n/ℓ⌉ tuples) and InvalidArgument
+/// for a non-positive ℓ or ℓ larger than the number of distinct values.
+Result<AnatomyRelease> Anatomize(const Table& table, int sensitive_attr,
+                                 int l, Rng& rng);
+
+}  // namespace pgpub

@@ -1,0 +1,128 @@
+#include "generalize/incognito.h"
+
+#include <map>
+#include <queue>
+
+#include "generalize/metrics.h"
+
+namespace pgpub {
+
+GlobalRecoding RecodingAtDepths(
+    const std::vector<int>& qi_attrs,
+    const std::vector<const Taxonomy*>& taxonomies,
+    const std::vector<int>& depths) {
+  PGPUB_CHECK_EQ(qi_attrs.size(), taxonomies.size());
+  PGPUB_CHECK_EQ(qi_attrs.size(), depths.size());
+  GlobalRecoding out;
+  out.qi_attrs = qi_attrs;
+  for (size_t i = 0; i < qi_attrs.size(); ++i) {
+    const Taxonomy* tax = taxonomies[i];
+    PGPUB_CHECK(tax != nullptr) << "Incognito requires a taxonomy per attr";
+    const int depth = std::min(depths[i], tax->height());
+    std::vector<int> cut = tax->CutAtDepth(depth);
+    std::vector<int32_t> starts;
+    starts.reserve(cut.size());
+    for (int node : cut) starts.push_back(tax->node(node).range.lo);
+    out.per_attr.push_back(
+        AttributeRecoding::FromStarts(tax->domain_size(), std::move(starts))
+            .ValueOrDie());
+  }
+  return out;
+}
+
+Result<GlobalRecoding> IncognitoSearch(
+    const Table& table, const std::vector<int>& qi_attrs,
+    const std::vector<const Taxonomy*>& taxonomies,
+    const IncognitoOptions& options) {
+  if (qi_attrs.size() != taxonomies.size()) {
+    return Status::InvalidArgument("qi_attrs/taxonomies size mismatch");
+  }
+  const size_t d = qi_attrs.size();
+  if (d == 0) return Status::InvalidArgument("no QI attributes");
+  for (size_t i = 0; i < d; ++i) {
+    if (taxonomies[i] == nullptr) {
+      return Status::InvalidArgument(
+          "Incognito requires a taxonomy for every QI attribute");
+    }
+    if (taxonomies[i]->domain_size() != table.domain(qi_attrs[i]).size()) {
+      return Status::InvalidArgument("taxonomy domain size mismatch");
+    }
+  }
+  if (table.num_rows() < static_cast<size_t>(options.k)) {
+    return Status::FailedPrecondition(
+        "table has fewer rows than k; no k-anonymous publication exists");
+  }
+
+  // Lattice size check: node coordinates are depths 0..height per attr.
+  uint64_t lattice = 1;
+  for (size_t i = 0; i < d; ++i) {
+    lattice *= static_cast<uint64_t>(taxonomies[i]->height()) + 1;
+    if (lattice > static_cast<uint64_t>(options.max_lattice_nodes)) {
+      return Status::InvalidArgument(
+          "generalization lattice too large for Incognito search; "
+          "use TopDownSpecializer");
+    }
+  }
+
+  // Memoized k-anonymity per lattice node.
+  std::map<std::vector<int>, bool> anon_memo;
+  auto is_anonymous = [&](const std::vector<int>& depths) -> bool {
+    auto it = anon_memo.find(depths);
+    if (it != anon_memo.end()) return it->second;
+    GlobalRecoding rec =
+        RecodingAtDepths(qi_attrs, taxonomies, depths);
+    QiGroups groups = ComputeQiGroups(table, rec);
+    bool ok = IsKAnonymous(groups, options.k);
+    anon_memo.emplace(depths, ok);
+    return ok;
+  };
+
+  // BFS from the root (all depths 0 = most general). A node is *minimal*
+  // k-anonymous when it is k-anonymous and none of its children (one attr
+  // one level deeper) is.
+  std::vector<int> root(d, 0);
+  if (!is_anonymous(root)) {
+    return Status::Internal(
+        "fully generalized table is not k-anonymous despite n >= k");
+  }
+  std::map<std::vector<int>, bool> visited;
+  std::queue<std::vector<int>> frontier;
+  frontier.push(root);
+  visited[root] = true;
+
+  double best_ncp = 2.0;
+  GlobalRecoding best;
+  bool found = false;
+
+  while (!frontier.empty()) {
+    std::vector<int> node = frontier.front();
+    frontier.pop();
+    bool has_anonymous_child = false;
+    for (size_t i = 0; i < d; ++i) {
+      if (node[i] >= taxonomies[i]->height()) continue;
+      std::vector<int> child = node;
+      child[i]++;
+      if (is_anonymous(child)) {
+        has_anonymous_child = true;
+        if (!visited[child]) {
+          visited[child] = true;
+          frontier.push(child);
+        }
+      }
+    }
+    if (!has_anonymous_child) {
+      // Minimal k-anonymous node: candidate answer.
+      GlobalRecoding rec = RecodingAtDepths(qi_attrs, taxonomies, node);
+      double ncp = GlobalNcp(table, rec);
+      if (!found || ncp < best_ncp) {
+        best_ncp = ncp;
+        best = std::move(rec);
+        found = true;
+      }
+    }
+  }
+  PGPUB_CHECK(found);
+  return best;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "generalize/qi_groups.h"
+#include "hierarchy/recoding.h"
+#include "hierarchy/taxonomy.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// Options for full-domain generalization search.
+struct IncognitoOptions {
+  int k = 2;
+  /// Safety bound on lattice nodes examined; InvalidArgument when the
+  /// lattice is larger (use TDS for wide schemas).
+  int max_lattice_nodes = 250000;
+};
+
+/// \brief Full-domain generalization search in the spirit of Incognito
+/// (LeFevre et al., SIGMOD'05).
+///
+/// Every QI attribute is generalized to one uniform taxonomy depth; a
+/// lattice node is a vector of depths. Exploits the generalization
+/// monotonicity property (if a node is k-anonymous, so is every more
+/// general node) to explore the lattice top-down, and returns the
+/// k-anonymous node with the lowest NCP among the *minimal* k-anonymous
+/// nodes (those none of whose specializations are k-anonymous).
+///
+/// Suited to few QI attributes with shallow hierarchies; the paper's SAL
+/// pipeline uses TDS instead (both satisfy G1–G3).
+Result<GlobalRecoding> IncognitoSearch(
+    const Table& table, const std::vector<int>& qi_attrs,
+    const std::vector<const Taxonomy*>& taxonomies,
+    const IncognitoOptions& options);
+
+/// Helper: the global recoding induced by cutting each taxonomy at the
+/// given depth (depth is clamped to each taxonomy's height).
+GlobalRecoding RecodingAtDepths(const std::vector<int>& qi_attrs,
+                                const std::vector<const Taxonomy*>& taxonomies,
+                                const std::vector<int>& depths);
+
+}  // namespace pgpub

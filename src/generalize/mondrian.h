@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "hierarchy/interval.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// \brief Result of a *local* recoding: each group carries its own
+/// per-attribute bounding box, and boxes of different groups may overlap.
+///
+/// NOTE: local recoding violates Property G3 of the paper's framework
+/// (Section IV); the attack-step A1 uniqueness argument does not hold for
+/// it. It is provided as a utility/comparison substrate only — the PG
+/// publisher always uses global recoding.
+struct LocalRecoding {
+  std::vector<int> qi_attrs;
+  std::vector<int32_t> row_to_group;
+  std::vector<std::vector<Interval>> group_boxes;  ///< [group][qi index].
+
+  size_t num_groups() const { return group_boxes.size(); }
+};
+
+struct MondrianOptions {
+  int k = 2;
+};
+
+/// \brief Mondrian multidimensional partitioning (LeFevre et al., ICDE'06),
+/// strict mode: recursively median-splits the dimension with the widest
+/// normalized extent while both sides keep at least k rows.
+Result<LocalRecoding> MondrianPartition(const Table& table,
+                                        const std::vector<int>& qi_attrs,
+                                        const MondrianOptions& options);
+
+/// Mean normalized certainty penalty of a local recoding.
+double LocalNcp(const Table& table, const LocalRecoding& recoding);
+
+}  // namespace pgpub

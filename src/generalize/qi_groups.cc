@@ -1,0 +1,49 @@
+#include "generalize/qi_groups.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pgpub {
+
+size_t QiGroups::MinGroupSize() const {
+  size_t m = SIZE_MAX;
+  for (const auto& g : group_rows) m = std::min(m, g.size());
+  return group_rows.empty() ? 0 : m;
+}
+
+size_t QiGroups::MaxGroupSize() const {
+  size_t m = 0;
+  for (const auto& g : group_rows) m = std::max(m, g.size());
+  return m;
+}
+
+QiGroups ComputeQiGroups(const Table& table, const GlobalRecoding& recoding) {
+  QiGroups out;
+  const size_t n = table.num_rows();
+  out.row_to_group.assign(n, -1);
+  std::unordered_map<uint64_t, int32_t> index;
+  index.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    uint64_t key = recoding.SignatureOfRow(table, r);
+    auto [it, inserted] =
+        index.emplace(key, static_cast<int32_t>(out.group_rows.size()));
+    if (inserted) out.group_rows.emplace_back();
+    out.row_to_group[r] = it->second;
+    out.group_rows[it->second].push_back(static_cast<uint32_t>(r));
+  }
+  return out;
+}
+
+bool AllGroupsSatisfy(const Table& table, const QiGroups& groups, int attr,
+                      const GroupConstraint& constraint) {
+  const int32_t domain_size = table.domain(attr).size();
+  std::vector<int64_t> hist(domain_size, 0);
+  for (const auto& rows : groups.group_rows) {
+    std::fill(hist.begin(), hist.end(), 0);
+    for (uint32_t r : rows) hist[table.value(r, attr)]++;
+    if (!constraint.Satisfied(hist)) return false;
+  }
+  return true;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/recoding.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// \brief Partition of a table's rows into QI-groups under a global
+/// recoding: rows with identical generalized QI-vectors share a group.
+struct QiGroups {
+  std::vector<int32_t> row_to_group;        ///< Size = table rows.
+  std::vector<std::vector<uint32_t>> group_rows;
+
+  size_t num_groups() const { return group_rows.size(); }
+
+  /// Smallest group size; 0 for an empty table.
+  size_t MinGroupSize() const;
+
+  /// Largest group size; 0 for an empty table.
+  size_t MaxGroupSize() const;
+};
+
+/// Groups `table`'s rows by their generalized QI signature under `recoding`.
+QiGroups ComputeQiGroups(const Table& table, const GlobalRecoding& recoding);
+
+/// \brief Pluggable per-group requirement checked by anonymization
+/// algorithms in addition to k-anonymity (e.g. ℓ-diversity over the
+/// sensitive attribute). Implementations live in src/diversity.
+class GroupConstraint {
+ public:
+  virtual ~GroupConstraint() = default;
+
+  /// Evaluates the constraint on one group, given the histogram of the
+  /// constrained attribute's values within the group (indexed by code).
+  virtual bool Satisfied(const std::vector<int64_t>& histogram) const = 0;
+
+  /// Human-readable name for diagnostics, e.g. "(0.5,3)-diversity".
+  virtual std::string name() const = 0;
+};
+
+/// True if every group in `groups` satisfies `constraint` on the values of
+/// `table`'s column `attr`.
+bool AllGroupsSatisfy(const Table& table, const QiGroups& groups, int attr,
+                      const GroupConstraint& constraint);
+
+}  // namespace pgpub

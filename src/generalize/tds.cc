@@ -1,0 +1,525 @@
+#include "generalize/tds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/math_util.h"
+
+namespace pgpub {
+
+TopDownSpecializer::TopDownSpecializer(const Table& table,
+                                       std::vector<int> qi_attrs,
+                                       std::vector<const Taxonomy*> taxonomies,
+                                       std::vector<int32_t> class_labels,
+                                       int num_classes, TdsOptions options)
+    : table_(table),
+      qi_attrs_(std::move(qi_attrs)),
+      taxonomies_(std::move(taxonomies)),
+      class_labels_(std::move(class_labels)),
+      num_classes_(num_classes),
+      options_(options) {
+  PGPUB_CHECK_EQ(qi_attrs_.size(), taxonomies_.size());
+  PGPUB_CHECK_EQ(class_labels_.size(), table_.num_rows());
+  PGPUB_CHECK_GT(num_classes_, 0);
+  if (options_.constraint != nullptr) {
+    PGPUB_CHECK_GE(options_.constraint_attr, 0);
+  }
+}
+
+bool TopDownSpecializer::ConstraintOk(
+    const std::vector<int64_t>& hist) const {
+  return options_.constraint == nullptr ||
+         options_.constraint->Satisfied(hist);
+}
+
+namespace {
+
+/// Unified specialization utility: debiased information gain per affected
+/// row (bits), plus a balance bonus — the fraction of the affected
+/// sum-of-squared group sizes the split removes, weighted so that a
+/// perfectly halving no-signal split (fraction 1/2) is worth 0.025 bits.
+/// Early, genuinely informative splits dominate; in the end-game the
+/// balance term takes over, which equalizes strata and maximizes the
+/// effective sample size of the published table.
+double CombinedScore(double debiased_gain_per_row, double ss_reduction,
+                     double affected_ss) {
+  const double balance =
+      affected_ss > 0.0 ? ss_reduction / affected_ss : 0.0;
+  return std::max(0.0, debiased_gain_per_row) + 0.05 * balance;
+}
+
+}  // namespace
+
+int64_t TopDownSpecializer::GlobalMinGroupSize() const {
+  int64_t m = std::numeric_limits<int64_t>::max();
+  for (const Group& g : groups_) {
+    if (g.alive) m = std::min<int64_t>(m, g.rows.size());
+  }
+  return m == std::numeric_limits<int64_t>::max() ? 0 : m;
+}
+
+std::vector<int32_t> TopDownSpecializer::GroupsOfSegment(int attr_idx,
+                                                         int32_t lo) {
+  std::vector<int32_t> out;
+  auto it = segment_groups_[attr_idx].find(lo);
+  if (it == segment_groups_[attr_idx].end()) return out;
+  std::vector<int32_t>& list = it->second;
+  // Filter lazily deleted entries in place.
+  size_t w = 0;
+  for (int32_t gid : list) {
+    if (groups_[gid].alive && groups_[gid].seg_lo[attr_idx] == lo) {
+      list[w++] = gid;
+    }
+  }
+  list.resize(w);
+  return list;
+}
+
+std::vector<Interval> TopDownSpecializer::ChildIntervals(
+    int attr_idx, const Interval& s, const Candidate& cand) const {
+  std::vector<Interval> out;
+  if (cand.taxonomy_node >= 0) {
+    const Taxonomy* tax = taxonomies_[attr_idx];
+    for (int c : tax->node(cand.taxonomy_node).children) {
+      out.push_back(tax->node(c).range);
+    }
+  } else {
+    out.push_back(Interval(s.lo, cand.cut - 1));
+    out.push_back(Interval(cand.cut, s.hi));
+  }
+  return out;
+}
+
+void TopDownSpecializer::Evaluate(int attr_idx, int32_t lo, Candidate* cand) {
+  cand->dirty = false;
+  cand->valid = false;
+  cand->taxonomy_node = -1;
+  cand->cut = -1;
+
+  const AttributeRecoding& rec = recodings_[attr_idx];
+  const int32_t gen = rec.GenOf(lo);
+  const Interval s = rec.GenInterval(gen);
+  PGPUB_CHECK_EQ(s.lo, lo);
+  if (s.IsSingleton()) return;  // nothing to specialize
+
+  std::vector<int32_t> gids = GroupsOfSegment(attr_idx, lo);
+  if (gids.empty()) return;  // segment carries no rows; splitting is moot
+  cand->max_affected_group = 0;
+  for (int32_t gid : gids) {
+    cand->max_affected_group = std::max<int64_t>(
+        cand->max_affected_group,
+        static_cast<int64_t>(groups_[gid].rows.size()));
+  }
+
+  const int attr = qi_attrs_[attr_idx];
+  const Taxonomy* tax = taxonomies_[attr_idx];
+  const int64_t global_min = global_min_cache_;
+  const int32_t cons_attr = options_.constraint_attr;
+  const int32_t cons_dom =
+      options_.constraint != nullptr ? table_.domain(cons_attr).size() : 0;
+
+  if (tax != nullptr) {
+    const int node_id = tax->FindNode(s);
+    PGPUB_CHECK_GE(node_id, 0)
+        << "segment does not match a taxonomy node on attribute "
+        << table_.schema().attribute(attr).name;
+    const TaxonomyNode& node = tax->node(node_id);
+    PGPUB_CHECK(!node.children.empty());
+    const size_t n_children = node.children.size();
+
+    // Map code -> child rank within this node.
+    std::vector<int32_t> code_to_child(s.width());
+    for (size_t ci = 0; ci < n_children; ++ci) {
+      const Interval cr = tax->node(node.children[ci]).range;
+      for (int32_t c = cr.lo; c <= cr.hi; ++c) {
+        code_to_child[c - s.lo] = static_cast<int32_t>(ci);
+      }
+    }
+
+    double gain = 0.0;
+    double bias = 0.0;
+    double ss_reduction = 0.0;
+    double affected_ss = 0.0;
+    int64_t affected_rows = 0;
+    int64_t min_new = std::numeric_limits<int64_t>::max();
+    bool valid = true;
+    std::vector<double> parent_class(num_classes_);
+    std::vector<std::vector<double>> child_class(
+        n_children, std::vector<double>(num_classes_));
+    std::vector<int64_t> child_count(n_children);
+    std::vector<std::vector<int64_t>> child_cons;
+    if (options_.constraint != nullptr) {
+      child_cons.assign(n_children, std::vector<int64_t>(cons_dom));
+    }
+
+    for (int32_t gid : gids) {
+      const Group& g = groups_[gid];
+      std::fill(parent_class.begin(), parent_class.end(), 0.0);
+      std::fill(child_count.begin(), child_count.end(), 0);
+      for (auto& v : child_class) std::fill(v.begin(), v.end(), 0.0);
+      for (auto& v : child_cons) std::fill(v.begin(), v.end(), 0);
+
+      for (uint32_t r : g.rows) {
+        const int32_t child = code_to_child[table_.value(r, attr) - s.lo];
+        const int32_t cls = class_labels_[r];
+        parent_class[cls] += 1.0;
+        child_class[child][cls] += 1.0;
+        child_count[child]++;
+        if (options_.constraint != nullptr) {
+          child_cons[child][table_.value(r, cons_attr)]++;
+        }
+      }
+
+      double child_entropy_rows = 0.0;
+      double child_sq = 0.0;
+      int nonempty_children = 0;
+      for (size_t ci = 0; ci < n_children; ++ci) {
+        if (child_count[ci] == 0) continue;
+        ++nonempty_children;
+        if (child_count[ci] < options_.k) {
+          valid = false;
+          break;
+        }
+        if (options_.constraint != nullptr &&
+            !options_.constraint->Satisfied(child_cons[ci])) {
+          valid = false;
+          break;
+        }
+        min_new = std::min<int64_t>(min_new, child_count[ci]);
+        child_sq += static_cast<double>(child_count[ci]) *
+                    static_cast<double>(child_count[ci]);
+        child_entropy_rows += static_cast<double>(child_count[ci]) *
+                              EntropyFromCounts(child_class[ci]);
+      }
+      if (!valid) break;
+      const double n_g = static_cast<double>(g.rows.size());
+      affected_rows += g.rows.size();
+      affected_ss += n_g * n_g;
+      ss_reduction += n_g * n_g - child_sq;
+      gain += n_g * EntropyFromCounts(parent_class) - child_entropy_rows;
+      // Chi-square bias of the empirical entropy gain: under the no-signal
+      // null, 2 ln(2) n ΔH ~ chi^2 with (C-1)(m-1) dof, so the expected
+      // spurious gain is (C-1)(m-1)/(2 ln 2) rows·bits per group.
+      bias += (nonempty_children - 1) * (num_classes_ - 1) /
+              (2.0 * std::log(2.0));
+    }
+    if (!valid) return;
+
+    cand->valid = true;
+    cand->taxonomy_node = node_id;
+    cand->gain = gain;
+    cand->min_new_size = min_new;
+    cand->ss_reduction = ss_reduction;
+    // Significance-debiased gain (chi-square null correction, x3 margin).
+    cand->gain_per_row =
+        affected_rows > 0
+            ? (gain - 3.0 * bias) / static_cast<double>(affected_rows)
+            : 0.0;
+    if (options_.balance_aware) {
+      cand->score =
+          CombinedScore(cand->gain_per_row, ss_reduction, affected_ss);
+    } else {
+      const int64_t loss = std::max<int64_t>(0, global_min - min_new);
+      cand->score = gain / static_cast<double>(loss + 1);
+    }
+    return;
+  }
+
+  // Dynamic binary split: evaluate every cut position within the segment
+  // and keep the best valid one.
+  const int32_t width = s.width();
+  const size_t n_cuts = static_cast<size_t>(width) - 1;
+  std::vector<double> cut_gain(n_cuts, 0.0);
+  std::vector<double> cut_ss(n_cuts, 0.0);
+  std::vector<double> cut_bias(n_cuts, 0.0);
+  std::vector<char> cut_valid(n_cuts, 1);
+  std::vector<int64_t> cut_min(n_cuts,
+                               std::numeric_limits<int64_t>::max());
+  int64_t dyn_affected_rows = 0;
+  double dyn_affected_ss = 0.0;
+
+  // Per-group scratch: class counts per code, then prefix scans.
+  std::vector<double> code_class(static_cast<size_t>(width) * num_classes_);
+  std::vector<int64_t> code_count(width);
+  std::vector<int64_t> code_cons;  // per code x cons value
+  if (options_.constraint != nullptr) {
+    code_cons.resize(static_cast<size_t>(width) * cons_dom);
+  }
+  std::vector<double> left_class(num_classes_), right_class(num_classes_);
+  std::vector<int64_t> left_cons(cons_dom), right_cons(cons_dom);
+
+  for (int32_t gid : gids) {
+    const Group& g = groups_[gid];
+    std::fill(code_class.begin(), code_class.end(), 0.0);
+    std::fill(code_count.begin(), code_count.end(), 0);
+    std::fill(code_cons.begin(), code_cons.end(), 0);
+    for (uint32_t r : g.rows) {
+      const int32_t off = table_.value(r, attr) - s.lo;
+      code_class[static_cast<size_t>(off) * num_classes_ +
+                 class_labels_[r]] += 1.0;
+      code_count[off]++;
+      if (options_.constraint != nullptr) {
+        code_cons[static_cast<size_t>(off) * cons_dom +
+                  table_.value(r, cons_attr)]++;
+      }
+    }
+    const double n_g = static_cast<double>(g.rows.size());
+    dyn_affected_rows += g.rows.size();
+    dyn_affected_ss += n_g * n_g;
+    // Sweep cuts left to right, maintaining left-side accumulators.
+    std::fill(left_class.begin(), left_class.end(), 0.0);
+    std::fill(left_cons.begin(), left_cons.end(), 0);
+    int64_t left_count = 0;
+    // Parent entropy once.
+    std::vector<double> parent_class(num_classes_, 0.0);
+    for (int32_t off = 0; off < width; ++off) {
+      for (int32_t c = 0; c < num_classes_; ++c) {
+        parent_class[c] += code_class[static_cast<size_t>(off) * num_classes_ + c];
+      }
+    }
+    const double parent_term = n_g * EntropyFromCounts(parent_class);
+
+    for (size_t cut = 0; cut < n_cuts; ++cut) {
+      const int32_t off = static_cast<int32_t>(cut);
+      left_count += code_count[off];
+      for (int32_t c = 0; c < num_classes_; ++c) {
+        left_class[c] += code_class[static_cast<size_t>(off) * num_classes_ + c];
+      }
+      if (options_.constraint != nullptr) {
+        for (int32_t v = 0; v < cons_dom; ++v) {
+          left_cons[v] += code_cons[static_cast<size_t>(off) * cons_dom + v];
+        }
+      }
+      if (!cut_valid[cut]) continue;
+      const int64_t right_count =
+          static_cast<int64_t>(g.rows.size()) - left_count;
+      const bool left_ok = left_count == 0 || left_count >= options_.k;
+      const bool right_ok = right_count == 0 || right_count >= options_.k;
+      if (!left_ok || !right_ok) {
+        cut_valid[cut] = 0;
+        continue;
+      }
+      for (int32_t c = 0; c < num_classes_; ++c) {
+        right_class[c] = parent_class[c] - left_class[c];
+      }
+      if (options_.constraint != nullptr) {
+        // Right-side histogram = group total minus left side.
+        for (int32_t v = 0; v < cons_dom; ++v) right_cons[v] = -left_cons[v];
+        for (int32_t off2 = 0; off2 < width; ++off2) {
+          for (int32_t v = 0; v < cons_dom; ++v) {
+            right_cons[v] += code_cons[static_cast<size_t>(off2) * cons_dom + v];
+          }
+        }
+        if ((left_count > 0 && !options_.constraint->Satisfied(left_cons)) ||
+            (right_count > 0 &&
+             !options_.constraint->Satisfied(right_cons))) {
+          cut_valid[cut] = 0;
+          continue;
+        }
+      }
+      const double left_term =
+          static_cast<double>(left_count) * EntropyFromCounts(left_class);
+      const double right_term =
+          static_cast<double>(right_count) * EntropyFromCounts(right_class);
+      cut_gain[cut] += parent_term - left_term - right_term;
+      cut_ss[cut] += n_g * n_g -
+                     static_cast<double>(left_count) * left_count -
+                     static_cast<double>(right_count) * right_count;
+      if (left_count > 0 && right_count > 0) {
+        cut_bias[cut] += (num_classes_ - 1) / (2.0 * std::log(2.0));
+      }
+      if (left_count > 0) cut_min[cut] = std::min(cut_min[cut], left_count);
+      if (right_count > 0) cut_min[cut] = std::min(cut_min[cut], right_count);
+    }
+  }
+
+  // Pick the best valid cut. cut index `c` puts codes [s.lo, s.lo+c] left.
+  double best_score = -1.0;
+  for (size_t cut = 0; cut < n_cuts; ++cut) {
+    if (!cut_valid[cut]) continue;
+    const double dbg = (cut_gain[cut] - 3.0 * cut_bias[cut]) /
+                       std::max<double>(1.0, static_cast<double>(
+                                                 dyn_affected_rows));
+    const double score =
+        options_.balance_aware
+            ? CombinedScore(dbg, cut_ss[cut], dyn_affected_ss)
+            : cut_gain[cut] /
+                  static_cast<double>(
+                      std::max<int64_t>(0, global_min - cut_min[cut]) + 1);
+    if (score > best_score) {
+      best_score = score;
+      cand->valid = true;
+      cand->cut = s.lo + static_cast<int32_t>(cut) + 1;
+      cand->gain = cut_gain[cut];
+      cand->min_new_size = cut_min[cut];
+      cand->ss_reduction = cut_ss[cut];
+      cand->gain_per_row =
+          dyn_affected_rows > 0
+              ? (cut_gain[cut] - 3.0 * cut_bias[cut]) /
+                    static_cast<double>(dyn_affected_rows)
+              : 0.0;
+      cand->score = CombinedScore(cand->gain_per_row, cut_ss[cut],
+                                  dyn_affected_ss);
+      best_score = std::max(best_score, cand->score);
+    }
+  }
+}
+
+void TopDownSpecializer::Apply(int attr_idx, int32_t lo,
+                               const Candidate& cand) {
+  const AttributeRecoding& rec = recodings_[attr_idx];
+  const Interval s = rec.GenInterval(rec.GenOf(lo));
+  const std::vector<Interval> children = ChildIntervals(attr_idx, s, cand);
+  PGPUB_CHECK_GE(children.size(), 2u);
+
+  // Update the recoding.
+  for (size_t i = 1; i < children.size(); ++i) {
+    recodings_[attr_idx].SplitAt(children[i].lo);
+  }
+
+  // Map code offset -> child rank.
+  std::vector<int32_t> code_to_child(s.width());
+  for (size_t ci = 0; ci < children.size(); ++ci) {
+    for (int32_t c = children[ci].lo; c <= children[ci].hi; ++c) {
+      code_to_child[c - s.lo] = static_cast<int32_t>(ci);
+    }
+  }
+
+  const int attr = qi_attrs_[attr_idx];
+  const std::vector<int32_t> affected = GroupsOfSegment(attr_idx, lo);
+  segment_groups_[attr_idx].erase(lo);
+
+  for (int32_t gid : affected) {
+    // Detach the old group's state before growing groups_ — push_back may
+    // reallocate the vector and would invalidate any held reference.
+    groups_[gid].alive = false;
+    const std::vector<uint32_t> old_rows = std::move(groups_[gid].rows);
+    const std::vector<int32_t> old_seg = groups_[gid].seg_lo;
+
+    // Bucket rows by child.
+    std::vector<std::vector<uint32_t>> buckets(children.size());
+    for (uint32_t r : old_rows) {
+      buckets[code_to_child[table_.value(r, attr) - s.lo]].push_back(r);
+    }
+    for (size_t ci = 0; ci < children.size(); ++ci) {
+      if (buckets[ci].empty()) continue;
+      Group ng;
+      ng.rows = std::move(buckets[ci]);
+      ng.seg_lo = old_seg;
+      ng.seg_lo[attr_idx] = children[ci].lo;
+      const int32_t new_gid = static_cast<int32_t>(groups_.size());
+      groups_.push_back(std::move(ng));
+      for (size_t j = 0; j < qi_attrs_.size(); ++j) {
+        segment_groups_[j][groups_[new_gid].seg_lo[j]].push_back(new_gid);
+      }
+    }
+
+    // Every candidate touching this (old) group must be re-scored.
+    for (size_t j = 0; j < qi_attrs_.size(); ++j) {
+      if (static_cast<int>(j) == attr_idx) continue;
+      auto it = candidates_.find(
+          CandidateKey(static_cast<int>(j), old_seg[j]));
+      if (it != candidates_.end()) it->second.dirty = true;
+    }
+  }
+
+  // Candidate bookkeeping on the split attribute.
+  candidates_.erase(CandidateKey(attr_idx, lo));
+  for (const Interval& c : children) {
+    candidates_[CandidateKey(attr_idx, c.lo)] = Candidate{};
+  }
+  // The global minimum group size may have changed: every score that used
+  // AnonyLoss is stale. Rather than recompute all, we accept slightly stale
+  // scores for unaffected candidates (validity never depends on the global
+  // min, so correctness is unaffected; this is the usual TDS greedy
+  // heuristic trade-off).
+}
+
+Result<GlobalRecoding> TopDownSpecializer::Run() {
+  const size_t n = table_.num_rows();
+  if (n < static_cast<size_t>(options_.k)) {
+    return Status::FailedPrecondition(
+        "table has fewer rows than k; no k-anonymous publication exists");
+  }
+  for (size_t i = 0; i < qi_attrs_.size(); ++i) {
+    if (taxonomies_[i] != nullptr) {
+      if (taxonomies_[i]->domain_size() !=
+          table_.domain(qi_attrs_[i]).size()) {
+        return Status::InvalidArgument(
+            "taxonomy domain size mismatch on attribute " +
+            table_.schema().attribute(qi_attrs_[i]).name);
+      }
+    }
+  }
+
+  // Reset state.
+  num_specializations_ = 0;
+  groups_.clear();
+  candidates_.clear();
+  segment_groups_.assign(qi_attrs_.size(), {});
+  recodings_.clear();
+  for (int a : qi_attrs_) {
+    recodings_.push_back(AttributeRecoding::Single(table_.domain(a).size()));
+  }
+
+  Group root;
+  root.rows.resize(n);
+  for (size_t r = 0; r < n; ++r) root.rows[r] = static_cast<uint32_t>(r);
+  root.seg_lo.assign(qi_attrs_.size(), 0);
+  groups_.push_back(std::move(root));
+  for (size_t j = 0; j < qi_attrs_.size(); ++j) {
+    segment_groups_[j][0].push_back(0);
+  }
+
+  if (options_.constraint != nullptr) {
+    std::vector<int64_t> hist(table_.domain(options_.constraint_attr).size(),
+                              0);
+    for (size_t r = 0; r < n; ++r) {
+      hist[table_.value(r, options_.constraint_attr)]++;
+    }
+    if (!options_.constraint->Satisfied(hist)) {
+      return Status::FailedPrecondition(
+          "the whole table violates constraint " +
+          options_.constraint->name() +
+          "; no publication satisfies it under global recoding");
+    }
+  }
+
+  for (size_t j = 0; j < qi_attrs_.size(); ++j) {
+    candidates_[CandidateKey(static_cast<int>(j), 0)] = Candidate{};
+  }
+
+  while (num_specializations_ < options_.max_specializations) {
+    global_min_cache_ = GlobalMinGroupSize();
+    // Re-evaluate dirty candidates; pick the best valid one.
+    uint64_t best_key = 0;
+    double best_score = -1.0;
+    bool found = false;
+    for (auto& [key, cand] : candidates_) {
+      if (cand.dirty) {
+        Evaluate(static_cast<int>(key >> 32),
+                 static_cast<int32_t>(key & 0xffffffffu), &cand);
+      }
+      if (!cand.valid) continue;
+      if (!found || cand.score > best_score ||
+          (cand.score == best_score && key < best_key)) {
+        best_key = key;
+        best_score = cand.score;
+        found = true;
+      }
+    }
+    if (!found) break;
+    Candidate chosen = candidates_[best_key];
+    Apply(static_cast<int>(best_key >> 32),
+          static_cast<int32_t>(best_key & 0xffffffffu), chosen);
+    ++num_specializations_;
+  }
+
+  GlobalRecoding out;
+  out.qi_attrs = qi_attrs_;
+  out.per_attr = recodings_;
+  return out;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+
+namespace pgpub {
+
+/// \brief Inclusive integer interval [lo, hi] over an attribute's code
+/// space. The unit of generalization: under global recoding every
+/// generalized value of an attribute is one such interval, and the
+/// intervals of an attribute partition its domain.
+struct Interval {
+  int32_t lo = 0;
+  int32_t hi = -1;  // empty by default
+
+  Interval() = default;
+  Interval(int32_t lo_in, int32_t hi_in) : lo(lo_in), hi(hi_in) {
+    PGPUB_CHECK_LE(lo, hi);
+  }
+
+  bool Contains(int32_t code) const { return code >= lo && code <= hi; }
+
+  /// Number of codes covered.
+  int32_t width() const { return hi - lo + 1; }
+
+  bool IsSingleton() const { return lo == hi; }
+
+  bool operator==(const Interval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+  bool operator!=(const Interval& other) const { return !(*this == other); }
+
+  /// True if `other` is fully inside this interval.
+  bool Covers(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+
+  /// True if the two intervals share at least one code.
+  bool Overlaps(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  std::string ToString() const {
+    if (IsSingleton()) return std::to_string(lo);
+    return "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+  }
+};
+
+}  // namespace pgpub

@@ -1,0 +1,82 @@
+#include "hierarchy/recoding_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace pgpub {
+
+Status SaveRecoding(const GlobalRecoding& recoding,
+                    const std::string& path) {
+  if (recoding.qi_attrs.size() != recoding.per_attr.size()) {
+    return Status::InvalidArgument("malformed recoding");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "pgpub-recoding v1\n";
+  out << "attrs " << recoding.qi_attrs.size() << '\n';
+  for (size_t i = 0; i < recoding.qi_attrs.size(); ++i) {
+    const AttributeRecoding& rec = recoding.per_attr[i];
+    out << "attr " << recoding.qi_attrs[i] << ' ' << rec.domain_size() << ' '
+        << rec.num_gen_values();
+    for (int32_t start : rec.starts()) out << ' ' << start;
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<GlobalRecoding> LoadRecoding(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != "pgpub-recoding v1") {
+    return Status::InvalidArgument("bad recoding header in " + path);
+  }
+  size_t count = 0;
+  {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("missing attrs line in " + path);
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> count) || tag != "attrs") {
+      return Status::InvalidArgument("bad attrs line in " + path);
+    }
+  }
+  GlobalRecoding recoding;
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated recoding file " + path);
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    int attr = -1;
+    int32_t domain_size = 0;
+    int32_t num_gen = 0;
+    if (!(ls >> tag >> attr >> domain_size >> num_gen) || tag != "attr" ||
+        attr < 0 || domain_size <= 0 || num_gen <= 0) {
+      return Status::InvalidArgument("bad attr line in " + path);
+    }
+    std::vector<int32_t> starts(num_gen);
+    for (int32_t j = 0; j < num_gen; ++j) {
+      if (!(ls >> starts[j])) {
+        return Status::InvalidArgument("truncated starts in " + path);
+      }
+    }
+    int32_t extra;
+    if (ls >> extra) {
+      return Status::InvalidArgument("trailing data on attr line in " +
+                                     path);
+    }
+    ASSIGN_OR_RETURN(AttributeRecoding rec,
+                     AttributeRecoding::FromStarts(domain_size,
+                                                   std::move(starts)));
+    recoding.qi_attrs.push_back(attr);
+    recoding.per_attr.push_back(std::move(rec));
+  }
+  return recoding;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "hierarchy/recoding.h"
+
+namespace pgpub {
+
+/// \brief Sidecar serialization of a GlobalRecoding, so a published
+/// release is self-describing: analysts can reload the exact partition of
+/// every QI attribute's domain without access to the publisher.
+///
+/// Line-oriented text format:
+///
+///   pgpub-recoding v1
+///   attrs <count>
+///   attr <table-attr-index> <domain_size> <num_gen_values> <start>...
+///
+/// One `attr` line per QI attribute, in recoding order.
+Status SaveRecoding(const GlobalRecoding& recoding, const std::string& path);
+
+/// Loads a recoding written by SaveRecoding. Fails with InvalidArgument on
+/// malformed input and IOError when the file cannot be read.
+Result<GlobalRecoding> LoadRecoding(const std::string& path);
+
+}  // namespace pgpub

@@ -1,0 +1,259 @@
+#include "hierarchy/taxonomy.h"
+
+#include <functional>
+
+namespace pgpub {
+
+int Taxonomy::AddNode(TaxonomyNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Taxonomy::Finalize() {
+  leaf_of_.assign(domain_size(), -1);
+  height_ = 0;
+  for (int id = 0; id < num_nodes(); ++id) {
+    const TaxonomyNode& n = nodes_[id];
+    if (n.children.empty()) {
+      PGPUB_CHECK(n.range.IsSingleton())
+          << "taxonomy leaf must cover a single code";
+      leaf_of_[n.range.lo] = id;
+      height_ = std::max(height_, n.depth);
+    }
+  }
+  for (int32_t c = 0; c < domain_size(); ++c) {
+    PGPUB_CHECK_GE(leaf_of_[c], 0) << "code " << c << " has no leaf";
+  }
+}
+
+Taxonomy Taxonomy::Flat(int32_t domain_size, const std::string& root_label) {
+  PGPUB_CHECK_GT(domain_size, 0);
+  Taxonomy t;
+  TaxonomyNode root;
+  root.label = root_label;
+  root.range = Interval(0, domain_size - 1);
+  root.depth = 0;
+  t.AddNode(std::move(root));
+  if (domain_size == 1) {
+    // A single-code domain: the root itself must be a leaf.
+    t.nodes_[0].children.clear();
+    t.Finalize();
+    return t;
+  }
+  for (int32_t c = 0; c < domain_size; ++c) {
+    TaxonomyNode leaf;
+    leaf.label = std::to_string(c);
+    leaf.parent = 0;
+    leaf.range = Interval(c, c);
+    leaf.depth = 1;
+    int id = t.AddNode(std::move(leaf));
+    t.nodes_[0].children.push_back(id);
+  }
+  t.Finalize();
+  return t;
+}
+
+Taxonomy Taxonomy::Binary(int32_t domain_size,
+                          const std::string& root_label) {
+  PGPUB_CHECK_GT(domain_size, 0);
+  Taxonomy t;
+  TaxonomyNode root;
+  root.label = root_label;
+  root.range = Interval(0, domain_size - 1);
+  root.depth = 0;
+  t.AddNode(std::move(root));
+
+  std::function<void(int)> split = [&](int id) {
+    Interval r = t.nodes_[id].range;
+    if (r.IsSingleton()) return;
+    int32_t mid = r.lo + (r.width() / 2) - 1;  // left gets ceil half's floor
+    for (Interval child_range : {Interval(r.lo, mid),
+                                 Interval(mid + 1, r.hi)}) {
+      TaxonomyNode child;
+      child.label = child_range.ToString();
+      child.parent = id;
+      child.range = child_range;
+      child.depth = t.nodes_[id].depth + 1;
+      int cid = t.AddNode(std::move(child));
+      t.nodes_[id].children.push_back(cid);
+      split(cid);
+    }
+  };
+  split(0);
+  t.Finalize();
+  return t;
+}
+
+Result<Taxonomy> Taxonomy::UniformLevels(int32_t domain_size,
+                                         const std::string& root_label,
+                                         std::vector<int32_t> level_widths) {
+  if (domain_size <= 0) {
+    return Status::InvalidArgument("domain_size must be positive");
+  }
+  for (size_t i = 0; i < level_widths.size(); ++i) {
+    if (level_widths[i] <= 0 || level_widths[i] > domain_size) {
+      return Status::InvalidArgument("invalid level width");
+    }
+    if (i > 0 && level_widths[i] >= level_widths[i - 1]) {
+      return Status::InvalidArgument("level widths must be descending");
+    }
+  }
+  // Always end with singleton leaves.
+  if (level_widths.empty() || level_widths.back() != 1) {
+    level_widths.push_back(1);
+  }
+
+  Taxonomy t;
+  TaxonomyNode root;
+  root.label = root_label;
+  root.range = Interval(0, domain_size - 1);
+  root.depth = 0;
+  t.AddNode(std::move(root));
+
+  // Build level by level: children of a node are its range chopped into
+  // `width` pieces aligned to multiples of width from the domain origin.
+  std::vector<int> frontier = {0};
+  for (int32_t width : level_widths) {
+    std::vector<int> next;
+    for (int parent_id : frontier) {
+      Interval pr = t.nodes_[parent_id].range;
+      if (pr.width() <= width) {
+        // This node is already at or below the level granularity; it
+        // continues to the next level unchanged (no child added here) —
+        // unless it is a singleton, in which case it is a final leaf.
+        if (!pr.IsSingleton()) next.push_back(parent_id);
+        continue;
+      }
+      for (int32_t lo = pr.lo; lo <= pr.hi; lo += width) {
+        Interval cr(lo, std::min<int32_t>(pr.hi, lo + width - 1));
+        TaxonomyNode child;
+        child.label = cr.ToString();
+        child.parent = parent_id;
+        child.range = cr;
+        child.depth = t.nodes_[parent_id].depth + 1;
+        int cid = t.AddNode(std::move(child));
+        t.nodes_[parent_id].children.push_back(cid);
+        if (!cr.IsSingleton()) next.push_back(cid);
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  t.Finalize();
+  return t;
+}
+
+Result<Taxonomy> Taxonomy::FromSpec(const Spec& spec) {
+  // First pass: compute total leaf counts bottom-up.
+  std::function<Result<int32_t>(const Spec&)> count_leaves =
+      [&](const Spec& s) -> Result<int32_t> {
+    if (s.children.empty()) {
+      if (s.leaf_count <= 0) {
+        return Status::InvalidArgument("leaf group '" + s.label +
+                                       "' must have positive count");
+      }
+      return s.leaf_count;
+    }
+    if (s.leaf_count != 0) {
+      return Status::InvalidArgument("internal node '" + s.label +
+                                     "' must not set leaf_count");
+    }
+    int32_t total = 0;
+    for (const Spec& c : s.children) {
+      ASSIGN_OR_RETURN(int32_t n, count_leaves(c));
+      total += n;
+    }
+    return total;
+  };
+  ASSIGN_OR_RETURN(int32_t domain_size, count_leaves(spec));
+
+  Taxonomy t;
+  std::function<int(const Spec&, int, int32_t, int)> build =
+      [&](const Spec& s, int parent, int32_t lo, int depth) -> int {
+    int32_t width;
+    if (s.children.empty()) {
+      width = s.leaf_count;
+    } else {
+      width = 0;
+      for (const Spec& c : s.children) {
+        width += count_leaves(c).ValueOrDie();
+      }
+    }
+    TaxonomyNode node;
+    node.label = s.label;
+    node.parent = parent;
+    node.range = Interval(lo, lo + width - 1);
+    node.depth = depth;
+    int id = t.AddNode(std::move(node));
+    if (parent >= 0) t.nodes_[parent].children.push_back(id);
+
+    if (s.children.empty()) {
+      // Expand the group into singleton leaves (skip when already one).
+      if (width > 1) {
+        for (int32_t c = lo; c < lo + width; ++c) {
+          TaxonomyNode leaf;
+          leaf.label = std::to_string(c);
+          leaf.parent = id;
+          leaf.range = Interval(c, c);
+          leaf.depth = depth + 1;
+          int lid = t.AddNode(std::move(leaf));
+          t.nodes_[id].children.push_back(lid);
+        }
+      }
+    } else {
+      int32_t child_lo = lo;
+      for (const Spec& c : s.children) {
+        int32_t n = count_leaves(c).ValueOrDie();
+        build(c, id, child_lo, depth + 1);
+        child_lo += n;
+      }
+    }
+    return id;
+  };
+  build(spec, -1, 0, 0);
+  PGPUB_CHECK_EQ(t.domain_size(), domain_size);
+  t.Finalize();
+  return t;
+}
+
+int Taxonomy::FindNode(const Interval& range) const {
+  // Walk down from the root following the child containing range.lo.
+  int id = 0;
+  int best = nodes_[0].range == range ? 0 : -1;
+  while (!nodes_[id].children.empty()) {
+    int next = -1;
+    for (int c : nodes_[id].children) {
+      if (nodes_[c].range.Contains(range.lo)) {
+        next = c;
+        break;
+      }
+    }
+    if (next < 0) break;
+    id = next;
+    if (nodes_[id].range == range) best = id;
+    if (!nodes_[id].range.Covers(range)) break;
+  }
+  return best;
+}
+
+std::vector<int> Taxonomy::CutAtDepth(int d) const {
+  std::vector<int> out;
+  std::function<void(int)> walk = [&](int id) {
+    const TaxonomyNode& n = nodes_[id];
+    if (n.depth == d || n.children.empty()) {
+      out.push_back(id);
+      return;
+    }
+    for (int c : n.children) walk(c);
+  };
+  walk(0);
+  return out;
+}
+
+std::string Taxonomy::LabelFor(const Interval& range) const {
+  int id = FindNode(range);
+  if (id >= 0) return nodes_[id].label;
+  return range.ToString();
+}
+
+}  // namespace pgpub

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hierarchy/interval.h"
+
+namespace pgpub {
+
+/// One node of a generalization taxonomy.
+struct TaxonomyNode {
+  std::string label;
+  int parent = -1;            ///< -1 for the root.
+  std::vector<int> children;  ///< Empty for leaves (singleton codes).
+  Interval range;             ///< Contiguous code range covered.
+  int depth = 0;              ///< Root has depth 0.
+};
+
+/// \brief Generalization hierarchy over an attribute's code space.
+///
+/// Invariants: the root covers [0, domain_size); every internal node's
+/// children partition its range in code order; every leaf is a singleton
+/// code. Dictionaries are built in taxonomy order so that these contiguous
+/// ranges correspond to semantically meaningful groups (e.g. all
+/// "government" work classes get adjacent codes).
+class Taxonomy {
+ public:
+  /// Nested construction spec: either an internal node (non-empty
+  /// `children`) or a leaf group covering `leaf_count` consecutive codes
+  /// (expanded into singleton leaf nodes automatically).
+  struct Spec {
+    std::string label;
+    int32_t leaf_count = 0;
+    std::vector<Spec> children;
+
+    static Spec Group(std::string label, int32_t count) {
+      Spec s;
+      s.label = std::move(label);
+      s.leaf_count = count;
+      return s;
+    }
+    static Spec Internal(std::string label, std::vector<Spec> children) {
+      Spec s;
+      s.label = std::move(label);
+      s.children = std::move(children);
+      return s;
+    }
+  };
+
+  /// Root -> one singleton leaf per code (depth 1). The degenerate
+  /// hierarchy {value} -> *.
+  static Taxonomy Flat(int32_t domain_size, const std::string& root_label);
+
+  /// Balanced binary hierarchy over [0, domain_size): each node is split
+  /// near its midpoint until singletons. Suited to ordered/numeric
+  /// attributes.
+  static Taxonomy Binary(int32_t domain_size, const std::string& root_label);
+
+  /// Root -> intervals of `width` codes -> ... for each width in
+  /// `level_widths` (descending, each dividing the previous conceptually;
+  /// uneven tails are allowed) -> singleton leaves. Suited to Incognito's
+  /// full-domain levels on numeric attributes.
+  static Result<Taxonomy> UniformLevels(int32_t domain_size,
+                                        const std::string& root_label,
+                                        std::vector<int32_t> level_widths);
+
+  /// Builds from a nested spec; fails if group counts are inconsistent.
+  static Result<Taxonomy> FromSpec(const Spec& spec);
+
+  int root() const { return 0; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const TaxonomyNode& node(int id) const { return nodes_[id]; }
+  int32_t domain_size() const { return nodes_[0].range.width(); }
+
+  /// Maximum leaf depth.
+  int height() const { return height_; }
+
+  /// Node id of the singleton leaf for `code`.
+  int LeafOf(int32_t code) const { return leaf_of_[code]; }
+
+  /// Deepest node whose range equals [lo,hi] exactly, or -1.
+  int FindNode(const Interval& range) const;
+
+  /// The cut at depth `d`: every node at depth d, plus leaves shallower
+  /// than d. The ranges of the returned nodes partition the domain.
+  std::vector<int> CutAtDepth(int d) const;
+
+  /// Display label for an exact-match node; falls back to the interval
+  /// rendering when no node matches.
+  std::string LabelFor(const Interval& range) const;
+
+ private:
+  int AddNode(TaxonomyNode node);
+  void Finalize();
+
+  std::vector<TaxonomyNode> nodes_;
+  std::vector<int> leaf_of_;  ///< code -> leaf node id.
+  int height_ = 0;
+};
+
+}  // namespace pgpub

@@ -1,0 +1,47 @@
+#include "mining/category.h"
+
+namespace pgpub {
+
+CategoryMap::CategoryMap(std::vector<int32_t> starts, int32_t domain_size)
+    : starts_(std::move(starts)), domain_size_(domain_size) {
+  PGPUB_CHECK(!starts_.empty());
+  PGPUB_CHECK_EQ(starts_[0], 0);
+  PGPUB_CHECK_GT(domain_size_, 0);
+  for (size_t i = 1; i < starts_.size(); ++i) {
+    PGPUB_CHECK(starts_[i] > starts_[i - 1] && starts_[i] < domain_size_)
+        << "bad category start " << starts_[i];
+  }
+  code_to_category_.resize(domain_size_);
+  int32_t cat = 0;
+  for (int32_t c = 0; c < domain_size_; ++c) {
+    while (cat + 1 < static_cast<int32_t>(starts_.size()) &&
+           starts_[cat + 1] <= c) {
+      ++cat;
+    }
+    code_to_category_[c] = cat;
+  }
+}
+
+CategoryMap CategoryMap::PaperIncome(int m) {
+  PGPUB_CHECK(m == 2 || m == 3) << "the paper evaluates m in {2,3}";
+  if (m == 2) return CategoryMap({0, 25}, 50);
+  return CategoryMap({0, 25, 37}, 50);
+}
+
+std::vector<int32_t> CategoryMap::Map(
+    const std::vector<int32_t>& codes) const {
+  std::vector<int32_t> out;
+  out.reserve(codes.size());
+  for (int32_t c : codes) out.push_back(CategoryOf(c));
+  return out;
+}
+
+std::vector<double> CategoryMap::Weights() const {
+  std::vector<double> w(num_categories());
+  for (int32_t c = 0; c < domain_size_; ++c) {
+    w[code_to_category_[c]] += 1.0 / static_cast<double>(domain_size_);
+  }
+  return w;
+}
+
+}  // namespace pgpub

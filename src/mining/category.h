@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pgpub {
+
+/// \brief Partition of the sensitive domain into ordered categories — the
+/// paper's "m categories" over Income (Section VII-A: m=2 splits the 50
+/// buckets at 25; m=3 refines the wealthier category at 37).
+class CategoryMap {
+ public:
+  /// `starts` are ascending category start codes; starts[0] must be 0.
+  CategoryMap(std::vector<int32_t> starts, int32_t domain_size);
+
+  /// The paper's configurations: {0,25} for m=2; {0,25,37} for m=3.
+  static CategoryMap PaperIncome(int m);
+
+  int num_categories() const { return static_cast<int>(starts_.size()); }
+  int32_t domain_size() const { return domain_size_; }
+  const std::vector<int32_t>& starts() const { return starts_; }
+
+  int32_t CategoryOf(int32_t code) const {
+    PGPUB_CHECK(code >= 0 && code < domain_size_);
+    return code_to_category_[code];
+  }
+
+  /// Maps a whole column of codes to categories.
+  std::vector<int32_t> Map(const std::vector<int32_t>& codes) const;
+
+  /// |category b| / |U^s| — the uniform-channel category weights used by
+  /// reconstruction (see perturb/reconstruction.h).
+  std::vector<double> Weights() const;
+
+ private:
+  std::vector<int32_t> starts_;
+  int32_t domain_size_;
+  std::vector<int32_t> code_to_category_;
+};
+
+}  // namespace pgpub

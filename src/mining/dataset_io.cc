@@ -1,0 +1,95 @@
+#include "mining/dataset_io.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace pgpub {
+
+Status SavePublishedCodes(const PublishedTable& published,
+                          const std::string& path) {
+  const GlobalRecoding& recoding = published.recoding();
+  std::vector<std::string> header;
+  for (int a : recoding.qi_attrs) {
+    header.push_back(published.source_schema().attribute(a).name + "#gen");
+  }
+  header.push_back(
+      published.source_schema().attribute(published.sensitive_attr()).name +
+      "#code");
+  header.push_back("G");
+
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(published.num_rows());
+  for (size_t r = 0; r < published.num_rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(header.size());
+    for (int i = 0; i < published.num_qi_attrs(); ++i) {
+      row.push_back(std::to_string(published.qi_gen(r, i)));
+    }
+    row.push_back(std::to_string(published.sensitive(r)));
+    row.push_back(std::to_string(published.group_size(r)));
+    rows.push_back(std::move(row));
+  }
+  return Csv::WriteFile(path, header, rows);
+}
+
+Result<TreeDataset> LoadPublishedDataset(const std::string& codes_path,
+                                         const GlobalRecoding& recoding,
+                                         const CategoryMap& categories,
+                                         const std::vector<bool>& nominal) {
+  if (nominal.size() != recoding.qi_attrs.size()) {
+    return Status::InvalidArgument(
+        "need one nominal flag per QI attribute");
+  }
+  ASSIGN_OR_RETURN(Csv::File file, Csv::ReadFile(codes_path));
+  const size_t qi_count = recoding.qi_attrs.size();
+  if (file.header.size() != qi_count + 2) {
+    return Status::InvalidArgument(
+        "codes CSV width does not match the recoding (" +
+        std::to_string(file.header.size()) + " columns for " +
+        std::to_string(qi_count) + " QI attributes)");
+  }
+  if (file.header.back() != "G") {
+    return Status::InvalidArgument("codes CSV must end with a G column");
+  }
+
+  TreeDataset ds;
+  ds.num_classes = categories.num_categories();
+  ds.unit_values.assign(qi_count, {});
+  for (size_t i = 0; i < qi_count; ++i) {
+    const AttributeRecoding& rec = recoding.per_attr[i];
+    TreeAttribute attr;
+    attr.name = file.header[i];
+    attr.nominal = nominal[i];
+    attr.num_units = rec.num_gen_values();
+    attr.code_to_unit.resize(rec.domain_size());
+    for (int32_t c = 0; c < rec.domain_size(); ++c) {
+      attr.code_to_unit[c] = rec.GenOf(c);
+    }
+    ds.attributes.push_back(std::move(attr));
+  }
+
+  for (const auto& row : file.rows) {
+    for (size_t i = 0; i < qi_count; ++i) {
+      ASSIGN_OR_RETURN(int64_t gen, ParseInt64(row[i]));
+      if (gen < 0 || gen >= recoding.per_attr[i].num_gen_values()) {
+        return Status::OutOfRange("generalized id out of range in " +
+                                  codes_path);
+      }
+      ds.unit_values[i].push_back(static_cast<int32_t>(gen));
+    }
+    ASSIGN_OR_RETURN(int64_t code, ParseInt64(row[qi_count]));
+    if (code < 0 || code >= categories.domain_size()) {
+      return Status::OutOfRange("sensitive code out of range in " +
+                                codes_path);
+    }
+    ASSIGN_OR_RETURN(int64_t g, ParseInt64(row[qi_count + 1]));
+    if (g <= 0) {
+      return Status::OutOfRange("G must be positive in " + codes_path);
+    }
+    ds.labels.push_back(categories.CategoryOf(static_cast<int32_t>(code)));
+    ds.weights.push_back(static_cast<double>(g));
+  }
+  return ds;
+}
+
+}  // namespace pgpub

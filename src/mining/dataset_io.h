@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "core/published_table.h"
+#include "mining/decision_tree.h"
+
+namespace pgpub {
+
+/// Writes a machine-readable companion to PublishedTable::ToCsv: one row
+/// per published tuple with the *generalized value ids* of every QI
+/// attribute, the observed sensitive code, and G. Together with the
+/// recoding sidecar (hierarchy/recoding_io.h) this is everything an
+/// analyst needs to mine the release without the publisher's code.
+///
+/// Header: "<attr-name>#gen" per QI attribute, "<sensitive-name>#code",
+/// "G".
+Status SavePublishedCodes(const PublishedTable& published,
+                          const std::string& path);
+
+/// Reconstructs a tree-training dataset from the files written by
+/// SavePublishedCodes + SaveRecoding. `categories` maps the sensitive
+/// codes to classes; `nominal` flags each QI attribute (parallel to the
+/// recoding's attribute list).
+Result<TreeDataset> LoadPublishedDataset(const std::string& codes_path,
+                                         const GlobalRecoding& recoding,
+                                         const CategoryMap& categories,
+                                         const std::vector<bool>& nominal);
+
+}  // namespace pgpub

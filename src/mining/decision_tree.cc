@@ -1,0 +1,462 @@
+#include "mining/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "common/math_util.h"
+
+namespace pgpub {
+
+TreeDataset TreeDataset::FromRaw(const Table& table,
+                                 const std::vector<int>& attrs,
+                                 std::vector<int32_t> labels, int num_classes,
+                                 const std::vector<bool>& nominal) {
+  PGPUB_CHECK_EQ(attrs.size(), nominal.size());
+  PGPUB_CHECK_EQ(labels.size(), table.num_rows());
+  TreeDataset ds;
+  ds.num_classes = num_classes;
+  ds.labels = std::move(labels);
+  ds.weights.assign(table.num_rows(), 1.0);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    TreeAttribute ta;
+    ta.name = table.schema().attribute(attrs[i]).name;
+    ta.nominal = nominal[i];
+    const int32_t domain = table.domain(attrs[i]).size();
+    ta.num_units = domain;
+    ta.code_to_unit.resize(domain);
+    std::iota(ta.code_to_unit.begin(), ta.code_to_unit.end(), 0);
+    ds.attributes.push_back(std::move(ta));
+    ds.unit_values.push_back(table.column(attrs[i]));
+  }
+  return ds;
+}
+
+TreeDataset TreeDataset::FromPublished(const PublishedTable& published,
+                                       const CategoryMap& categories,
+                                       const std::vector<bool>& nominal) {
+  const GlobalRecoding& recoding = published.recoding();
+  PGPUB_CHECK_EQ(nominal.size(), recoding.qi_attrs.size());
+  PGPUB_CHECK_EQ(categories.domain_size(),
+                 published.domain(published.sensitive_attr()).size());
+  TreeDataset ds;
+  ds.num_classes = categories.num_categories();
+  const size_t n = published.num_rows();
+  ds.labels.reserve(n);
+  ds.weights.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    ds.labels.push_back(categories.CategoryOf(published.sensitive(r)));
+    ds.weights.push_back(static_cast<double>(published.group_size(r)));
+  }
+  for (size_t i = 0; i < recoding.qi_attrs.size(); ++i) {
+    const AttributeRecoding& rec = recoding.per_attr[i];
+    TreeAttribute ta;
+    ta.name =
+        published.source_schema().attribute(recoding.qi_attrs[i]).name;
+    ta.nominal = nominal[i];
+    ta.num_units = rec.num_gen_values();
+    ta.code_to_unit.resize(rec.domain_size());
+    for (int32_t c = 0; c < rec.domain_size(); ++c) {
+      ta.code_to_unit[c] = rec.GenOf(c);
+    }
+    std::vector<int32_t> column;
+    column.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      column.push_back(published.qi_gen(r, static_cast<int>(i)));
+    }
+    ds.attributes.push_back(std::move(ta));
+    ds.unit_values.push_back(std::move(column));
+  }
+  return ds;
+}
+
+namespace {
+
+double Impurity(const std::vector<double>& counts, SplitCriterion criterion) {
+  return criterion == SplitCriterion::kGini ? GiniFromCounts(counts)
+                                            : EntropyFromCounts(counts);
+}
+
+double Total(const std::vector<double>& v) {
+  double t = 0.0;
+  for (double x : v) t += x;
+  return t;
+}
+
+/// Pearson chi-square statistic of a (2 x classes) contingency table given
+/// as per-class row counts of the two children.
+double ChiSquare(const std::vector<double>& left,
+                 const std::vector<double>& right) {
+  const size_t m = left.size();
+  const double lt = Total(left), rt = Total(right);
+  const double n = lt + rt;
+  if (lt <= 0.0 || rt <= 0.0 || n <= 0.0) return 0.0;
+  double chi2 = 0.0;
+  for (size_t c = 0; c < m; ++c) {
+    const double col = left[c] + right[c];
+    if (col <= 0.0) continue;
+    const double el = col * lt / n;
+    const double er = col * rt / n;
+    chi2 += (left[c] - el) * (left[c] - el) / el +
+            (right[c] - er) * (right[c] - er) / er;
+  }
+  return chi2;
+}
+
+/// Recursive tree builder.
+class Builder {
+ public:
+  Builder(const TreeDataset& ds, const TreeOptions& opt,
+          std::vector<DecisionTree::Node>* nodes)
+      : ds_(ds), opt_(opt), nodes_(nodes) {}
+
+  /// Chooses a node's predicted class. Under reconstruction, a label that
+  /// disagrees with the parent's must survive a z-test run in *observed*
+  /// space: with õ_c = observed fraction of class c scaled to the node's
+  /// effective sample size, the reconstructed ordering of classes a and b
+  /// flips exactly when õ_a - õ_b crosses (1-p)·ESS·(w_a - w_b), so
+  ///   z = (õ_a - õ_b - (1-p)·ESS·(w_a - w_b)) / sqrt(õ_a + õ_b)
+  /// measures the evidence without the 1/p variance inflation (for
+  /// equal-width categories the channel shifts nothing and the sign of
+  /// the observed difference is the sign of the true difference).
+  /// Statistically uncertain leaves inherit the parent's label instead of
+  /// flipping on perturbation noise.
+  int32_t PickLabel(const std::vector<double>& observed, double sum_w,
+                    const std::vector<double>& adjusted, double total,
+                    double effective_rows, int32_t parent_label) const {
+    const int32_t argmax = static_cast<int32_t>(
+        std::max_element(adjusted.begin(), adjusted.end()) -
+        adjusted.begin());
+    if (opt_.reconstructor == nullptr || parent_label < 0 ||
+        argmax == parent_label || total <= 0.0 || sum_w <= 0.0 ||
+        effective_rows <= 0.0) {
+      return argmax;
+    }
+    const double p = opt_.reconstructor->retention();
+    if (p <= 0.0) return argmax;
+    const std::vector<double>& w =
+        opt_.reconstructor->category_weights();
+    const double oa = observed[argmax] / sum_w * effective_rows;
+    const double ob = observed[parent_label] / sum_w * effective_rows;
+    const double shift =
+        (1.0 - p) * effective_rows * (w[argmax] - w[parent_label]);
+    if (opt_.label_z <= 0.0) return argmax;
+    const double z =
+        (oa - ob - shift) / std::sqrt(std::max(oa + ob, 1.0));
+    return z >= opt_.label_z ? argmax : parent_label;
+  }
+
+  /// Kish effective sample size of a weighted node: (sum w)^2 / sum w^2.
+  /// On a PG release a tuple's G-weight can dwarf the others while still
+  /// being a single perturbed draw — every statistical gate below uses ESS
+  /// instead of the raw row count when reconstruction is active.
+  static double Ess(double sum_w, double sum_w2) {
+    return sum_w2 > 0.0 ? sum_w * sum_w / sum_w2 : 0.0;
+  }
+
+  int Grow(std::vector<uint32_t>& rows, int depth, int32_t parent_label) {
+    // Observed (weighted) class counts.
+    std::vector<double> observed(ds_.num_classes, 0.0);
+    double sum_w = 0.0, sum_w2 = 0.0;
+    for (uint32_t r : rows) {
+      const double w = ds_.weights[r];
+      observed[ds_.labels[r]] += w;
+      sum_w += w;
+      sum_w2 += w * w;
+    }
+    const std::vector<double> adjusted = Adjust(observed);
+    const double total = Total(adjusted);
+    const bool observed_split =
+        opt_.reconstructor != nullptr && opt_.split_on_observed;
+    const double effective_rows = opt_.reconstructor != nullptr
+                                      ? Ess(sum_w, sum_w2)
+                                      : static_cast<double>(rows.size());
+
+    const int node_id = static_cast<int>(nodes_->size());
+    nodes_->push_back({});
+    DecisionTree::Node& node = (*nodes_)[node_id];
+    node.weight = total;
+    node.label = PickLabel(observed, sum_w, adjusted, total,
+                           effective_rows, parent_label);
+
+    if (depth >= opt_.max_depth || total < opt_.min_split_weight ||
+        effective_rows < static_cast<double>(opt_.min_split_rows)) {
+      return node_id;
+    }
+    const double parent_impurity =
+        Impurity(observed_split ? observed : adjusted, opt_.criterion);
+    if (parent_impurity <= 1e-12) return node_id;
+
+    // Find the best split across attributes.
+    int best_attr = -1;
+    int32_t best_unit = -1;
+    bool best_membership = false;
+    double best_gain = opt_.min_gain;
+
+    std::vector<double> unit_class;   // per unit x class, observed weight
+    std::vector<double> unit_class_rows;  // per unit x class, row counts
+    std::vector<size_t> unit_rows;    // per unit, observed row count
+    std::vector<double> unit_w2;      // per unit, sum of squared weights
+    std::vector<double> left_obs(ds_.num_classes), right_obs(ds_.num_classes);
+    std::vector<double> left_rows_c(ds_.num_classes),
+        right_rows_c(ds_.num_classes);
+    for (size_t a = 0; a < ds_.attributes.size(); ++a) {
+      const TreeAttribute& attr = ds_.attributes[a];
+      const int32_t units = attr.num_units;
+      if (units <= 1) continue;
+      unit_class.assign(static_cast<size_t>(units) * ds_.num_classes, 0.0);
+      unit_class_rows.assign(static_cast<size_t>(units) * ds_.num_classes,
+                             0.0);
+      unit_rows.assign(units, 0);
+      unit_w2.assign(units, 0.0);
+      const std::vector<int32_t>& vals = ds_.unit_values[a];
+      for (uint32_t r : rows) {
+        const size_t cell =
+            static_cast<size_t>(vals[r]) * ds_.num_classes + ds_.labels[r];
+        const double w = ds_.weights[r];
+        unit_class[cell] += w;
+        unit_class_rows[cell] += 1.0;
+        unit_rows[vals[r]]++;
+        unit_w2[vals[r]] += w * w;
+      }
+
+      auto eval = [&](const std::vector<double>& left_observed,
+                      const std::vector<double>& right_observed,
+                      size_t left_rows, size_t right_rows, double left_w2,
+                      double right_w2,
+                      const std::vector<double>& left_row_counts,
+                      const std::vector<double>& right_row_counts) {
+        const double lw_obs = Total(left_observed);
+        const double rw_obs = Total(right_observed);
+        const double left_eff =
+            opt_.reconstructor != nullptr
+                ? Ess(lw_obs, left_w2)
+                : static_cast<double>(left_rows);
+        const double right_eff =
+            opt_.reconstructor != nullptr
+                ? Ess(rw_obs, right_w2)
+                : static_cast<double>(right_rows);
+        if (left_eff < static_cast<double>(opt_.min_leaf_rows) ||
+            right_eff < static_cast<double>(opt_.min_leaf_rows)) {
+          return -1.0;
+        }
+        if (opt_.significance_chi2 > 0.0) {
+          double chi2;
+          if (opt_.reconstructor != nullptr && lw_obs > 0.0 &&
+              rw_obs > 0.0) {
+            // ESS-scaled contingency table: weighted class fractions
+            // carry only ESS draws' worth of evidence.
+            std::vector<double> l(ds_.num_classes), r(ds_.num_classes);
+            for (int c = 0; c < ds_.num_classes; ++c) {
+              l[c] = left_observed[c] / lw_obs * left_eff;
+              r[c] = right_observed[c] / rw_obs * right_eff;
+            }
+            chi2 = ChiSquare(l, r);
+          } else {
+            chi2 = ChiSquare(left_row_counts, right_row_counts);
+          }
+          if (chi2 < opt_.significance_chi2) return -1.0;
+        }
+        const std::vector<double> left_adj =
+            observed_split ? left_observed : Adjust(left_observed);
+        const std::vector<double> right_adj =
+            observed_split ? right_observed : Adjust(right_observed);
+        const double lw = Total(left_adj), rw = Total(right_adj);
+        if (lw < opt_.min_leaf_weight || rw < opt_.min_leaf_weight) {
+          return -1.0;
+        }
+        const double child =
+            (lw * Impurity(left_adj, opt_.criterion) +
+             rw * Impurity(right_adj, opt_.criterion)) /
+            (lw + rw);
+        return parent_impurity - child;
+      };
+
+      std::vector<double> attr_total(ds_.num_classes, 0.0);
+      std::vector<double> attr_rows_total(ds_.num_classes, 0.0);
+      double attr_w2_total = 0.0;
+      for (int32_t u = 0; u < units; ++u) {
+        attr_w2_total += unit_w2[u];
+        for (int c = 0; c < ds_.num_classes; ++c) {
+          const size_t cell = static_cast<size_t>(u) * ds_.num_classes + c;
+          attr_total[c] += unit_class[cell];
+          attr_rows_total[c] += unit_class_rows[cell];
+        }
+      }
+      if (attr.nominal) {
+        // One-vs-rest on each populated unit.
+        for (int32_t u = 0; u < units; ++u) {
+          double unit_weight = 0.0;
+          for (int c = 0; c < ds_.num_classes; ++c) {
+            const size_t cell = static_cast<size_t>(u) * ds_.num_classes + c;
+            left_obs[c] = unit_class[cell];
+            unit_weight += left_obs[c];
+            right_obs[c] = attr_total[c] - left_obs[c];
+            left_rows_c[c] = unit_class_rows[cell];
+            right_rows_c[c] = attr_rows_total[c] - left_rows_c[c];
+          }
+          if (unit_weight <= 0.0) continue;
+          const double gain =
+              eval(left_obs, right_obs, unit_rows[u],
+                   rows.size() - unit_rows[u], unit_w2[u],
+                   attr_w2_total - unit_w2[u], left_rows_c, right_rows_c);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_attr = static_cast<int>(a);
+            best_unit = u;
+            best_membership = true;
+          }
+        }
+      } else {
+        // Threshold sweep over units (prefix accumulation).
+        std::fill(left_obs.begin(), left_obs.end(), 0.0);
+        std::fill(left_rows_c.begin(), left_rows_c.end(), 0.0);
+        size_t left_row_count = 0;
+        double left_w2 = 0.0;
+        for (int32_t u = 0; u + 1 < units; ++u) {
+          left_row_count += unit_rows[u];
+          left_w2 += unit_w2[u];
+          for (int c = 0; c < ds_.num_classes; ++c) {
+            const size_t cell = static_cast<size_t>(u) * ds_.num_classes + c;
+            left_obs[c] += unit_class[cell];
+            right_obs[c] = attr_total[c] - left_obs[c];
+            left_rows_c[c] += unit_class_rows[cell];
+            right_rows_c[c] = attr_rows_total[c] - left_rows_c[c];
+          }
+          if (Total(left_obs) <= 0.0) continue;
+          if (Total(right_obs) <= 0.0) break;
+          const double gain =
+              eval(left_obs, right_obs, left_row_count,
+                   rows.size() - left_row_count, left_w2,
+                   attr_w2_total - left_w2, left_rows_c, right_rows_c);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_attr = static_cast<int>(a);
+            best_unit = u;
+            best_membership = false;
+          }
+        }
+      }
+    }
+
+    if (best_attr < 0) return node_id;
+
+    // Partition rows and recurse.
+    std::vector<uint32_t> left_rows, right_rows;
+    const std::vector<int32_t>& vals = ds_.unit_values[best_attr];
+    for (uint32_t r : rows) {
+      const bool go_left = best_membership ? vals[r] == best_unit
+                                           : vals[r] <= best_unit;
+      (go_left ? left_rows : right_rows).push_back(r);
+    }
+    if (left_rows.empty() || right_rows.empty()) return node_id;
+    rows.clear();
+    rows.shrink_to_fit();
+
+    const int32_t here = (*nodes_)[node_id].label;
+    const int left_id = Grow(left_rows, depth + 1, here);
+    const int right_id = Grow(right_rows, depth + 1, here);
+    DecisionTree::Node& parent = (*nodes_)[node_id];
+    parent.leaf = false;
+    parent.attr = best_attr;
+    parent.threshold_unit = best_unit;
+    parent.membership = best_membership;
+    parent.left = left_id;
+    parent.right = right_id;
+    return node_id;
+  }
+
+ private:
+  std::vector<double> Adjust(const std::vector<double>& observed) const {
+    if (opt_.reconstructor == nullptr) return observed;
+    return opt_.reconstructor->ReconstructCounts(observed);
+  }
+
+  const TreeDataset& ds_;
+  const TreeOptions& opt_;
+  std::vector<DecisionTree::Node>* nodes_;
+};
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::Train(const TreeDataset& dataset,
+                                         const TreeOptions& options) {
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("empty training dataset");
+  }
+  if (dataset.attributes.empty()) {
+    return Status::InvalidArgument("no predictor attributes");
+  }
+  if (dataset.num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  for (const auto& col : dataset.unit_values) {
+    if (col.size() != dataset.num_rows()) {
+      return Status::InvalidArgument("ragged unit_values");
+    }
+  }
+  if (dataset.weights.size() != dataset.num_rows()) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+  if (options.reconstructor != nullptr &&
+      options.reconstructor->num_categories() != dataset.num_classes) {
+    return Status::InvalidArgument(
+        "reconstructor category count != num_classes");
+  }
+
+  DecisionTree tree;
+  tree.attributes_ = dataset.attributes;
+  std::vector<uint32_t> rows(dataset.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  Builder builder(dataset, options, &tree.nodes_);
+  builder.Grow(rows, 0, /*parent_label=*/-1);
+  return tree;
+}
+
+int32_t DecisionTree::Classify(const std::vector<int32_t>& raw_codes) const {
+  PGPUB_CHECK_EQ(raw_codes.size(), attributes_.size());
+  int id = 0;
+  while (!nodes_[id].leaf) {
+    const Node& node = nodes_[id];
+    const TreeAttribute& attr = attributes_[node.attr];
+    const int32_t code = raw_codes[node.attr];
+    PGPUB_CHECK(code >= 0 &&
+                code < static_cast<int32_t>(attr.code_to_unit.size()));
+    const int32_t unit = attr.code_to_unit[code];
+    const bool go_left = node.membership ? unit == node.threshold_unit
+                                         : unit <= node.threshold_unit;
+    id = go_left ? node.left : node.right;
+  }
+  return nodes_[id].label;
+}
+
+int32_t DecisionTree::ClassifyRow(const Table& table,
+                                  const std::vector<int>& attrs,
+                                  size_t row) const {
+  PGPUB_CHECK_EQ(attrs.size(), attributes_.size());
+  std::vector<int32_t> codes(attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    codes[i] = table.value(row, attrs[i]);
+  }
+  return Classify(codes);
+}
+
+size_t DecisionTree::num_leaves() const {
+  size_t leaves = 0;
+  for (const Node& n : nodes_) {
+    if (n.leaf) ++leaves;
+  }
+  return leaves;
+}
+
+int DecisionTree::depth() const {
+  std::function<int(int)> walk = [&](int id) -> int {
+    const Node& n = nodes_[id];
+    if (n.leaf) return 0;
+    return 1 + std::max(walk(n.left), walk(n.right));
+  };
+  return nodes_.empty() ? 0 : walk(0);
+}
+
+}  // namespace pgpub

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/published_table.h"
+#include "mining/category.h"
+#include "perturb/reconstruction.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// One predictor attribute of a tree-training dataset. Attribute values are
+/// *unit indices*: under global recoding, every attribute's generalized
+/// values partition its domain, so raw data (identity partition) and
+/// published data (recoding partition) train through the same machinery and
+/// the resulting tree classifies raw microdata rows directly.
+struct TreeAttribute {
+  std::string name;
+  /// Nominal attributes split one-vs-rest on a unit; ordered attributes
+  /// split on a unit threshold.
+  bool nominal = false;
+  /// Raw code -> unit index (size = attribute domain size).
+  std::vector<int32_t> code_to_unit;
+  int32_t num_units = 0;
+};
+
+/// Training matrix for DecisionTree::Train.
+struct TreeDataset {
+  std::vector<TreeAttribute> attributes;
+  /// [attribute][row] -> unit index.
+  std::vector<std::vector<int32_t>> unit_values;
+  /// Class label per row, in [0, num_classes).
+  std::vector<int32_t> labels;
+  /// Per-row weight (the G attribute when training on 𝒟*; 1 otherwise).
+  std::vector<double> weights;
+  int num_classes = 2;
+
+  size_t num_rows() const { return labels.size(); }
+
+  /// Raw-table dataset (identity units): predictors `attrs`, labels given
+  /// per row, unit weights.
+  static TreeDataset FromRaw(const Table& table, const std::vector<int>& attrs,
+                             std::vector<int32_t> labels, int num_classes,
+                             const std::vector<bool>& nominal);
+
+  /// Dataset from a PG release: predictors are the QI attributes (units =
+  /// recoding intervals), label = category of the observed sensitive value,
+  /// weight = G.
+  static TreeDataset FromPublished(const PublishedTable& published,
+                                   const CategoryMap& categories,
+                                   const std::vector<bool>& nominal);
+};
+
+/// Split criterion.
+enum class SplitCriterion { kGini, kEntropy };
+
+/// Options for tree growth.
+struct TreeOptions {
+  int max_depth = 12;
+  double min_split_weight = 40.0;
+  double min_leaf_weight = 10.0;
+  double min_gain = 1e-7;
+  /// Row-count floors (observed tuples, not weight). Statistical
+  /// reliability of reconstruction depends on how many *observed* tuples a
+  /// node holds — on a PG release each row is one perturbed draw standing
+  /// for G microdata tuples, so weight alone overstates the evidence.
+  size_t min_split_rows = 2;
+  size_t min_leaf_rows = 1;
+  /// When > 0, a split is accepted only if the chi-square statistic of the
+  /// *observed* (pre-reconstruction, unweighted) child class counts exceeds
+  /// this threshold — e.g. 6.63 for 1 dof at the 1% level. Perturbation
+  /// preserves distinguishability of class distributions (they differ by a
+  /// factor p through the channel), so testing on observed counts filters
+  /// splits that merely fit perturbation noise.
+  double significance_chi2 = 0.0;
+  /// Optional conservatism: when > 0 and reconstruction is active, a node
+  /// label that disagrees with its parent's must win an observed-space
+  /// z-test at this threshold, else the parent label is inherited. The
+  /// default 0 keeps the plain reconstructed argmax — the observed sign is
+  /// an unbiased signal, and with the ESS evidence floors in place,
+  /// inheritance mostly suppresses correct minority-side labels.
+  double label_z = 0.0;
+  /// Under reconstruction, choose splits by impurity of the *observed*
+  /// class counts (default). The channel shrinks every class-conditional
+  /// difference by the same factor p, so observed-space impurity ranks
+  /// genuine splits the same way while avoiding the 1/p noise
+  /// amplification (and the clamping nonlinearity) of reconstructed
+  /// counts; reconstruction still determines node labels. Set false to
+  /// split on reconstructed counts (the literal Agrawal-Srikant scheme).
+  bool split_on_observed = true;
+  SplitCriterion criterion = SplitCriterion::kGini;
+  /// When set, every node's class counts are passed through the
+  /// reconstructor before computing impurities and leaf labels — the
+  /// perturbation-aware growth of the paper's reference [12] pipeline.
+  const Reconstructor* reconstructor = nullptr;
+};
+
+/// \brief Greedy binary decision tree (SLIQ-flavoured: gini/entropy,
+/// threshold splits on ordered attributes, one-vs-rest splits on nominal
+/// ones), with optional per-node randomized-response reconstruction.
+class DecisionTree {
+ public:
+  struct Node {
+    bool leaf = true;
+    int32_t label = 0;
+    int attr = -1;
+    /// Ordered: go left iff unit <= threshold_unit.
+    /// Nominal: go left iff unit == threshold_unit.
+    int32_t threshold_unit = -1;
+    bool membership = false;
+    int left = -1;
+    int right = -1;
+    double weight = 0.0;
+  };
+
+  /// Grows a tree. Fails on empty/ill-formed datasets.
+  static Result<DecisionTree> Train(const TreeDataset& dataset,
+                                    const TreeOptions& options);
+
+  /// Classifies a raw code vector (parallel to the dataset's attributes).
+  int32_t Classify(const std::vector<int32_t>& raw_codes) const;
+
+  /// Classifies row `row` of `table`, reading the attributes at indices
+  /// `attrs` (parallel to the training attributes).
+  int32_t ClassifyRow(const Table& table, const std::vector<int>& attrs,
+                      size_t row) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const;
+  int depth() const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<TreeAttribute>& attributes() const { return attributes_; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<TreeAttribute> attributes_;
+};
+
+}  // namespace pgpub

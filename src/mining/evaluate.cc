@@ -1,0 +1,33 @@
+#include "mining/evaluate.h"
+
+#include <algorithm>
+
+namespace pgpub {
+
+EvalResult EvaluateTree(const DecisionTree& tree, const Table& table,
+                        const std::vector<int>& attrs,
+                        const std::vector<int32_t>& true_labels) {
+  PGPUB_CHECK_EQ(true_labels.size(), table.num_rows());
+  EvalResult result;
+  result.total = table.num_rows();
+  std::vector<int32_t> codes(attrs.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      codes[i] = table.value(r, attrs[i]);
+    }
+    if (tree.Classify(codes) == true_labels[r]) ++result.correct;
+  }
+  return result;
+}
+
+double MajorityBaselineError(const std::vector<int32_t>& labels,
+                             int num_classes) {
+  if (labels.empty()) return 0.0;
+  std::vector<size_t> counts(num_classes, 0);
+  for (int32_t l : labels) counts[l]++;
+  const size_t majority = *std::max_element(counts.begin(), counts.end());
+  return 1.0 - static_cast<double>(majority) /
+                   static_cast<double>(labels.size());
+}
+
+}  // namespace pgpub

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "mining/decision_tree.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// Classification outcome over a labelled table.
+struct EvalResult {
+  size_t total = 0;
+  size_t correct = 0;
+
+  double accuracy() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+  }
+  double error() const { return 1.0 - accuracy(); }
+};
+
+/// Classifies every row of `table` (reading predictor attributes `attrs`,
+/// parallel to the tree's training attributes) against `true_labels` — the
+/// Section VII utility metric ("use the tree to classify all the tuples in
+/// the microdata").
+EvalResult EvaluateTree(const DecisionTree& tree, const Table& table,
+                        const std::vector<int>& attrs,
+                        const std::vector<int32_t>& true_labels);
+
+/// Error of always predicting the majority label — the floor any useful
+/// classifier must beat.
+double MajorityBaselineError(const std::vector<int32_t>& labels,
+                             int num_classes);
+
+}  // namespace pgpub

@@ -1,0 +1,146 @@
+#include "mining/naive_bayes.h"
+
+#include <cmath>
+#include <limits>
+
+namespace pgpub {
+
+Result<NaiveBayesClassifier> NaiveBayesClassifier::Train(
+    const TreeDataset& dataset, const NaiveBayesOptions& options) {
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("empty training dataset");
+  }
+  if (dataset.attributes.empty()) {
+    return Status::InvalidArgument("no predictor attributes");
+  }
+  if (dataset.num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  if (dataset.weights.size() != dataset.num_rows()) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+  if (options.reconstructor != nullptr &&
+      options.reconstructor->num_categories() != dataset.num_classes) {
+    return Status::InvalidArgument(
+        "reconstructor category count != num_classes");
+  }
+  if (options.alpha < 0.0) {
+    return Status::InvalidArgument("alpha must be non-negative");
+  }
+
+  auto adjust = [&](const std::vector<double>& observed) {
+    return options.reconstructor == nullptr
+               ? observed
+               : options.reconstructor->ReconstructCounts(observed);
+  };
+
+  NaiveBayesClassifier model;
+  model.attributes_ = dataset.attributes;
+  model.num_classes_ = dataset.num_classes;
+
+  // Class prior (reconstructed).
+  std::vector<double> class_counts(dataset.num_classes, 0.0);
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    class_counts[dataset.labels[r]] += dataset.weights[r];
+  }
+  const std::vector<double> prior = adjust(class_counts);
+  double prior_total = 0.0;
+  for (double c : prior) prior_total += c;
+  if (prior_total <= 0.0) {
+    return Status::InvalidArgument("training data carries no weight");
+  }
+  model.log_prior_.resize(dataset.num_classes);
+  for (int c = 0; c < dataset.num_classes; ++c) {
+    model.log_prior_[c] = std::log(
+        (prior[c] + options.alpha) /
+        (prior_total + options.alpha * dataset.num_classes));
+  }
+
+  // Conditionals: reconstruct the class distribution in every
+  // attribute-unit cell, then normalize per class across units.
+  model.log_conditional_.resize(dataset.attributes.size());
+  std::vector<double> cell(dataset.num_classes);
+  for (size_t a = 0; a < dataset.attributes.size(); ++a) {
+    const int32_t units = dataset.attributes[a].num_units;
+    std::vector<double> adjusted(
+        static_cast<size_t>(units) * dataset.num_classes, 0.0);
+    {
+      std::vector<double> observed(
+          static_cast<size_t>(units) * dataset.num_classes, 0.0);
+      const std::vector<int32_t>& vals = dataset.unit_values[a];
+      for (size_t r = 0; r < dataset.num_rows(); ++r) {
+        observed[static_cast<size_t>(vals[r]) * dataset.num_classes +
+                 dataset.labels[r]] += dataset.weights[r];
+      }
+      for (int32_t u = 0; u < units; ++u) {
+        for (int c = 0; c < dataset.num_classes; ++c) {
+          cell[c] =
+              observed[static_cast<size_t>(u) * dataset.num_classes + c];
+        }
+        const std::vector<double> fixed = adjust(cell);
+        for (int c = 0; c < dataset.num_classes; ++c) {
+          adjusted[static_cast<size_t>(u) * dataset.num_classes + c] =
+              fixed[c];
+        }
+      }
+    }
+    // Per-class normalization over units with Laplace smoothing.
+    std::vector<double> class_total(dataset.num_classes, 0.0);
+    for (int32_t u = 0; u < units; ++u) {
+      for (int c = 0; c < dataset.num_classes; ++c) {
+        class_total[c] +=
+            adjusted[static_cast<size_t>(u) * dataset.num_classes + c];
+      }
+    }
+    model.log_conditional_[a].resize(static_cast<size_t>(units) *
+                                     dataset.num_classes);
+    for (int32_t u = 0; u < units; ++u) {
+      for (int c = 0; c < dataset.num_classes; ++c) {
+        const double num =
+            adjusted[static_cast<size_t>(u) * dataset.num_classes + c] +
+            options.alpha;
+        const double den = class_total[c] + options.alpha * units;
+        model.log_conditional_[a][static_cast<size_t>(u) *
+                                      dataset.num_classes +
+                                  c] = std::log(num / den);
+      }
+    }
+  }
+  return model;
+}
+
+int32_t NaiveBayesClassifier::Classify(
+    const std::vector<int32_t>& raw_codes) const {
+  PGPUB_CHECK_EQ(raw_codes.size(), attributes_.size());
+  int32_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < num_classes_; ++c) {
+    double score = log_prior_[c];
+    for (size_t a = 0; a < attributes_.size(); ++a) {
+      const int32_t code = raw_codes[a];
+      PGPUB_CHECK(code >= 0 && code < static_cast<int32_t>(
+                                          attributes_[a].code_to_unit.size()));
+      const int32_t unit = attributes_[a].code_to_unit[code];
+      score += log_conditional_[a][static_cast<size_t>(unit) * num_classes_ +
+                                   c];
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+int32_t NaiveBayesClassifier::ClassifyRow(const Table& table,
+                                          const std::vector<int>& attrs,
+                                          size_t row) const {
+  PGPUB_CHECK_EQ(attrs.size(), attributes_.size());
+  std::vector<int32_t> codes(attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    codes[i] = table.value(row, attrs[i]);
+  }
+  return Classify(codes);
+}
+
+}  // namespace pgpub

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/decision_tree.h"
+
+namespace pgpub {
+
+/// Options for naive-Bayes training.
+struct NaiveBayesOptions {
+  /// Laplace smoothing added to every (unit, class) cell.
+  double alpha = 1.0;
+  /// Optional randomized-response reconstruction: class counts in every
+  /// attribute-unit cell (and the class prior) are passed through the
+  /// channel inverse before the conditionals are formed — the same
+  /// correction the reconstruction tree applies per node.
+  const Reconstructor* reconstructor = nullptr;
+};
+
+/// \brief Weighted multinomial naive Bayes over the same TreeDataset
+/// representation the decision tree uses — a second mining task for PG
+/// releases (Section II-C motivates publication over releasing a single
+/// model precisely so analysts can run *their* preferred algorithm).
+class NaiveBayesClassifier {
+ public:
+  /// Trains on `dataset` (labels possibly perturbed; see options).
+  static Result<NaiveBayesClassifier> Train(const TreeDataset& dataset,
+                                            const NaiveBayesOptions& options);
+
+  /// Classifies a raw code vector (parallel to the training attributes).
+  int32_t Classify(const std::vector<int32_t>& raw_codes) const;
+
+  int32_t ClassifyRow(const Table& table, const std::vector<int>& attrs,
+                      size_t row) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  std::vector<TreeAttribute> attributes_;
+  int num_classes_ = 0;
+  /// log P(class).
+  std::vector<double> log_prior_;
+  /// Per attribute: [unit][class] log P(unit | class).
+  std::vector<std::vector<double>> log_conditional_;
+};
+
+}  // namespace pgpub

@@ -1,0 +1,96 @@
+#include "perturb/randomized_response.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pgpub {
+
+UniformPerturbation::UniformPerturbation(double p, int32_t domain_size)
+    : p_(p), domain_size_(domain_size) {
+  PGPUB_CHECK(p >= 0.0 && p <= 1.0) << "retention probability " << p;
+  PGPUB_CHECK_GT(domain_size, 0);
+}
+
+double UniformPerturbation::TransitionProb(int32_t a, int32_t b) const {
+  const double background = (1.0 - p_) / static_cast<double>(domain_size_);
+  return a == b ? p_ + background : background;
+}
+
+double UniformPerturbation::ObservationProb(const std::vector<double>& pdf,
+                                            int32_t b) const {
+  PGPUB_CHECK_EQ(static_cast<int32_t>(pdf.size()), domain_size_);
+  return p_ * pdf[b] + (1.0 - p_) / static_cast<double>(domain_size_);
+}
+
+int32_t UniformPerturbation::Perturb(int32_t value, Rng& rng) const {
+  PGPUB_CHECK(value >= 0 && value < domain_size_);
+  if (rng.Bernoulli(p_)) return value;
+  return static_cast<int32_t>(rng.UniformU64(domain_size_));
+}
+
+std::vector<int32_t> UniformPerturbation::PerturbColumn(
+    const std::vector<int32_t>& column, Rng& rng) const {
+  std::vector<int32_t> out;
+  out.reserve(column.size());
+  for (int32_t v : column) out.push_back(Perturb(v, rng));
+  return out;
+}
+
+Result<PerturbationMatrix> PerturbationMatrix::Create(
+    std::vector<std::vector<double>> matrix) {
+  if (matrix.empty()) {
+    return Status::InvalidArgument("perturbation matrix must be non-empty");
+  }
+  const size_t m = matrix.size();
+  for (const auto& row : matrix) {
+    if (row.size() != m) {
+      return Status::InvalidArgument("perturbation matrix must be square");
+    }
+    double sum = 0.0;
+    for (double v : row) {
+      if (v < 0.0) {
+        return Status::InvalidArgument(
+            "perturbation probabilities must be non-negative");
+      }
+      sum += v;
+    }
+    if (std::fabs(sum - 1.0) > 1e-9) {
+      return Status::InvalidArgument(
+          "each perturbation matrix row must sum to 1");
+    }
+  }
+  PerturbationMatrix pm;
+  pm.rows_ = std::move(matrix);
+  pm.samplers_.reserve(m);
+  for (const auto& row : pm.rows_) pm.samplers_.emplace_back(row);
+  return pm;
+}
+
+PerturbationMatrix PerturbationMatrix::Uniform(double p,
+                                               int32_t domain_size) {
+  UniformPerturbation up(p, domain_size);
+  std::vector<std::vector<double>> rows(
+      domain_size, std::vector<double>(domain_size));
+  for (int32_t a = 0; a < domain_size; ++a) {
+    for (int32_t b = 0; b < domain_size; ++b) {
+      rows[a][b] = up.TransitionProb(a, b);
+    }
+  }
+  return Create(std::move(rows)).ValueOrDie();
+}
+
+int32_t PerturbationMatrix::Perturb(int32_t value, Rng& rng) const {
+  PGPUB_CHECK(value >= 0 && value < domain_size());
+  return static_cast<int32_t>(samplers_[value].Sample(rng));
+}
+
+std::vector<int32_t> PerturbationMatrix::PerturbColumn(
+    const std::vector<int32_t>& column, Rng& rng) const {
+  std::vector<int32_t> out;
+  out.reserve(column.size());
+  for (int32_t v : column) out.push_back(Perturb(v, rng));
+  return out;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace pgpub {
+
+/// \brief Uniform retention–replacement perturbation — Phase 1 of perturbed
+/// generalization (Section IV, P2) and Equation 11 of the paper.
+///
+/// With retention probability p, a sensitive value is kept; otherwise it is
+/// replaced by a uniform draw from the whole domain (the kept value is also
+/// a legal draw). So
+///   P[a -> b] = p + (1-p)/|U^s|   if a == b
+///             = (1-p)/|U^s|       otherwise.
+class UniformPerturbation {
+ public:
+  /// `p` in [0,1]; `domain_size` = |U^s| > 0.
+  UniformPerturbation(double p, int32_t domain_size);
+
+  double retention() const { return p_; }
+  int32_t domain_size() const { return domain_size_; }
+
+  /// Equation 11: transition probability a -> b.
+  double TransitionProb(int32_t a, int32_t b) const;
+
+  /// Probability of observing `b` when the true value is distributed by
+  /// `pdf` (a distribution over codes): p * pdf[b] + (1-p)/|U^s|.
+  double ObservationProb(const std::vector<double>& pdf, int32_t b) const;
+
+  /// Perturbs one value.
+  int32_t Perturb(int32_t value, Rng& rng) const;
+
+  /// Perturbs a whole column (out-of-place).
+  std::vector<int32_t> PerturbColumn(const std::vector<int32_t>& column,
+                                     Rng& rng) const;
+
+ private:
+  double p_;
+  int32_t domain_size_;
+};
+
+/// \brief General row-stochastic perturbation matrix (the randomized-
+/// response generalization of UniformPerturbation). Row a gives the
+/// distribution of the perturbed value when the true value is a.
+class PerturbationMatrix {
+ public:
+  /// `matrix[a][b]` = P[a -> b]; every row must be a distribution.
+  static Result<PerturbationMatrix> Create(
+      std::vector<std::vector<double>> matrix);
+
+  /// The matrix equivalent of UniformPerturbation(p, m).
+  static PerturbationMatrix Uniform(double p, int32_t domain_size);
+
+  int32_t domain_size() const { return static_cast<int32_t>(rows_.size()); }
+  double TransitionProb(int32_t a, int32_t b) const { return rows_[a][b]; }
+  const std::vector<double>& row(int32_t a) const { return rows_[a]; }
+
+  /// Perturbs one value (alias sampling, O(1) per draw).
+  int32_t Perturb(int32_t value, Rng& rng) const;
+
+  std::vector<int32_t> PerturbColumn(const std::vector<int32_t>& column,
+                                     Rng& rng) const;
+
+ private:
+  std::vector<std::vector<double>> rows_;
+  std::vector<AliasSampler> samplers_;
+};
+
+}  // namespace pgpub

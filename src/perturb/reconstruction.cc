@@ -1,0 +1,119 @@
+#include "perturb/reconstruction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace pgpub {
+
+Reconstructor::Reconstructor(double p, std::vector<double> category_weights)
+    : p_(p), category_weights_(std::move(category_weights)) {
+  PGPUB_CHECK(p >= 0.0 && p <= 1.0);
+  PGPUB_CHECK(!category_weights_.empty());
+  double sum = 0.0;
+  for (double w : category_weights_) {
+    PGPUB_CHECK_GE(w, 0.0);
+    sum += w;
+  }
+  PGPUB_CHECK(std::fabs(sum - 1.0) < 1e-9)
+      << "category weights must sum to 1, got " << sum;
+}
+
+std::vector<double> Reconstructor::ReconstructCounts(
+    const std::vector<double>& observed) const {
+  PGPUB_CHECK_EQ(observed.size(), category_weights_.size());
+  double total = 0.0;
+  for (double o : observed) total += o;
+  if (total <= 0.0) return observed;
+  if (p_ <= 0.0) return observed;  // unrecoverable; mine as-is
+
+  std::vector<double> est(observed.size());
+  double est_total = 0.0;
+  for (size_t b = 0; b < observed.size(); ++b) {
+    est[b] = (observed[b] - (1.0 - p_) * total * category_weights_[b]) / p_;
+    if (est[b] < 0.0) est[b] = 0.0;
+    est_total += est[b];
+  }
+  if (est_total <= 0.0) {
+    // Degenerate clamp: fall back to the observed counts.
+    return observed;
+  }
+  const double scale = total / est_total;
+  for (double& e : est) e *= scale;
+  return est;
+}
+
+Result<std::vector<double>> InvertChannel(
+    const PerturbationMatrix& matrix, const std::vector<double>& observed) {
+  const int m = matrix.domain_size();
+  if (static_cast<int>(observed.size()) != m) {
+    return Status::InvalidArgument("observed size != matrix dimension");
+  }
+  // Solve A x = b with A[b][a] = P[a -> b] (transpose of the channel).
+  std::vector<std::vector<double>> a(m, std::vector<double>(m));
+  std::vector<double> b = observed;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) a[i][j] = matrix.TransitionProb(j, i);
+  }
+  for (int col = 0; col < m; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int r = col + 1; r < m; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return Status::FailedPrecondition(
+          "perturbation channel is singular; cannot invert");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (int r = 0; r < m; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (int c = col; c < m; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(m);
+  for (int i = 0; i < m; ++i) x[i] = b[i] / a[i][i];
+  return x;
+}
+
+std::vector<double> IterativeBayesReconstruct(
+    const PerturbationMatrix& matrix, const std::vector<double>& observed,
+    int iterations) {
+  const int m = matrix.domain_size();
+  PGPUB_CHECK_EQ(static_cast<int>(observed.size()), m);
+  PGPUB_CHECK_GE(iterations, 1);
+
+  std::vector<double> obs_dist = observed;
+  if (!NormalizeInPlace(obs_dist)) {
+    return std::vector<double>(m, 1.0 / m);
+  }
+
+  std::vector<double> prior(m, 1.0 / m);
+  std::vector<double> next(m);
+  for (int it = 0; it < iterations; ++it) {
+    // next[a] = sum_b obs[b] * prior[a] P[a->b] / sum_a' prior[a'] P[a'->b]
+    std::fill(next.begin(), next.end(), 0.0);
+    for (int bcat = 0; bcat < m; ++bcat) {
+      if (obs_dist[bcat] <= 0.0) continue;
+      double denom = 0.0;
+      for (int acat = 0; acat < m; ++acat) {
+        denom += prior[acat] * matrix.TransitionProb(acat, bcat);
+      }
+      if (denom <= 0.0) continue;
+      for (int acat = 0; acat < m; ++acat) {
+        next[acat] += obs_dist[bcat] * prior[acat] *
+                      matrix.TransitionProb(acat, bcat) / denom;
+      }
+    }
+    prior = next;
+  }
+  return prior;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "perturb/randomized_response.h"
+
+namespace pgpub {
+
+/// \brief Distribution reconstruction through a known perturbation — the
+/// standard randomized-response estimators (Warner'65; Agrawal–Srikant;
+/// Evfimievski et al.). Used by the perturbation-aware decision tree
+/// (the paper's reference [12] pipeline) to recover class distributions at
+/// every tree node from perturbed sensitive values.
+class Reconstructor {
+ public:
+  /// Uniform retention-replacement channel over categories that partition
+  /// the sensitive domain: `category_weights[b]` = |category b| / |U^s|.
+  /// The induced channel between categories is
+  ///   P[a -> b] = p * 1[a==b] + (1-p) * w_b.
+  Reconstructor(double p, std::vector<double> category_weights);
+
+  /// Unbiased moment estimate of the true category counts from observed
+  /// counts: n̂_b = (o_b - (1-p) * N * w_b) / p, then clamped to >= 0 and
+  /// rescaled to sum N. With p == 0 reconstruction is impossible; the
+  /// observed counts are returned unchanged (matching the paper's
+  /// *pessimistic* baseline, which mines the randomized data as-is).
+  std::vector<double> ReconstructCounts(
+      const std::vector<double>& observed) const;
+
+  double retention() const { return p_; }
+  int num_categories() const {
+    return static_cast<int>(category_weights_.size());
+  }
+  const std::vector<double>& category_weights() const {
+    return category_weights_;
+  }
+
+ private:
+  double p_;
+  std::vector<double> category_weights_;
+};
+
+/// Solves M^T x = observed for a general row-stochastic channel M via
+/// Gaussian elimination with partial pivoting — the matrix-inversion
+/// reconstruction for arbitrary perturbation matrices. Fails when M is
+/// (numerically) singular, e.g. the fully randomizing channel.
+Result<std::vector<double>> InvertChannel(const PerturbationMatrix& matrix,
+                                          const std::vector<double>& observed);
+
+/// Iterative Bayesian (EM) reconstruction of the true distribution from an
+/// observed perturbed sample (Agrawal–Srikant style). Always produces a
+/// valid distribution; `iterations` EM steps from the uniform start.
+std::vector<double> IterativeBayesReconstruct(
+    const PerturbationMatrix& matrix, const std::vector<double>& observed,
+    int iterations);
+
+}  // namespace pgpub

@@ -1,0 +1,167 @@
+#include "query/count_query.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgpub {
+
+double CountQuery::SensitiveWeight(int32_t sensitive_domain_size) const {
+  if (sensitive_set.empty()) return 1.0;
+  PGPUB_CHECK_EQ(static_cast<int32_t>(sensitive_set.size()),
+                 sensitive_domain_size);
+  int32_t hits = 0;
+  for (bool b : sensitive_set) hits += b ? 1 : 0;
+  return static_cast<double>(hits) /
+         static_cast<double>(sensitive_domain_size);
+}
+
+namespace {
+
+Status ValidateQuery(const Schema& schema,
+                     const std::vector<AttributeDomain>& domains,
+                     int sensitive_attr, const CountQuery& query) {
+  for (const RangePredicate& pred : query.qi_ranges) {
+    if (pred.attr < 0 || pred.attr >= schema.num_attributes()) {
+      return Status::InvalidArgument("predicate attribute out of range");
+    }
+    if (pred.attr == sensitive_attr) {
+      return Status::InvalidArgument(
+          "use sensitive_set for the sensitive attribute");
+    }
+    const int32_t domain = domains[pred.attr].size();
+    if (pred.range.lo < 0 || pred.range.hi >= domain) {
+      return Status::OutOfRange("predicate range outside the domain of " +
+                                schema.attribute(pred.attr).name);
+    }
+  }
+  if (!query.sensitive_set.empty() &&
+      static_cast<int32_t>(query.sensitive_set.size()) !=
+          domains[sensitive_attr].size()) {
+    return Status::InvalidArgument("sensitive_set size != |U^s|");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int64_t> ExactCount(const Table& microdata, const CountQuery& query) {
+  ASSIGN_OR_RETURN(int sens, microdata.schema().SensitiveIndex());
+  RETURN_IF_ERROR(ValidateQuery(microdata.schema(), microdata.domains(),
+                                sens, query));
+  int64_t count = 0;
+  for (size_t r = 0; r < microdata.num_rows(); ++r) {
+    bool hit = true;
+    for (const RangePredicate& pred : query.qi_ranges) {
+      if (!pred.range.Contains(microdata.value(r, pred.attr))) {
+        hit = false;
+        break;
+      }
+    }
+    if (hit && !query.sensitive_set.empty() &&
+        !query.sensitive_set[microdata.value(r, sens)]) {
+      hit = false;
+    }
+    if (hit) ++count;
+  }
+  return count;
+}
+
+Result<CountEstimate> EstimateCount(const PublishedTable& published,
+                                    const CountQuery& query) {
+  const GlobalRecoding& recoding = published.recoding();
+  const int sens = published.sensitive_attr();
+  // Build the source schema's domain list for validation.
+  std::vector<AttributeDomain> domains;
+  for (int a = 0; a < published.source_schema().num_attributes(); ++a) {
+    domains.push_back(published.domain(a));
+  }
+  RETURN_IF_ERROR(ValidateQuery(published.source_schema(), domains, sens,
+                                query));
+
+  // Map query attributes to recoding indices.
+  std::vector<int> pred_qi_index(query.qi_ranges.size(), -1);
+  for (size_t i = 0; i < query.qi_ranges.size(); ++i) {
+    for (size_t j = 0; j < recoding.qi_attrs.size(); ++j) {
+      if (recoding.qi_attrs[j] == query.qi_ranges[i].attr) {
+        pred_qi_index[i] = static_cast<int>(j);
+        break;
+      }
+    }
+    if (pred_qi_index[i] < 0) {
+      return Status::InvalidArgument(
+          "count predicates may only reference released QI attributes");
+    }
+  }
+
+  const double p = published.retention_p();
+  const int32_t us = published.domain(sens).size();
+  const double w_s = query.SensitiveWeight(us);
+
+  double estimate = 0.0;
+  double variance = 0.0;
+  for (size_t r = 0; r < published.num_rows(); ++r) {
+    // QI part: overlap fraction of the tuple's generalized cell with the
+    // query box (uniformity within the cell).
+    double frac = 1.0;
+    for (size_t i = 0; i < query.qi_ranges.size(); ++i) {
+      const Interval cell =
+          published.QiInterval(r, pred_qi_index[i]);
+      const int32_t lo = std::max(cell.lo, query.qi_ranges[i].range.lo);
+      const int32_t hi = std::min(cell.hi, query.qi_ranges[i].range.hi);
+      if (lo > hi) {
+        frac = 0.0;
+        break;
+      }
+      frac *= static_cast<double>(hi - lo + 1) /
+              static_cast<double>(cell.width());
+    }
+    if (frac <= 0.0) continue;
+    const double weight = static_cast<double>(published.group_size(r));
+
+    double sens_part = 1.0;
+    double sens_var = 0.0;
+    if (!query.sensitive_set.empty()) {
+      const bool observed_in = query.sensitive_set[published.sensitive(r)];
+      if (p <= 0.0) {
+        // Unrecoverable channel: fall back to the population weight (the
+        // release carries no sensitive signal at p = 0).
+        sens_part = w_s;
+        sens_var = 0.0;
+      } else {
+        sens_part = ((observed_in ? 1.0 : 0.0) - (1.0 - p) * w_s) / p;
+        // Var of the indicator estimator: q(1-q)/p^2 with q the observed
+        // hit probability; plug the observed-frequency proxy
+        // q = p*clamp(sens_part) + (1-p) w_s.
+        const double x_hat = std::min(1.0, std::max(0.0, sens_part));
+        const double q = p * x_hat + (1.0 - p) * w_s;
+        sens_var = q * (1.0 - q) / (p * p);
+      }
+    }
+    estimate += weight * frac * sens_part;
+    variance += weight * weight * frac * frac * sens_var;
+  }
+  CountEstimate out;
+  out.estimate = estimate;
+  out.std_error = std::sqrt(variance);
+  return out;
+}
+
+Result<CountEstimate> EstimateCountFromSample(const Table& sample,
+                                              size_t total_rows,
+                                              const CountQuery& query) {
+  if (sample.num_rows() == 0) {
+    return Status::InvalidArgument("empty sample");
+  }
+  ASSIGN_OR_RETURN(int64_t hits, ExactCount(sample, query));
+  const double scale = static_cast<double>(total_rows) /
+                       static_cast<double>(sample.num_rows());
+  const double fraction =
+      static_cast<double>(hits) / static_cast<double>(sample.num_rows());
+  CountEstimate out;
+  out.estimate = scale * static_cast<double>(hits);
+  out.std_error = scale * std::sqrt(static_cast<double>(sample.num_rows()) *
+                                    fraction * (1.0 - fraction));
+  return out;
+}
+
+}  // namespace pgpub

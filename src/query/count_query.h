@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/published_table.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// One conjunct of a count query: attribute's raw code must fall in
+/// `range`.
+struct RangePredicate {
+  int attr = -1;
+  Interval range;
+};
+
+/// \brief COUNT(*) query with a conjunctive QI box and an optional
+/// sensitive-value set:
+///   SELECT COUNT(*) FROM D WHERE  A_i in R_i  AND ...  AND  A^s in S.
+///
+/// This is the workload of the perturbation-publication line of work the
+/// paper relates to (Rastogi et al., VLDB'07; Agrawal et al.'s
+/// privacy-preserving OLAP [7]) — answering it from 𝒟* exercises all
+/// three PG mechanisms: generalized cells (partial overlap), G weights
+/// (sampling), and the randomized-response channel (sensitive part).
+struct CountQuery {
+  std::vector<RangePredicate> qi_ranges;
+  /// Indicator over the sensitive domain; empty = no sensitive predicate.
+  std::vector<bool> sensitive_set;
+
+  /// |S| / |U^s| — the uniform-replacement mass of the predicate.
+  double SensitiveWeight(int32_t sensitive_domain_size) const;
+};
+
+/// Ground truth on the microdata.
+Result<int64_t> ExactCount(const Table& microdata, const CountQuery& query);
+
+/// Point estimate with an (approximate, delta-method) standard error.
+struct CountEstimate {
+  double estimate = 0.0;
+  double std_error = 0.0;
+};
+
+/// \brief Estimates the query from a PG release 𝒟*.
+///
+/// Per published tuple: the tuple stands for G microdata rows spread over
+/// its generalized cell; the QI part contributes the *overlap fraction* of
+/// the cell with the query box (the uniformity-within-cell assumption that
+/// all interval-generalization consumers make); the sensitive part uses
+/// the unbiased randomized-response estimator
+///   x̂ = (1[y in S] - (1-p)·w_S) / p,
+/// whose expectation equals 1[true value in S]. The total is therefore
+/// unbiased up to the within-cell uniformity assumption. Estimates are NOT
+/// clamped (clamping would bias aggregates; callers may clamp for
+/// display).
+Result<CountEstimate> EstimateCount(const PublishedTable& published,
+                                    const CountQuery& query);
+
+/// Baseline: estimate from a uniform row sample (size n_sample of
+/// n_total), scaled by n_total / n_sample — what a subset release
+/// supports.
+Result<CountEstimate> EstimateCountFromSample(const Table& sample,
+                                              size_t total_rows,
+                                              const CountQuery& query);
+
+}  // namespace pgpub

@@ -1,0 +1,199 @@
+#include "republish/minvariance.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "common/logging.h"
+
+namespace pgpub {
+
+size_t RepublishRelease::TotalCounterfeits() const {
+  size_t total = 0;
+  for (const auto& bucket : counterfeits) {
+    for (const auto& [value, count] : bucket) {
+      total += static_cast<size_t>(count);
+    }
+  }
+  return total;
+}
+
+MInvariantRepublisher::MInvariantRepublisher(int m,
+                                             int32_t sensitive_domain_size,
+                                             uint64_t seed)
+    : m_(m), sensitive_domain_size_(sensitive_domain_size), rng_(seed) {
+  PGPUB_CHECK_GE(m, 2);
+  PGPUB_CHECK_GE(sensitive_domain_size, m);
+}
+
+std::vector<int32_t> MInvariantRepublisher::SignatureOf(
+    int64_t owner) const {
+  auto it = signature_of_.find(owner);
+  return it == signature_of_.end() ? std::vector<int32_t>{} : it->second;
+}
+
+void MInvariantRepublisher::AssignNewSignatures(
+    std::vector<std::pair<int64_t, int32_t>>* fresh,
+    RepublishRelease* release) {
+  // Anatomy-style bucketization of the fresh cohort: repeatedly take one
+  // owner from each of the m largest value classes.
+  std::unordered_map<int32_t, std::vector<int64_t>> classes;
+  for (const auto& [owner, value] : *fresh) {
+    classes[value].push_back(owner);
+  }
+  for (auto& [value, owners] : classes) rng_.Shuffle(owners);
+
+  auto cmp = [&classes](int32_t a, int32_t b) {
+    return classes[a].size() < classes[b].size();
+  };
+  std::priority_queue<int32_t, std::vector<int32_t>, decltype(cmp)> heap(
+      cmp);
+  for (const auto& [value, owners] : classes) {
+    if (!owners.empty()) heap.push(value);
+  }
+
+  while (static_cast<int>(heap.size()) >= m_) {
+    std::vector<int64_t> members;
+    std::vector<int32_t> values;
+    std::vector<int32_t> drawn;
+    for (int i = 0; i < m_; ++i) {
+      const int32_t v = heap.top();
+      heap.pop();
+      members.push_back(classes[v].back());
+      classes[v].pop_back();
+      values.push_back(v);
+      drawn.push_back(v);
+    }
+    std::vector<int32_t> signature = values;
+    std::sort(signature.begin(), signature.end());
+    for (int64_t owner : members) {
+      signature_of_[owner] = signature;
+    }
+    release->bucket_owners.push_back(std::move(members));
+    release->bucket_values.push_back(std::move(values));
+    release->bucket_signature.push_back(std::move(signature));
+    release->counterfeits.emplace_back();
+    for (int32_t v : drawn) {
+      if (!classes[v].empty()) heap.push(v);
+    }
+  }
+  // Leftovers cannot form a fresh m-diverse bucket this round.
+  while (!heap.empty()) {
+    const int32_t v = heap.top();
+    heap.pop();
+    for (int64_t owner : classes[v]) release->deferred.push_back(owner);
+  }
+}
+
+Result<RepublishRelease> MInvariantRepublisher::PublishNext(
+    const std::vector<std::pair<int64_t, int32_t>>& alive) {
+  // Validate the snapshot.
+  std::set<int64_t> seen;
+  for (const auto& [owner, value] : alive) {
+    if (value < 0 || value >= sensitive_domain_size_) {
+      return Status::OutOfRange("sensitive code out of domain");
+    }
+    if (!seen.insert(owner).second) {
+      return Status::InvalidArgument("duplicate owner id in snapshot");
+    }
+    auto it = value_of_.find(owner);
+    if (it != value_of_.end() && it->second != value) {
+      return Status::InvalidArgument(
+          "owner " + std::to_string(owner) +
+          " changed sensitive value between snapshots");
+    }
+  }
+  for (const auto& [owner, value] : alive) value_of_[owner] = value;
+
+  RepublishRelease release;
+
+  // Split returning vs fresh owners.
+  std::map<std::vector<int32_t>,
+           std::unordered_map<int32_t, std::vector<int64_t>>>
+      returning;  // signature -> value -> owners
+  std::vector<std::pair<int64_t, int32_t>> fresh;
+  for (const auto& [owner, value] : alive) {
+    auto it = signature_of_.find(owner);
+    if (it == signature_of_.end()) {
+      fresh.push_back({owner, value});
+    } else {
+      returning[it->second][value].push_back(owner);
+    }
+  }
+
+  // Returning owners: per signature, build ceil-max buckets, one slot per
+  // signature value; unfilled slots become counterfeits.
+  for (auto& [signature, by_value] : returning) {
+    size_t buckets_needed = 0;
+    for (const int32_t v : signature) {
+      buckets_needed = std::max(buckets_needed, by_value[v].size());
+    }
+    PGPUB_CHECK_GT(buckets_needed, 0u);
+    const size_t first = release.num_buckets();
+    for (size_t b = 0; b < buckets_needed; ++b) {
+      release.bucket_owners.emplace_back();
+      release.bucket_values.emplace_back();
+      release.bucket_signature.push_back(signature);
+      release.counterfeits.emplace_back();
+    }
+    for (const int32_t v : signature) {
+      std::vector<int64_t>& owners = by_value[v];
+      rng_.Shuffle(owners);
+      for (size_t b = 0; b < buckets_needed; ++b) {
+        if (b < owners.size()) {
+          release.bucket_owners[first + b].push_back(owners[b]);
+          release.bucket_values[first + b].push_back(v);
+        } else {
+          // Counterfeit tuple keeps the signature invariant.
+          auto& list = release.counterfeits[first + b];
+          bool merged = false;
+          for (auto& [cv, count] : list) {
+            if (cv == v) {
+              ++count;
+              merged = true;
+              break;
+            }
+          }
+          if (!merged) list.push_back({v, 1});
+        }
+      }
+    }
+  }
+
+  // Fresh owners get new signatures.
+  AssignNewSignatures(&fresh, &release);
+  return release;
+}
+
+std::vector<int32_t> IntersectionAttack(
+    const std::vector<const RepublishRelease*>& releases, int64_t victim) {
+  std::vector<int32_t> candidates;
+  bool first = true;
+  for (const RepublishRelease* release : releases) {
+    PGPUB_CHECK(release != nullptr);
+    for (size_t b = 0; b < release->num_buckets(); ++b) {
+      const auto& owners = release->bucket_owners[b];
+      if (std::find(owners.begin(), owners.end(), victim) == owners.end()) {
+        continue;
+      }
+      // The published ST of this bucket shows its signature values (real
+      // members plus counterfeits are indistinguishable).
+      const std::vector<int32_t>& sig = release->bucket_signature[b];
+      if (first) {
+        candidates = sig;
+        first = false;
+      } else {
+        std::vector<int32_t> kept;
+        std::set_intersection(candidates.begin(), candidates.end(),
+                              sig.begin(), sig.end(),
+                              std::back_inserter(kept));
+        candidates = std::move(kept);
+      }
+      break;
+    }
+  }
+  return candidates;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace pgpub {
+
+/// \brief One release of a dynamic dataset: owners partitioned into
+/// buckets, each bucket annotated with its *signature* (the sorted set of
+/// m distinct sensitive values it exhibits) and the counterfeit counts
+/// that pad missing values.
+///
+/// This module realizes the paper's Section IX future-work direction
+/// ("re-publication of an anonymized version of the microdata after it
+/// has been updated"), following m-invariance (Xiao & Tao, SIGMOD'07,
+/// cited as [22]): across every release an owner appears in, their bucket
+/// carries exactly the same signature, which blocks the intersection
+/// attack that defeats naive independent re-publication. Buckets play the
+/// role of Anatomy groups (exact QI + bucket id released; the sensitive
+/// table lists the signature with per-value counts including
+/// counterfeits).
+struct RepublishRelease {
+  /// Bucket membership: owner ids per bucket (parallel arrays with
+  /// `owner_values`).
+  std::vector<std::vector<int64_t>> bucket_owners;
+  /// Sensitive value of each member, parallel to bucket_owners.
+  std::vector<std::vector<int32_t>> bucket_values;
+  /// Sorted distinct signature of each bucket (size = m).
+  std::vector<std::vector<int32_t>> bucket_signature;
+  /// Counterfeit tuples per bucket: (sensitive value, count).
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> counterfeits;
+  /// Owners that could not be safely published this round (the original
+  /// algorithm buffers them until a compatible cohort exists).
+  std::vector<int64_t> deferred;
+
+  size_t num_buckets() const { return bucket_owners.size(); }
+  size_t TotalCounterfeits() const;
+};
+
+/// \brief Stateful m-invariant re-publisher. Feed it successive snapshots
+/// of the alive population (owner id -> sensitive code); every release
+/// keeps each returning owner in a bucket with their original signature.
+class MInvariantRepublisher {
+ public:
+  /// `m` >= 2 distinct values per bucket; `sensitive_domain_size` bounds
+  /// the codes.
+  MInvariantRepublisher(int m, int32_t sensitive_domain_size, uint64_t seed);
+
+  /// Publishes the next snapshot. Owner ids must be unique within a
+  /// snapshot; an owner's sensitive value must never change across
+  /// snapshots (checked). Owners absent from a snapshot are treated as
+  /// deleted (they may return later — their signature still binds).
+  Result<RepublishRelease> PublishNext(
+      const std::vector<std::pair<int64_t, int32_t>>& alive);
+
+  int m() const { return m_; }
+
+  /// The signature assigned to `owner`, empty if never published.
+  std::vector<int32_t> SignatureOf(int64_t owner) const;
+
+ private:
+  /// Groups new owners into fresh m-value signatures (Anatomy-style
+  /// bucketization); leftovers are deferred.
+  void AssignNewSignatures(
+      std::vector<std::pair<int64_t, int32_t>>* fresh,
+      RepublishRelease* release);
+
+  int m_;
+  int32_t sensitive_domain_size_;
+  Rng rng_;
+  /// Owner -> (sorted signature), fixed at first publication.
+  std::unordered_map<int64_t, std::vector<int32_t>> signature_of_;
+  /// Owner -> sensitive value seen at first publication (for validation).
+  std::unordered_map<int64_t, int32_t> value_of_;
+};
+
+/// \brief The intersection attack on a sequence of releases: for a victim
+/// owner, the adversary intersects the candidate value sets of the
+/// victim's bucket across all releases the victim appears in. Returns the
+/// set of values that survive. |result| == 1 means certain disclosure —
+/// the naive re-publication failure mode; m-invariance keeps the set at
+/// size m.
+std::vector<int32_t> IntersectionAttack(
+    const std::vector<const RepublishRelease*>& releases, int64_t victim);
+
+}  // namespace pgpub

@@ -1,0 +1,25 @@
+#include "sample/stratified.h"
+
+namespace pgpub {
+
+std::vector<StratumSample> StratifiedSample(const QiGroups& groups,
+                                            Rng& rng) {
+  std::vector<StratumSample> out;
+  out.reserve(groups.num_groups());
+  for (size_t g = 0; g < groups.num_groups(); ++g) {
+    const auto& rows = groups.group_rows[g];
+    PGPUB_CHECK(!rows.empty()) << "empty QI-group " << g;
+    StratumSample s;
+    s.row = rows[rng.UniformU64(rows.size())];
+    s.group = static_cast<int32_t>(g);
+    s.group_size = static_cast<uint32_t>(rows.size());
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<size_t> UniformRowSample(size_t universe, size_t n, Rng& rng) {
+  return rng.SampleWithoutReplacement(universe, n);
+}
+
+}  // namespace pgpub

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "generalize/qi_groups.h"
+
+namespace pgpub {
+
+/// One sampled tuple of Phase 3: the chosen row plus the size of its source
+/// QI-group (published as the G attribute, step S3).
+struct StratumSample {
+  uint32_t row = 0;          ///< Row index in the grouped table.
+  int32_t group = 0;         ///< Source QI-group id.
+  uint32_t group_size = 0;   ///< t.G — the stratum size.
+};
+
+/// \brief Stratified sampling over QI-groups (Section IV, Phase 3): one
+/// uniformly random tuple per stratum, each annotated with its stratum
+/// size. Output order follows group id.
+std::vector<StratumSample> StratifiedSample(const QiGroups& groups, Rng& rng);
+
+/// Uniform sample (without replacement) of `n` rows out of `universe` —
+/// used by the *optimistic*/*pessimistic* baselines of Section VII-B.
+std::vector<size_t> UniformRowSample(size_t universe, size_t n, Rng& rng);
+
+}  // namespace pgpub

@@ -1,0 +1,52 @@
+#include "table/csv_io.h"
+
+#include "common/csv.h"
+
+namespace pgpub {
+
+Result<Table> LoadCsv(const std::string& path, const Schema& schema) {
+  ASSIGN_OR_RETURN(Csv::File file, Csv::ReadFile(path));
+  // Map each schema attribute to its CSV column.
+  std::vector<int> csv_index(schema.num_attributes(), -1);
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const std::string& name = schema.attribute(a).name;
+    for (size_t c = 0; c < file.header.size(); ++c) {
+      if (file.header[c] == name) {
+        csv_index[a] = static_cast<int>(c);
+        break;
+      }
+    }
+    if (csv_index[a] < 0) {
+      return Status::InvalidArgument("CSV " + path + " lacks column " + name);
+    }
+  }
+  TableBuilder builder(schema);
+  std::vector<std::string> record(schema.num_attributes());
+  for (const auto& row : file.rows) {
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      record[a] = row[csv_index[a]];
+    }
+    RETURN_IF_ERROR(builder.AddRow(record).WithContext("loading " + path));
+  }
+  return builder.Build();
+}
+
+Status SaveCsv(const Table& table, const std::string& path) {
+  std::vector<std::string> header;
+  header.reserve(table.num_attributes());
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    header.push_back(table.schema().attribute(a).name);
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> row(table.num_attributes());
+    for (int a = 0; a < table.num_attributes(); ++a) {
+      row[a] = table.ValueToString(r, a);
+    }
+    rows.push_back(std::move(row));
+  }
+  return Csv::WriteFile(path, header, rows);
+}
+
+}  // namespace pgpub

@@ -1,0 +1,31 @@
+#include "table/dictionary.h"
+
+#include "common/logging.h"
+
+namespace pgpub {
+
+int32_t Dictionary::GetOrAdd(const std::string& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  int32_t code = size();
+  values_.push_back(value);
+  index_.emplace(value, code);
+  return code;
+}
+
+Result<int32_t> Dictionary::Lookup(const std::string& value) const {
+  auto it = index_.find(value);
+  if (it == index_.end()) {
+    return Status::NotFound("value not in dictionary: " + value);
+  }
+  return it->second;
+}
+
+const std::string& Dictionary::ValueOf(int32_t code) const {
+  PGPUB_CHECK(code >= 0 && code < size()) << "dictionary code " << code
+                                          << " out of range [0," << size()
+                                          << ")";
+  return values_[code];
+}
+
+}  // namespace pgpub

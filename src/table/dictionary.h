@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pgpub {
+
+/// \brief Bidirectional string <-> dense code mapping for categorical
+/// attributes. Codes are assigned in insertion order starting at 0.
+class Dictionary {
+ public:
+  /// Returns the code for `value`, adding it if absent.
+  int32_t GetOrAdd(const std::string& value);
+
+  /// Returns the code for `value`, or NotFound if it was never added.
+  Result<int32_t> Lookup(const std::string& value) const;
+
+  /// Returns the string for `code`; requires 0 <= code < size().
+  const std::string& ValueOf(int32_t code) const;
+
+  int32_t size() const { return static_cast<int32_t>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace pgpub

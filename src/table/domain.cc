@@ -1,0 +1,78 @@
+#include "table/domain.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace pgpub {
+
+AttributeDomain AttributeDomain::Numeric(int64_t min_value,
+                                         int64_t max_value) {
+  PGPUB_CHECK_LE(min_value, max_value);
+  AttributeDomain d;
+  d.type_ = AttributeType::kNumeric;
+  d.min_value_ = min_value;
+  d.max_value_ = max_value;
+  return d;
+}
+
+AttributeDomain AttributeDomain::Categorical() {
+  AttributeDomain d;
+  d.type_ = AttributeType::kCategorical;
+  return d;
+}
+
+AttributeDomain AttributeDomain::Categorical(
+    const std::vector<std::string>& values) {
+  AttributeDomain d;
+  d.type_ = AttributeType::kCategorical;
+  for (const auto& v : values) d.dict_.GetOrAdd(v);
+  return d;
+}
+
+int32_t AttributeDomain::size() const {
+  if (type_ == AttributeType::kNumeric) {
+    return static_cast<int32_t>(max_value_ - min_value_ + 1);
+  }
+  return dict_.size();
+}
+
+Result<int32_t> AttributeDomain::EncodeNumeric(int64_t value) const {
+  PGPUB_CHECK(type_ == AttributeType::kNumeric);
+  if (value < min_value_ || value > max_value_) {
+    return Status::OutOfRange("numeric value " + std::to_string(value) +
+                              " outside domain [" +
+                              std::to_string(min_value_) + "," +
+                              std::to_string(max_value_) + "]");
+  }
+  return static_cast<int32_t>(value - min_value_);
+}
+
+int64_t AttributeDomain::DecodeNumeric(int32_t code) const {
+  PGPUB_CHECK(type_ == AttributeType::kNumeric);
+  PGPUB_CHECK(code >= 0 && code < size());
+  return min_value_ + code;
+}
+
+Result<int32_t> AttributeDomain::EncodeString(const std::string& text) const {
+  if (type_ == AttributeType::kNumeric) {
+    ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+    return EncodeNumeric(v);
+  }
+  return dict_.Lookup(text);
+}
+
+Result<int32_t> AttributeDomain::EncodeStringGrow(const std::string& text) {
+  if (type_ == AttributeType::kNumeric) {
+    return EncodeString(text);
+  }
+  return dict_.GetOrAdd(text);
+}
+
+std::string AttributeDomain::CodeToString(int32_t code) const {
+  if (type_ == AttributeType::kNumeric) {
+    return std::to_string(DecodeNumeric(code));
+  }
+  return dict_.ValueOf(code);
+}
+
+}  // namespace pgpub

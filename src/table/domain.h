@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "table/dictionary.h"
+#include "table/schema.h"
+
+namespace pgpub {
+
+/// \brief Per-attribute value universe plus the encoding into dense codes
+/// [0, size).
+///
+/// Numeric attributes: code = value - min_value (the domain is the integer
+/// range [min_value, max_value], as in the paper where e.g. Income takes the
+/// 50 bucket ids 0..49). Categorical attributes: dictionary codes in
+/// insertion order.
+class AttributeDomain {
+ public:
+  AttributeDomain() = default;
+
+  /// Numeric domain over the inclusive integer range [min_value, max_value].
+  static AttributeDomain Numeric(int64_t min_value, int64_t max_value);
+
+  /// Empty categorical domain that grows through `dict()`.
+  static AttributeDomain Categorical();
+
+  /// Categorical domain pre-seeded with `values` in order (their codes are
+  /// 0..values.size()-1).
+  static AttributeDomain Categorical(const std::vector<std::string>& values);
+
+  AttributeType type() const { return type_; }
+
+  /// Number of distinct codes. |U^s| for the sensitive attribute.
+  int32_t size() const;
+
+  int64_t min_value() const { return min_value_; }
+  int64_t max_value() const { return max_value_; }
+
+  /// Numeric only: value -> code; OutOfRange outside [min,max].
+  Result<int32_t> EncodeNumeric(int64_t value) const;
+  /// Numeric only: code -> original integer value.
+  int64_t DecodeNumeric(int32_t code) const;
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Encodes a textual field according to the domain type.
+  Result<int32_t> EncodeString(const std::string& text) const;
+  /// Like EncodeString but adds unseen categorical values to the dictionary.
+  Result<int32_t> EncodeStringGrow(const std::string& text);
+
+  /// Renders a code for display/export.
+  std::string CodeToString(int32_t code) const;
+
+ private:
+  AttributeType type_ = AttributeType::kCategorical;
+  int64_t min_value_ = 0;
+  int64_t max_value_ = -1;
+  Dictionary dict_;
+};
+
+}  // namespace pgpub

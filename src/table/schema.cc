@@ -1,0 +1,45 @@
+#include "table/schema.h"
+
+namespace pgpub {
+
+int Schema::AddAttribute(Attribute attr) {
+  attributes_.push_back(std::move(attr));
+  return static_cast<int>(attributes_.size()) - 1;
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named " + name);
+}
+
+std::vector<int> Schema::QiIndices() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[i].role == AttributeRole::kQuasiIdentifier) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Result<int> Schema::SensitiveIndex() const {
+  int found = -1;
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[i].role == AttributeRole::kSensitive) {
+      if (found >= 0) {
+        return Status::FailedPrecondition(
+            "schema declares more than one sensitive attribute");
+      }
+      found = i;
+    }
+  }
+  if (found < 0) {
+    return Status::FailedPrecondition(
+        "schema declares no sensitive attribute");
+  }
+  return found;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pgpub {
+
+/// How an attribute's values are interpreted.
+enum class AttributeType {
+  /// Integer-valued; codes are value - min_value, order is meaningful.
+  kNumeric,
+  /// Dictionary-encoded strings; code order is the dictionary insertion
+  /// order (datasets insert in taxonomy order so that taxonomy nodes cover
+  /// contiguous code ranges — see hierarchy/taxonomy.h).
+  kCategorical,
+};
+
+/// Role an attribute plays in the anonymization problem (Section II of the
+/// paper).
+enum class AttributeRole {
+  /// Part of the quasi-identifier — joins against external databases.
+  kQuasiIdentifier,
+  /// The sensitive attribute A^s (must be discrete; exactly one per schema
+  /// for publication).
+  kSensitive,
+  /// Carried through untouched (e.g. an explicit identifier dropped before
+  /// publication).
+  kRegular,
+};
+
+/// One column's metadata.
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kCategorical;
+  AttributeRole role = AttributeRole::kRegular;
+};
+
+/// \brief Ordered attribute list for a microdata table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Appends an attribute; returns its index.
+  int AddAttribute(Attribute attr);
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// Indices of all quasi-identifier attributes, in schema order.
+  std::vector<int> QiIndices() const;
+
+  /// Index of the unique sensitive attribute; FailedPrecondition if the
+  /// schema declares zero or more than one.
+  Result<int> SensitiveIndex() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace pgpub

@@ -1,0 +1,140 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace pgpub {
+
+Result<Table> Table::Create(Schema schema,
+                            std::vector<AttributeDomain> domains,
+                            std::vector<std::vector<int32_t>> columns) {
+  const int n_attrs = schema.num_attributes();
+  if (static_cast<int>(domains.size()) != n_attrs) {
+    return Status::InvalidArgument("domain count does not match schema");
+  }
+  if (static_cast<int>(columns.size()) != n_attrs) {
+    return Status::InvalidArgument("column count does not match schema");
+  }
+  const size_t n_rows = n_attrs == 0 ? 0 : columns[0].size();
+  for (int a = 0; a < n_attrs; ++a) {
+    if (columns[a].size() != n_rows) {
+      return Status::InvalidArgument("column " + schema.attribute(a).name +
+                                     " has inconsistent length");
+    }
+    const int32_t dsize = domains[a].size();
+    for (int32_t code : columns[a]) {
+      if (code < 0 || code >= dsize) {
+        return Status::OutOfRange("code " + std::to_string(code) +
+                                  " outside domain of attribute " +
+                                  schema.attribute(a).name);
+      }
+    }
+  }
+  Table t;
+  t.schema_ = std::move(schema);
+  t.domains_ = std::move(domains);
+  t.columns_ = std::move(columns);
+  return t;
+}
+
+Table Table::SelectRows(const std::vector<size_t>& rows) const {
+  Table out;
+  out.schema_ = schema_;
+  out.domains_ = domains_;
+  out.columns_.resize(columns_.size());
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    out.columns_[a].reserve(rows.size());
+    for (size_t r : rows) {
+      out.columns_[a].push_back(columns_[a][r]);
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> Table::Histogram(int attr) const {
+  std::vector<int64_t> counts(domains_[attr].size(), 0);
+  for (int32_t code : columns_[attr]) counts[code]++;
+  return counts;
+}
+
+std::vector<int32_t> Table::Row(size_t row) const {
+  std::vector<int32_t> out(columns_.size());
+  for (size_t a = 0; a < columns_.size(); ++a) out[a] = columns_[a][row];
+  return out;
+}
+
+TableBuilder::TableBuilder(Schema schema)
+    : schema_(std::move(schema)), infer_numeric_(true) {
+  domains_.resize(schema_.num_attributes());
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    domains_[a] = schema_.attribute(a).type == AttributeType::kNumeric
+                      ? AttributeDomain::Numeric(0, 0)
+                      : AttributeDomain::Categorical();
+  }
+  raw_columns_.resize(schema_.num_attributes());
+}
+
+TableBuilder::TableBuilder(Schema schema,
+                           std::vector<AttributeDomain> domains)
+    : schema_(std::move(schema)),
+      domains_(std::move(domains)),
+      infer_numeric_(false) {
+  PGPUB_CHECK_EQ(static_cast<int>(domains_.size()),
+                 schema_.num_attributes());
+  raw_columns_.resize(schema_.num_attributes());
+}
+
+Status TableBuilder::AddRow(const std::vector<std::string>& fields) {
+  if (static_cast<int>(fields.size()) != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "record width " + std::to_string(fields.size()) +
+        " does not match schema width " +
+        std::to_string(schema_.num_attributes()));
+  }
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    if (schema_.attribute(a).type == AttributeType::kNumeric) {
+      ASSIGN_OR_RETURN(int64_t v, ParseInt64(fields[a]));
+      if (!infer_numeric_) {
+        // Validate against the fixed range now.
+        RETURN_IF_ERROR(domains_[a].EncodeNumeric(v).status());
+      }
+      raw_columns_[a].push_back(v);
+    } else {
+      ASSIGN_OR_RETURN(int32_t code, domains_[a].EncodeStringGrow(fields[a]));
+      raw_columns_[a].push_back(code);
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> TableBuilder::Build() {
+  std::vector<std::vector<int32_t>> columns(raw_columns_.size());
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    const auto& raw = raw_columns_[a];
+    if (schema_.attribute(a).type == AttributeType::kNumeric) {
+      if (infer_numeric_) {
+        int64_t lo = 0, hi = 0;
+        if (!raw.empty()) {
+          lo = *std::min_element(raw.begin(), raw.end());
+          hi = *std::max_element(raw.begin(), raw.end());
+        }
+        domains_[a] = AttributeDomain::Numeric(lo, hi);
+      }
+      columns[a].reserve(raw.size());
+      for (int64_t v : raw) {
+        columns[a].push_back(static_cast<int32_t>(v - domains_[a].min_value()));
+      }
+    } else {
+      columns[a].assign(raw.begin(), raw.end());
+    }
+  }
+  auto result =
+      Table::Create(schema_, std::move(domains_), std::move(columns));
+  raw_columns_.clear();
+  raw_columns_.resize(schema_.num_attributes());
+  return result;
+}
+
+}  // namespace pgpub

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/domain.h"
+#include "table/schema.h"
+
+namespace pgpub {
+
+/// \brief Columnar, dictionary/offset-encoded in-memory table.
+///
+/// Every cell is an int32 code into the attribute's domain (see
+/// AttributeDomain). This is the microdata representation 𝒟 that all
+/// anonymization phases operate on.
+class Table {
+ public:
+  Table() = default;
+
+  /// Validates shape (one column per attribute, equal lengths, codes within
+  /// domains) and constructs.
+  static Result<Table> Create(Schema schema,
+                              std::vector<AttributeDomain> domains,
+                              std::vector<std::vector<int32_t>> columns);
+
+  const Schema& schema() const { return schema_; }
+  const AttributeDomain& domain(int attr) const { return domains_[attr]; }
+  const std::vector<AttributeDomain>& domains() const { return domains_; }
+
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  int num_attributes() const { return schema_.num_attributes(); }
+
+  /// Cell accessor (code space).
+  int32_t value(size_t row, int attr) const { return columns_[attr][row]; }
+
+  const std::vector<int32_t>& column(int attr) const {
+    return columns_[attr];
+  }
+  std::vector<int32_t>& mutable_column(int attr) { return columns_[attr]; }
+
+  /// Renders a cell for display/export.
+  std::string ValueToString(size_t row, int attr) const {
+    return domains_[attr].CodeToString(columns_[attr][row]);
+  }
+
+  /// Materializes the subset of rows given by `rows` (preserving order;
+  /// duplicates allowed). Domains and schema are shared copies.
+  Table SelectRows(const std::vector<size_t>& rows) const;
+
+  /// Per-code occurrence counts for a column.
+  std::vector<int64_t> Histogram(int attr) const;
+
+  /// Full row as codes, in schema order.
+  std::vector<int32_t> Row(size_t row) const;
+
+ private:
+  Schema schema_;
+  std::vector<AttributeDomain> domains_;
+  std::vector<std::vector<int32_t>> columns_;
+};
+
+/// \brief Row-at-a-time builder that parses textual records against a
+/// schema, growing categorical dictionaries and (optionally) inferring
+/// numeric ranges.
+class TableBuilder {
+ public:
+  /// `domains` may pre-seed dictionaries / numeric ranges; attributes with
+  /// an unset numeric range are inferred from the data on Build().
+  explicit TableBuilder(Schema schema);
+  TableBuilder(Schema schema, std::vector<AttributeDomain> domains);
+
+  /// Appends a textual record (one field per attribute).
+  Status AddRow(const std::vector<std::string>& fields);
+
+  /// Finalizes into a Table. The builder is left empty.
+  Result<Table> Build();
+
+ private:
+  Schema schema_;
+  std::vector<AttributeDomain> domains_;
+  bool infer_numeric_;
+  /// During building, numeric cells hold raw values (offset applied at
+  /// Build time once the min is known); categorical cells hold dict codes.
+  std::vector<std::vector<int64_t>> raw_columns_;
+};
+
+}  // namespace pgpub

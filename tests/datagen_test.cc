@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/census.h"
+#include "datagen/hospital.h"
+#include "mining/decision_tree.h"
+#include "mining/evaluate.h"
+
+namespace pgpub {
+namespace {
+
+// ------------------------------------------------------------------ Census
+
+TEST(CensusTest, SchemaMatchesPaper) {
+  CensusDataset census = GenerateCensus(1000, 1).ValueOrDie();
+  const Schema& schema = census.table.schema();
+  ASSERT_EQ(schema.num_attributes(), 9);
+  EXPECT_EQ(schema.attribute(CensusColumns::kAge).name, "Age");
+  EXPECT_EQ(schema.attribute(CensusColumns::kIncome).name, "Income");
+  EXPECT_EQ(*schema.SensitiveIndex(), CensusColumns::kIncome);
+  EXPECT_EQ(schema.QiIndices().size(), 8u);
+  // |U^s| = 50 as in Section VII-A.
+  EXPECT_EQ(census.table.domain(CensusColumns::kIncome).size(), 50);
+  EXPECT_EQ(census.table.domain(CensusColumns::kGender).size(), 2);
+  EXPECT_EQ(census.table.domain(CensusColumns::kEducation).size(), 17);
+  EXPECT_EQ(census.table.domain(CensusColumns::kBirthplace).size(), 57);
+  EXPECT_EQ(census.table.domain(CensusColumns::kOccupation).size(), 50);
+  EXPECT_EQ(census.table.domain(CensusColumns::kRace).size(), 9);
+  EXPECT_EQ(census.table.domain(CensusColumns::kWorkclass).size(), 9);
+  EXPECT_EQ(census.table.domain(CensusColumns::kMarital).size(), 6);
+}
+
+TEST(CensusTest, DeterministicForSeed) {
+  CensusDataset a = GenerateCensus(2000, 7).ValueOrDie();
+  CensusDataset b = GenerateCensus(2000, 7).ValueOrDie();
+  for (int attr = 0; attr < 9; ++attr) {
+    EXPECT_EQ(a.table.column(attr), b.table.column(attr));
+  }
+  CensusDataset c = GenerateCensus(2000, 8).ValueOrDie();
+  EXPECT_NE(a.table.column(CensusColumns::kIncome),
+            c.table.column(CensusColumns::kIncome));
+}
+
+TEST(CensusTest, TaxonomiesMatchDomains) {
+  CensusDataset census = GenerateCensus(100, 2).ValueOrDie();
+  const std::vector<int> qi = census.table.schema().QiIndices();
+  ASSERT_EQ(census.taxonomies.size(), qi.size());
+  ASSERT_EQ(census.nominal.size(), qi.size());
+  for (size_t i = 0; i < qi.size(); ++i) {
+    EXPECT_EQ(census.taxonomies[i].domain_size(),
+              census.table.domain(qi[i]).size())
+        << census.table.schema().attribute(qi[i]).name;
+  }
+}
+
+TEST(CensusTest, IncomeCorrelatesWithOccupationTier) {
+  CensusDataset census = GenerateCensus(30000, 3).ValueOrDie();
+  // Mean income of the top tier must clearly exceed the bottom tier's.
+  double low_sum = 0, high_sum = 0;
+  size_t low_n = 0, high_n = 0;
+  for (size_t r = 0; r < census.table.num_rows(); ++r) {
+    const int32_t occ = census.table.value(r, CensusColumns::kOccupation);
+    const int32_t income = census.table.value(r, CensusColumns::kIncome);
+    if (occ < 5) {
+      low_sum += income;
+      ++low_n;
+    } else if (occ >= 45) {
+      high_sum += income;
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 100u);
+  ASSERT_GT(high_n, 100u);
+  EXPECT_GT(high_sum / high_n, low_sum / low_n + 15.0);
+}
+
+TEST(CensusTest, IncomeIsLearnableByTrees) {
+  // The substitution requirement (DESIGN.md §4): a decision tree on clean
+  // data reaches optimistic-like accuracy.
+  CensusDataset census = GenerateCensus(30000, 4).ValueOrDie();
+  CategoryMap cats = CategoryMap::PaperIncome(2);
+  std::vector<int32_t> truth =
+      cats.Map(census.table.column(CensusColumns::kIncome));
+  const std::vector<int> qi = census.table.schema().QiIndices();
+  TreeOptions options;
+  DecisionTree tree =
+      DecisionTree::Train(
+          TreeDataset::FromRaw(census.table, qi, truth, 2, census.nominal),
+          options)
+          .ValueOrDie();
+  EvalResult eval = EvaluateTree(tree, census.table, qi, truth);
+  EXPECT_LT(eval.error(), 0.15);
+  EXPECT_LT(eval.error(), MajorityBaselineError(truth, 2) - 0.2);
+}
+
+TEST(CensusTest, ClassesAreReasonablyBalanced) {
+  CensusDataset census = GenerateCensus(30000, 5).ValueOrDie();
+  CategoryMap cats = CategoryMap::PaperIncome(2);
+  std::vector<int64_t> hist(2, 0);
+  for (int32_t v : census.table.column(CensusColumns::kIncome)) {
+    hist[cats.CategoryOf(v)]++;
+  }
+  const double frac0 =
+      hist[0] / static_cast<double>(census.table.num_rows());
+  EXPECT_GT(frac0, 0.3);
+  EXPECT_LT(frac0, 0.7);
+}
+
+TEST(CensusTest, RejectsZeroRows) {
+  EXPECT_TRUE(GenerateCensus(0, 1).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------- Hospital
+
+TEST(HospitalTest, TableIaContents) {
+  HospitalDataset h = MakeHospitalDataset().ValueOrDie();
+  ASSERT_EQ(h.table.num_rows(), 8u);
+  ASSERT_EQ(h.owners.size(), 8u);
+  EXPECT_EQ(h.owners[0], "Bob");
+  EXPECT_EQ(h.table.ValueToString(0, HospitalColumns::kAge), "25");
+  EXPECT_EQ(h.table.ValueToString(0, HospitalColumns::kGender), "M");
+  EXPECT_EQ(h.table.ValueToString(0, HospitalColumns::kDisease),
+            "bronchitis");
+  EXPECT_EQ(h.owners[7], "Isaac");
+  EXPECT_EQ(h.table.ValueToString(7, HospitalColumns::kDisease), "dementia");
+  EXPECT_EQ(h.table.domain(HospitalColumns::kDisease).size(), 7);
+}
+
+TEST(HospitalTest, VoterListIncludesExtraneousEmily) {
+  HospitalDataset h = MakeHospitalDataset().ValueOrDie();
+  ASSERT_EQ(h.voter_list.size(), 9u);
+  size_t extraneous = 0;
+  bool found_emily = false;
+  for (size_t i = 0; i < h.voter_list.size(); ++i) {
+    const Individual& ind = h.voter_list.individual(i);
+    if (ind.extraneous()) {
+      ++extraneous;
+      found_emily = ind.id == "Emily";
+    }
+  }
+  EXPECT_EQ(extraneous, 1u);
+  EXPECT_TRUE(found_emily);
+  // Every microdata row is covered.
+  for (uint32_t r = 0; r < 8; ++r) {
+    EXPECT_GE(h.voter_list.IndividualOfRow(r), 0);
+  }
+}
+
+TEST(HospitalTest, TaxonomiesMatchPaperBands) {
+  HospitalDataset h = MakeHospitalDataset().ValueOrDie();
+  // Age taxonomy: [21,40]/[41,60]/[61,80] as 20-year bands over codes.
+  const Taxonomy& age = h.taxonomies[0];
+  EXPECT_EQ(age.domain_size(), 60);
+  auto cut = age.CutAtDepth(1);
+  ASSERT_EQ(cut.size(), 3u);
+  EXPECT_EQ(age.node(cut[0]).range, Interval(0, 19));
+  // Zipcode bands match the paper's [11k,30k]/[31k,50k]/[51k,70k].
+  const Taxonomy& zip = h.taxonomies[2];
+  auto zcut = zip.CutAtDepth(1);
+  ASSERT_EQ(zcut.size(), 3u);
+  EXPECT_EQ(zip.node(zcut[0]).label, "[11k,30k]");
+}
+
+// ---------------------------------------------------- ExternalDatabase
+
+TEST(ExternalDatabaseTest, FromMicrodataCoversAllRows) {
+  CensusDataset census = GenerateCensus(500, 9).ValueOrDie();
+  Rng rng(10);
+  ExternalDatabase edb =
+      ExternalDatabase::FromMicrodata(census.table, 100, rng);
+  EXPECT_EQ(edb.size(), 600u);
+  size_t extraneous = 0;
+  for (size_t i = 0; i < edb.size(); ++i) {
+    if (edb.individual(i).extraneous()) ++extraneous;
+  }
+  EXPECT_EQ(extraneous, 100u);
+  for (uint32_t r = 0; r < 500; ++r) {
+    const int32_t idx = edb.IndividualOfRow(r);
+    ASSERT_GE(idx, 0);
+    const Individual& ind = edb.individual(idx);
+    for (size_t i = 0; i < edb.qi_attrs().size(); ++i) {
+      EXPECT_EQ(ind.qi_codes[i],
+                census.table.value(r, edb.qi_attrs()[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pgpub

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hierarchy/interval.h"
+#include "hierarchy/recoding.h"
+#include "hierarchy/taxonomy.h"
+
+namespace pgpub {
+namespace {
+
+// --------------------------------------------------------------- Interval
+
+TEST(IntervalTest, Basics) {
+  Interval iv(3, 7);
+  EXPECT_TRUE(iv.Contains(3));
+  EXPECT_TRUE(iv.Contains(7));
+  EXPECT_FALSE(iv.Contains(8));
+  EXPECT_EQ(iv.width(), 5);
+  EXPECT_FALSE(iv.IsSingleton());
+  EXPECT_TRUE(Interval(4, 4).IsSingleton());
+  EXPECT_EQ(iv.ToString(), "[3,7]");
+  EXPECT_EQ(Interval(2, 2).ToString(), "2");
+}
+
+TEST(IntervalTest, CoversAndOverlaps) {
+  Interval a(0, 9), b(3, 5), c(8, 12);
+  EXPECT_TRUE(a.Covers(b));
+  EXPECT_FALSE(b.Covers(a));
+  EXPECT_TRUE(a.Overlaps(c));
+  EXPECT_FALSE(b.Overlaps(c));
+  EXPECT_TRUE(a == Interval(0, 9));
+  EXPECT_TRUE(a != b);
+}
+
+// --------------------------------------------------------------- Taxonomy
+
+void CheckTaxonomyInvariants(const Taxonomy& t) {
+  // Root covers the domain at depth 0.
+  EXPECT_EQ(t.node(t.root()).range, Interval(0, t.domain_size() - 1));
+  EXPECT_EQ(t.node(t.root()).depth, 0);
+  for (int id = 0; id < t.num_nodes(); ++id) {
+    const TaxonomyNode& n = t.node(id);
+    if (n.children.empty()) {
+      EXPECT_TRUE(n.range.IsSingleton());
+    } else {
+      // Children partition the parent's range in order.
+      int32_t expect_lo = n.range.lo;
+      for (int c : n.children) {
+        EXPECT_EQ(t.node(c).range.lo, expect_lo);
+        EXPECT_EQ(t.node(c).parent, id);
+        EXPECT_EQ(t.node(c).depth, n.depth + 1);
+        expect_lo = t.node(c).range.hi + 1;
+      }
+      EXPECT_EQ(expect_lo, n.range.hi + 1);
+    }
+  }
+  // Every code has a leaf.
+  for (int32_t c = 0; c < t.domain_size(); ++c) {
+    const TaxonomyNode& leaf = t.node(t.LeafOf(c));
+    EXPECT_TRUE(leaf.children.empty());
+    EXPECT_EQ(leaf.range, Interval(c, c));
+  }
+}
+
+TEST(TaxonomyTest, FlatInvariants) {
+  Taxonomy t = Taxonomy::Flat(5, "*");
+  CheckTaxonomyInvariants(t);
+  EXPECT_EQ(t.height(), 1);
+  EXPECT_EQ(t.num_nodes(), 6);
+}
+
+TEST(TaxonomyTest, FlatSingletonDomain) {
+  Taxonomy t = Taxonomy::Flat(1, "*");
+  CheckTaxonomyInvariants(t);
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_EQ(t.height(), 0);
+}
+
+TEST(TaxonomyTest, BinaryInvariants) {
+  for (int32_t n : {2, 3, 7, 16, 68}) {
+    Taxonomy t = Taxonomy::Binary(n, "*");
+    CheckTaxonomyInvariants(t);
+    EXPECT_EQ(t.num_nodes(), 2 * n - 1) << "binary tree node count";
+  }
+}
+
+TEST(TaxonomyTest, UniformLevelsInvariants) {
+  Taxonomy t = Taxonomy::UniformLevels(68, "*", {20, 10, 5}).ValueOrDie();
+  CheckTaxonomyInvariants(t);
+  // Root children: widths 20,20,20,8.
+  const auto& root = t.node(t.root());
+  ASSERT_EQ(root.children.size(), 4u);
+  EXPECT_EQ(t.node(root.children[0]).range, Interval(0, 19));
+  EXPECT_EQ(t.node(root.children[3]).range, Interval(60, 67));
+}
+
+TEST(TaxonomyTest, UniformLevelsRejectsBadWidths) {
+  EXPECT_FALSE(Taxonomy::UniformLevels(10, "*", {0}).ok());
+  EXPECT_FALSE(Taxonomy::UniformLevels(10, "*", {5, 7}).ok());
+  EXPECT_FALSE(Taxonomy::UniformLevels(10, "*", {20}).ok());
+}
+
+TEST(TaxonomyTest, FromSpecGroupsAndLabels) {
+  auto spec = Taxonomy::Spec::Internal(
+      "*", {Taxonomy::Spec::Group("low", 3), Taxonomy::Spec::Group("high", 2)});
+  Taxonomy t = Taxonomy::FromSpec(spec).ValueOrDie();
+  CheckTaxonomyInvariants(t);
+  EXPECT_EQ(t.domain_size(), 5);
+  EXPECT_EQ(t.LabelFor(Interval(0, 2)), "low");
+  EXPECT_EQ(t.LabelFor(Interval(3, 4)), "high");
+  EXPECT_EQ(t.LabelFor(Interval(0, 4)), "*");
+  // No node matches [1,3].
+  EXPECT_EQ(t.FindNode(Interval(1, 3)), -1);
+}
+
+TEST(TaxonomyTest, FromSpecRejectsBadSpecs) {
+  EXPECT_FALSE(Taxonomy::FromSpec(Taxonomy::Spec::Group("empty", 0)).ok());
+  auto bad = Taxonomy::Spec::Internal(
+      "*", {Taxonomy::Spec::Group("x", 2)});
+  bad.leaf_count = 3;  // internal node must not set leaf_count
+  EXPECT_FALSE(Taxonomy::FromSpec(bad).ok());
+}
+
+TEST(TaxonomyTest, CutAtDepthPartitionsDomain) {
+  Taxonomy t = Taxonomy::Binary(11, "*");
+  for (int d = 0; d <= t.height(); ++d) {
+    std::vector<int> cut = t.CutAtDepth(d);
+    int32_t expect_lo = 0;
+    for (int id : cut) {
+      EXPECT_EQ(t.node(id).range.lo, expect_lo);
+      expect_lo = t.node(id).range.hi + 1;
+    }
+    EXPECT_EQ(expect_lo, t.domain_size());
+  }
+  EXPECT_EQ(t.CutAtDepth(0).size(), 1u);
+  EXPECT_EQ(t.CutAtDepth(t.height()).size(),
+            static_cast<size_t>(t.domain_size()));
+}
+
+TEST(TaxonomyTest, FindNodeExactMatchOnly) {
+  Taxonomy t = Taxonomy::Binary(8, "*");
+  EXPECT_EQ(t.node(t.FindNode(Interval(0, 7))).depth, 0);
+  EXPECT_GE(t.FindNode(Interval(0, 3)), 0);
+  EXPECT_GE(t.FindNode(Interval(4, 7)), 0);
+  EXPECT_EQ(t.FindNode(Interval(1, 6)), -1);
+  EXPECT_GE(t.FindNode(Interval(5, 5)), 0);
+}
+
+// ------------------------------------------------------ AttributeRecoding
+
+TEST(RecodingTest, SingleAndIdentity) {
+  AttributeRecoding single = AttributeRecoding::Single(6);
+  EXPECT_EQ(single.num_gen_values(), 1);
+  for (int32_t c = 0; c < 6; ++c) EXPECT_EQ(single.GenOf(c), 0);
+  EXPECT_EQ(single.GenInterval(0), Interval(0, 5));
+
+  AttributeRecoding id = AttributeRecoding::Identity(4);
+  EXPECT_EQ(id.num_gen_values(), 4);
+  for (int32_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(id.GenOf(c), c);
+    EXPECT_EQ(id.GenInterval(c), Interval(c, c));
+  }
+}
+
+TEST(RecodingTest, FromStartsValidation) {
+  EXPECT_TRUE(AttributeRecoding::FromStarts(10, {0, 3, 7}).ok());
+  EXPECT_FALSE(AttributeRecoding::FromStarts(10, {1, 3}).ok());
+  EXPECT_FALSE(AttributeRecoding::FromStarts(10, {0, 3, 3}).ok());
+  EXPECT_FALSE(AttributeRecoding::FromStarts(10, {0, 10}).ok());
+  EXPECT_FALSE(AttributeRecoding::FromStarts(0, {0}).ok());
+}
+
+TEST(RecodingTest, GenOfMatchesIntervals) {
+  AttributeRecoding r = AttributeRecoding::FromStarts(10, {0, 3, 7})
+                            .ValueOrDie();
+  EXPECT_EQ(r.num_gen_values(), 3);
+  EXPECT_EQ(r.GenInterval(0), Interval(0, 2));
+  EXPECT_EQ(r.GenInterval(1), Interval(3, 6));
+  EXPECT_EQ(r.GenInterval(2), Interval(7, 9));
+  for (int32_t c = 0; c < 10; ++c) {
+    EXPECT_TRUE(r.GenInterval(r.GenOf(c)).Contains(c));
+  }
+}
+
+TEST(RecodingTest, SplitAtRefines) {
+  AttributeRecoding r = AttributeRecoding::Single(10);
+  r.SplitAt(4);
+  EXPECT_EQ(r.num_gen_values(), 2);
+  EXPECT_EQ(r.GenInterval(0), Interval(0, 3));
+  EXPECT_EQ(r.GenInterval(1), Interval(4, 9));
+  r.SplitAt(4);  // idempotent
+  EXPECT_EQ(r.num_gen_values(), 2);
+  r.SplitAt(8);
+  EXPECT_EQ(r.GenInterval(2), Interval(8, 9));
+}
+
+TEST(RecodingTest, SpecializeByTaxonomy) {
+  Taxonomy t = Taxonomy::Binary(8, "*");
+  AttributeRecoding r = AttributeRecoding::Single(8);
+  ASSERT_TRUE(r.SpecializeByTaxonomy(t, t.root()).ok());
+  EXPECT_EQ(r.num_gen_values(), 2);
+  // Specializing a node whose range is not a current gen value fails.
+  int deep = t.FindNode(Interval(0, 1));
+  if (deep >= 0 && !t.node(deep).children.empty()) {
+    EXPECT_TRUE(
+        r.SpecializeByTaxonomy(t, deep).IsFailedPrecondition());
+  }
+  // Leaf specialization fails.
+  EXPECT_TRUE(
+      r.SpecializeByTaxonomy(t, t.LeafOf(0)).IsFailedPrecondition());
+}
+
+TEST(RecodingTest, RenderUsesSemanticLabelsButNotCodeIntervals) {
+  AttributeDomain domain = AttributeDomain::Numeric(21, 80);
+  // Semantic taxonomy label.
+  auto spec = Taxonomy::Spec::Internal(
+      "*", {Taxonomy::Spec::Group("young", 30),
+            Taxonomy::Spec::Group("old", 30)});
+  Taxonomy named = Taxonomy::FromSpec(spec).ValueOrDie();
+  AttributeRecoding r = AttributeRecoding::FromStarts(60, {0, 30})
+                            .ValueOrDie();
+  EXPECT_EQ(r.Render(0, domain, &named), "young");
+  // Auto-generated labels ("[0,29]") must fall back to domain values.
+  Taxonomy autogen = Taxonomy::Binary(60, "*");
+  EXPECT_EQ(r.Render(0, domain, &autogen), "[21, 50]");
+  EXPECT_EQ(r.Render(1, domain, nullptr), "[51, 80]");
+}
+
+TEST(RecodingTest, RenderSingleton) {
+  AttributeDomain domain = AttributeDomain::Numeric(5, 9);
+  AttributeRecoding r = AttributeRecoding::Identity(5);
+  EXPECT_EQ(r.Render(2, domain, nullptr), "7");
+}
+
+// --------------------------------------------------------- GlobalRecoding
+
+TEST(GlobalRecodingTest, SignaturesSeparateCells) {
+  Schema schema;
+  schema.AddAttribute(
+      {"a", AttributeType::kNumeric, AttributeRole::kQuasiIdentifier});
+  schema.AddAttribute(
+      {"b", AttributeType::kNumeric, AttributeRole::kQuasiIdentifier});
+  std::vector<AttributeDomain> domains = {AttributeDomain::Numeric(0, 3),
+                                          AttributeDomain::Numeric(0, 3)};
+  Table t = Table::Create(schema, domains,
+                          {{0, 1, 2, 3}, {0, 1, 2, 3}})
+                .ValueOrDie();
+
+  GlobalRecoding g = GlobalRecoding::AllIdentity(t, {0, 1});
+  EXPECT_EQ(g.NumCells(), 16u);
+  std::set<uint64_t> keys;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    keys.insert(g.SignatureOfRow(t, r));
+  }
+  EXPECT_EQ(keys.size(), 4u);
+
+  GlobalRecoding coarse = GlobalRecoding::AllSingle(t, {0, 1});
+  EXPECT_EQ(coarse.NumCells(), 1u);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(coarse.SignatureOfRow(t, r), 0u);
+  }
+}
+
+TEST(GlobalRecodingTest, SignatureOfCodesMatchesRow) {
+  Schema schema;
+  schema.AddAttribute(
+      {"a", AttributeType::kNumeric, AttributeRole::kQuasiIdentifier});
+  schema.AddAttribute(
+      {"b", AttributeType::kNumeric, AttributeRole::kQuasiIdentifier});
+  std::vector<AttributeDomain> domains = {AttributeDomain::Numeric(0, 9),
+                                          AttributeDomain::Numeric(0, 9)};
+  Table t =
+      Table::Create(schema, domains, {{2, 7}, {5, 3}}).ValueOrDie();
+  GlobalRecoding g;
+  g.qi_attrs = {0, 1};
+  g.per_attr = {AttributeRecoding::FromStarts(10, {0, 5}).ValueOrDie(),
+                AttributeRecoding::FromStarts(10, {0, 2, 8}).ValueOrDie()};
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(g.SignatureOfRow(t, r),
+              g.SignatureOfCodes({t.value(r, 0), t.value(r, 1)}));
+  }
+  EXPECT_EQ(g.GenVectorOfRow(t, 0), (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(g.GenVectorOfRow(t, 1), (std::vector<int32_t>{1, 1}));
+}
+
+}  // namespace
+}  // namespace pgpub

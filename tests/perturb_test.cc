@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "perturb/randomized_response.h"
+#include "perturb/reconstruction.h"
+
+namespace pgpub {
+namespace {
+
+// -------------------------------------------------- UniformPerturbation
+
+TEST(UniformPerturbationTest, Equation11Probabilities) {
+  UniformPerturbation ch(0.25, 7);
+  const double bg = 0.75 / 7.0;
+  EXPECT_NEAR(ch.TransitionProb(3, 3), 0.25 + bg, 1e-12);
+  EXPECT_NEAR(ch.TransitionProb(3, 4), bg, 1e-12);
+}
+
+TEST(UniformPerturbationTest, RowsSumToOne) {
+  for (double p : {0.0, 0.15, 0.5, 1.0}) {
+    UniformPerturbation ch(p, 50);
+    for (int32_t a = 0; a < 50; ++a) {
+      double sum = 0.0;
+      for (int32_t b = 0; b < 50; ++b) sum += ch.TransitionProb(a, b);
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(UniformPerturbationTest, ObservationProb) {
+  UniformPerturbation ch(0.3, 4);
+  std::vector<double> pdf = {0.4, 0.3, 0.2, 0.1};
+  for (int32_t b = 0; b < 4; ++b) {
+    EXPECT_NEAR(ch.ObservationProb(pdf, b), 0.3 * pdf[b] + 0.7 / 4.0, 1e-12);
+  }
+}
+
+TEST(UniformPerturbationTest, PIsOneKeepsEverything) {
+  UniformPerturbation ch(1.0, 10);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int32_t v = static_cast<int32_t>(rng.UniformU64(10));
+    EXPECT_EQ(ch.Perturb(v, rng), v);
+  }
+}
+
+TEST(UniformPerturbationTest, PIsZeroIsUniform) {
+  UniformPerturbation ch(0.0, 5);
+  Rng rng(2);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[ch.Perturb(0, rng)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 0.2, 0.01);
+  }
+}
+
+TEST(UniformPerturbationTest, EmpiricalFrequenciesMatchEquation11) {
+  const double p = 0.3;
+  const int32_t m = 8;
+  UniformPerturbation ch(p, m);
+  Rng rng(3);
+  const int n = 200000;
+  std::vector<int> counts(m, 0);
+  for (int i = 0; i < n; ++i) counts[ch.Perturb(2, rng)]++;
+  for (int32_t b = 0; b < m; ++b) {
+    EXPECT_NEAR(counts[b] / static_cast<double>(n), ch.TransitionProb(2, b),
+                0.01);
+  }
+}
+
+TEST(UniformPerturbationTest, ColumnPerturbationIsElementwise) {
+  UniformPerturbation ch(1.0, 6);
+  Rng rng(4);
+  std::vector<int32_t> col = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(ch.PerturbColumn(col, rng), col);
+}
+
+// --------------------------------------------------- PerturbationMatrix
+
+TEST(PerturbationMatrixTest, UniformMatchesClosedForm) {
+  PerturbationMatrix pm = PerturbationMatrix::Uniform(0.4, 6);
+  UniformPerturbation ch(0.4, 6);
+  for (int32_t a = 0; a < 6; ++a) {
+    for (int32_t b = 0; b < 6; ++b) {
+      EXPECT_NEAR(pm.TransitionProb(a, b), ch.TransitionProb(a, b), 1e-12);
+    }
+  }
+}
+
+TEST(PerturbationMatrixTest, RejectsNonStochastic) {
+  EXPECT_FALSE(PerturbationMatrix::Create({{0.5, 0.4}, {0.5, 0.5}}).ok());
+  EXPECT_FALSE(PerturbationMatrix::Create({{1.2, -0.2}, {0.5, 0.5}}).ok());
+  EXPECT_FALSE(PerturbationMatrix::Create({{1.0}, {0.5}}).ok());
+  EXPECT_FALSE(PerturbationMatrix::Create({}).ok());
+}
+
+TEST(PerturbationMatrixTest, SamplingMatchesMatrix) {
+  auto pm = PerturbationMatrix::Create(
+                {{0.7, 0.2, 0.1}, {0.1, 0.8, 0.1}, {0.25, 0.25, 0.5}})
+                .ValueOrDie();
+  Rng rng(5);
+  const int n = 200000;
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < n; ++i) counts[pm.Perturb(2, rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.5, 0.01);
+}
+
+// --------------------------------------------------------- Reconstructor
+
+TEST(ReconstructorTest, ExactOnExpectedCounts) {
+  // With observed = expected channel output, reconstruction recovers the
+  // true counts exactly.
+  const double p = 0.3;
+  std::vector<double> weights = {0.5, 0.3, 0.2};
+  Reconstructor rc(p, weights);
+  std::vector<double> truth = {700, 200, 100};
+  const double total = 1000;
+  std::vector<double> observed(3);
+  for (int b = 0; b < 3; ++b) {
+    observed[b] = p * truth[b] + (1 - p) * total * weights[b];
+  }
+  std::vector<double> est = rc.ReconstructCounts(observed);
+  for (int b = 0; b < 3; ++b) EXPECT_NEAR(est[b], truth[b], 1e-6);
+}
+
+TEST(ReconstructorTest, PreservesTotal) {
+  Reconstructor rc(0.4, {0.5, 0.5});
+  std::vector<double> est = rc.ReconstructCounts({90, 10});
+  EXPECT_NEAR(est[0] + est[1], 100.0, 1e-9);
+}
+
+TEST(ReconstructorTest, ClampsNegativesAndRescales) {
+  // Observed so skewed that the naive estimate of class 1 is negative.
+  Reconstructor rc(0.5, {0.5, 0.5});
+  std::vector<double> est = rc.ReconstructCounts({100, 0});
+  EXPECT_GE(est[1], 0.0);
+  EXPECT_NEAR(est[0] + est[1], 100.0, 1e-9);
+}
+
+TEST(ReconstructorTest, PZeroReturnsObserved) {
+  Reconstructor rc(0.0, {0.5, 0.5});
+  std::vector<double> observed = {60, 40};
+  EXPECT_EQ(rc.ReconstructCounts(observed), observed);
+}
+
+TEST(ReconstructorTest, StatisticallyUnbiasedOnSimulatedData) {
+  const double p = 0.35;
+  const int32_t us = 50;
+  UniformPerturbation ch(p, us);
+  Rng rng(6);
+  // Categories over U^s: [0,24] and [25,49].
+  std::vector<double> weights = {0.5, 0.5};
+  Reconstructor rc(p, weights);
+  const int n = 100000;
+  double true0 = 0;
+  std::vector<double> observed(2, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int32_t v = static_cast<int32_t>(rng.UniformU64(35));  // skew low
+    if (v < 25) ++true0;
+    observed[ch.Perturb(v, rng) < 25 ? 0 : 1] += 1.0;
+  }
+  std::vector<double> est = rc.ReconstructCounts(observed);
+  EXPECT_NEAR(est[0] / n, true0 / n, 0.02);
+}
+
+// ---------------------------------------------------------- InvertChannel
+
+TEST(InvertChannelTest, RecoversTrueDistribution) {
+  PerturbationMatrix pm = PerturbationMatrix::Uniform(0.4, 5);
+  std::vector<double> truth = {0.1, 0.2, 0.3, 0.25, 0.15};
+  std::vector<double> observed(5, 0.0);
+  for (int b = 0; b < 5; ++b) {
+    for (int a = 0; a < 5; ++a) {
+      observed[b] += truth[a] * pm.TransitionProb(a, b);
+    }
+  }
+  std::vector<double> x = InvertChannel(pm, observed).ValueOrDie();
+  for (int a = 0; a < 5; ++a) EXPECT_NEAR(x[a], truth[a], 1e-9);
+}
+
+TEST(InvertChannelTest, SingularChannelFails) {
+  PerturbationMatrix pm = PerturbationMatrix::Uniform(0.0, 4);
+  EXPECT_TRUE(InvertChannel(pm, {0.25, 0.25, 0.25, 0.25})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(InvertChannelTest, DimensionMismatchRejected) {
+  PerturbationMatrix pm = PerturbationMatrix::Uniform(0.5, 3);
+  EXPECT_TRUE(InvertChannel(pm, {1.0, 0.0}).status().IsInvalidArgument());
+}
+
+// ------------------------------------------------ IterativeBayesReconstruct
+
+TEST(IterativeBayesTest, ConvergesTowardTruth) {
+  PerturbationMatrix pm = PerturbationMatrix::Uniform(0.5, 4);
+  std::vector<double> truth = {0.4, 0.3, 0.2, 0.1};
+  std::vector<double> observed(4, 0.0);
+  for (int b = 0; b < 4; ++b) {
+    for (int a = 0; a < 4; ++a) {
+      observed[b] += truth[a] * pm.TransitionProb(a, b);
+    }
+  }
+  std::vector<double> est = IterativeBayesReconstruct(pm, observed, 200);
+  double total = 0.0;
+  for (int a = 0; a < 4; ++a) {
+    EXPECT_NEAR(est[a], truth[a], 0.02);
+    total += est[a];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(IterativeBayesTest, AlwaysReturnsValidDistribution) {
+  PerturbationMatrix pm = PerturbationMatrix::Uniform(0.2, 3);
+  std::vector<double> est =
+      IterativeBayesReconstruct(pm, {100, 0, 0}, 50);
+  double total = 0.0;
+  for (double v : est) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pgpub

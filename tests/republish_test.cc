@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "republish/minvariance.h"
+
+namespace pgpub {
+namespace {
+
+/// Synthetic dynamic population: owners with fixed values, churned across
+/// rounds.
+class Population {
+ public:
+  Population(int32_t domain_size, uint64_t seed)
+      : domain_size_(domain_size), rng_(seed) {}
+
+  /// Inserts `n` new owners with roughly uniform values.
+  void Insert(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      values_[next_id_++] =
+          static_cast<int32_t>(rng_.UniformU64(domain_size_));
+    }
+  }
+
+  /// Deletes each alive owner independently with probability `rate`.
+  void Churn(double rate) {
+    std::vector<int64_t> doomed;
+    for (const auto& [owner, value] : values_) {
+      if (rng_.Bernoulli(rate)) doomed.push_back(owner);
+    }
+    for (int64_t owner : doomed) values_.erase(owner);
+  }
+
+  std::vector<std::pair<int64_t, int32_t>> Snapshot() const {
+    std::vector<std::pair<int64_t, int32_t>> out(values_.begin(),
+                                                 values_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  int32_t ValueOf(int64_t owner) const { return values_.at(owner); }
+
+ private:
+  int32_t domain_size_;
+  Rng rng_;
+  int64_t next_id_ = 0;
+  std::map<int64_t, int32_t> values_;
+};
+
+void CheckReleaseInvariants(const RepublishRelease& release, int m) {
+  for (size_t b = 0; b < release.num_buckets(); ++b) {
+    const auto& signature = release.bucket_signature[b];
+    ASSERT_EQ(static_cast<int>(signature.size()), m);
+    EXPECT_TRUE(std::is_sorted(signature.begin(), signature.end()));
+    EXPECT_EQ(std::set<int32_t>(signature.begin(), signature.end()).size(),
+              signature.size());
+    // Members carry signature values, at most one member per value;
+    // counterfeits fill the rest.
+    std::set<int32_t> used;
+    for (size_t i = 0; i < release.bucket_owners[b].size(); ++i) {
+      const int32_t v = release.bucket_values[b][i];
+      EXPECT_TRUE(std::binary_search(signature.begin(), signature.end(), v));
+      EXPECT_TRUE(used.insert(v).second) << "duplicate value in bucket";
+    }
+    size_t slots = release.bucket_owners[b].size();
+    for (const auto& [value, count] : release.counterfeits[b]) {
+      EXPECT_TRUE(std::binary_search(signature.begin(), signature.end(),
+                                     value));
+      EXPECT_FALSE(used.count(value))
+          << "counterfeit duplicates a real member's value";
+      slots += static_cast<size_t>(count);
+    }
+    // Every signature value is represented (really or counterfeit).
+    EXPECT_EQ(slots, signature.size());
+  }
+}
+
+TEST(MInvarianceTest, FirstReleaseBucketsAreMDiverse) {
+  Population pop(20, 1);
+  pop.Insert(500);
+  MInvariantRepublisher republisher(4, 20, 2);
+  RepublishRelease release =
+      republisher.PublishNext(pop.Snapshot()).ValueOrDie();
+  CheckReleaseInvariants(release, 4);
+  EXPECT_EQ(release.TotalCounterfeits(), 0u);  // fresh cohorts never pad
+  // Nearly everyone published (deferral only for the tail).
+  size_t published = 0;
+  for (const auto& owners : release.bucket_owners) {
+    published += owners.size();
+  }
+  EXPECT_GE(published + release.deferred.size(), 500u);
+  EXPECT_LT(release.deferred.size(), 40u);
+}
+
+TEST(MInvarianceTest, SignaturesAreInvariantAcrossReleases) {
+  Population pop(15, 3);
+  pop.Insert(400);
+  MInvariantRepublisher republisher(3, 15, 4);
+  std::vector<RepublishRelease> releases;
+  releases.push_back(republisher.PublishNext(pop.Snapshot()).ValueOrDie());
+
+  for (int round = 0; round < 4; ++round) {
+    pop.Churn(0.2);
+    pop.Insert(80);
+    releases.push_back(republisher.PublishNext(pop.Snapshot()).ValueOrDie());
+    CheckReleaseInvariants(releases.back(), 3);
+  }
+
+  // Every owner's bucket signature matches their recorded signature in
+  // every release they appear in.
+  for (const RepublishRelease& release : releases) {
+    for (size_t b = 0; b < release.num_buckets(); ++b) {
+      for (int64_t owner : release.bucket_owners[b]) {
+        EXPECT_EQ(release.bucket_signature[b],
+                  republisher.SignatureOf(owner));
+      }
+    }
+  }
+}
+
+TEST(MInvarianceTest, IntersectionAttackKeepsMCandidates) {
+  Population pop(15, 5);
+  pop.Insert(600);
+  const int m = 3;
+  MInvariantRepublisher republisher(m, 15, 6);
+  std::vector<RepublishRelease> releases;
+  releases.push_back(republisher.PublishNext(pop.Snapshot()).ValueOrDie());
+  for (int round = 0; round < 3; ++round) {
+    pop.Churn(0.3);
+    pop.Insert(100);
+    releases.push_back(republisher.PublishNext(pop.Snapshot()).ValueOrDie());
+  }
+  std::vector<const RepublishRelease*> pointers;
+  for (const auto& r : releases) pointers.push_back(&r);
+
+  // Every owner that was ever published keeps all m candidates.
+  size_t attacked = 0;
+  for (int64_t owner = 0; owner < 600; ++owner) {
+    std::vector<int32_t> candidates = IntersectionAttack(pointers, owner);
+    if (candidates.empty()) continue;  // never published
+    ++attacked;
+    EXPECT_EQ(static_cast<int>(candidates.size()), m) << "owner " << owner;
+  }
+  EXPECT_GT(attacked, 400u);
+}
+
+TEST(MInvarianceTest, NaiveRepublicationLeaksUnderIntersection) {
+  // Naive = fresh, history-free bucketization per round: intersections
+  // shrink candidate sets, often to a single value.
+  Population pop(15, 7);
+  pop.Insert(600);
+  const int m = 3;
+  std::vector<RepublishRelease> releases;
+  for (int round = 0; round < 4; ++round) {
+    MInvariantRepublisher fresh(m, 15, 100 + round);  // no shared history
+    releases.push_back(fresh.PublishNext(pop.Snapshot()).ValueOrDie());
+    pop.Churn(0.25);
+    pop.Insert(60);
+  }
+  std::vector<const RepublishRelease*> pointers;
+  for (const auto& r : releases) pointers.push_back(&r);
+
+  size_t shrunk = 0, certain = 0, attacked = 0;
+  for (int64_t owner = 0; owner < 600; ++owner) {
+    std::vector<int32_t> candidates = IntersectionAttack(pointers, owner);
+    if (candidates.empty()) continue;
+    ++attacked;
+    if (static_cast<int>(candidates.size()) < m) ++shrunk;
+    if (candidates.size() == 1) ++certain;
+  }
+  ASSERT_GT(attacked, 300u);
+  // The intersection attack must bite for a large share of owners, with
+  // certain disclosure for many.
+  EXPECT_GT(shrunk, attacked / 2);
+  EXPECT_GT(certain, attacked / 10);
+}
+
+TEST(MInvarianceTest, CounterfeitsAppearAfterSkewedDeletions) {
+  // Start balanced, then delete every owner with value 0: returning
+  // buckets must pad value 0 with counterfeits to keep signatures.
+  std::vector<std::pair<int64_t, int32_t>> snapshot;
+  for (int64_t i = 0; i < 100; ++i) {
+    snapshot.push_back({i, static_cast<int32_t>(i % 4)});
+  }
+  MInvariantRepublisher republisher(2, 4, 8);
+  RepublishRelease first = republisher.PublishNext(snapshot).ValueOrDie();
+  CheckReleaseInvariants(first, 2);
+
+  std::vector<std::pair<int64_t, int32_t>> survivors;
+  for (const auto& [owner, value] : snapshot) {
+    if (value != 0) survivors.push_back({owner, value});
+  }
+  RepublishRelease second = republisher.PublishNext(survivors).ValueOrDie();
+  CheckReleaseInvariants(second, 2);
+  EXPECT_GT(second.TotalCounterfeits(), 0u);
+}
+
+TEST(MInvarianceTest, RejectsInconsistentSnapshots) {
+  MInvariantRepublisher republisher(2, 4, 9);
+  EXPECT_TRUE(republisher.PublishNext({{1, 0}, {1, 1}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(republisher.PublishNext({{1, 9}}).status().IsOutOfRange());
+  ASSERT_TRUE(republisher.PublishNext({{1, 0}, {2, 1}}).ok());
+  EXPECT_TRUE(republisher.PublishNext({{1, 2}, {2, 1}})
+                  .status()
+                  .IsInvalidArgument());  // owner 1 changed value
+}
+
+TEST(MInvarianceTest, ReturningOwnerAfterAbsenceKeepsSignature) {
+  MInvariantRepublisher republisher(2, 6, 10);
+  // Round 1: owners 0..3.
+  auto r1 = republisher
+                .PublishNext({{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+                .ValueOrDie();
+  const std::vector<int32_t> sig0 = republisher.SignatureOf(0);
+  ASSERT_EQ(sig0.size(), 2u);
+  // Round 2: owner 0 absent.
+  ASSERT_TRUE(republisher.PublishNext({{1, 1}, {2, 2}, {3, 3}}).ok());
+  // Round 3: owner 0 returns — same signature.
+  auto r3 = republisher
+                .PublishNext({{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+                .ValueOrDie();
+  EXPECT_EQ(republisher.SignatureOf(0), sig0);
+  bool found = false;
+  for (size_t b = 0; b < r3.num_buckets(); ++b) {
+    const auto& owners = r3.bucket_owners[b];
+    if (std::find(owners.begin(), owners.end(), 0) != owners.end()) {
+      EXPECT_EQ(r3.bucket_signature[b], sig0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace pgpub

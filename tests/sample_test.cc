@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sample/stratified.h"
+
+namespace pgpub {
+namespace {
+
+QiGroups MakeGroups(std::vector<std::vector<uint32_t>> rows) {
+  QiGroups g;
+  size_t n = 0;
+  for (const auto& r : rows) n += r.size();
+  g.row_to_group.assign(n, -1);
+  for (size_t gid = 0; gid < rows.size(); ++gid) {
+    for (uint32_t r : rows[gid]) {
+      g.row_to_group[r] = static_cast<int32_t>(gid);
+    }
+  }
+  g.group_rows = std::move(rows);
+  return g;
+}
+
+TEST(StratifiedSampleTest, OneTuplePerGroupWithCorrectG) {
+  QiGroups g = MakeGroups({{0, 1, 2}, {3, 4}, {5, 6, 7, 8}});
+  Rng rng(1);
+  std::vector<StratumSample> s = StratifiedSample(g, rng);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].group_size, 3u);
+  EXPECT_EQ(s[1].group_size, 2u);
+  EXPECT_EQ(s[2].group_size, 4u);
+  for (size_t gid = 0; gid < 3; ++gid) {
+    EXPECT_EQ(s[gid].group, static_cast<int32_t>(gid));
+    const auto& rows = g.group_rows[gid];
+    EXPECT_NE(std::find(rows.begin(), rows.end(), s[gid].row), rows.end());
+  }
+}
+
+TEST(StratifiedSampleTest, SamplesUniformlyWithinStratum) {
+  QiGroups g = MakeGroups({{0, 1, 2, 3}});
+  Rng rng(2);
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    counts[StratifiedSample(g, rng)[0].row]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(trials), 0.25, 0.01);
+  }
+}
+
+TEST(StratifiedSampleTest, DeterministicGivenSeed) {
+  QiGroups g = MakeGroups({{0, 1}, {2, 3, 4}, {5, 6}});
+  Rng a(77), b(77);
+  auto sa = StratifiedSample(g, a);
+  auto sb = StratifiedSample(g, b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i].row, sb[i].row);
+}
+
+TEST(StratifiedSampleTest, CardinalityRequirementHolds) {
+  // With every stratum of size >= k, the sample has at most n/k <= n*s
+  // tuples (Section II-A with k = ceil(1/s)).
+  QiGroups g = MakeGroups({{0, 1, 2}, {3, 4, 5, 6}, {7, 8, 9}});
+  const int k = 3;
+  const double s = 1.0 / k;
+  Rng rng(3);
+  auto sample = StratifiedSample(g, rng);
+  EXPECT_LE(sample.size(),
+            static_cast<size_t>(std::floor(10 * s)) + 1);
+  EXPECT_EQ(sample.size(), g.num_groups());
+}
+
+TEST(UniformRowSampleTest, DistinctWithinUniverse) {
+  Rng rng(4);
+  auto s = UniformRowSample(100, 30, rng);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t x : s) EXPECT_LT(x, 100u);
+}
+
+}  // namespace
+}  // namespace pgpub

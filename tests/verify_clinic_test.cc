@@ -1,0 +1,176 @@
+/// Tests for the release verifier and the clinic workload.
+
+#include <gtest/gtest.h>
+
+#include "attack/breach_harness.h"
+#include "core/pg_publisher.h"
+#include "core/verify.h"
+#include "datagen/clinic.h"
+#include "mining/evaluate.h"
+
+namespace pgpub {
+namespace {
+
+// ----------------------------------------------------------- verifier
+
+TEST(VerifyPublicationTest, AcceptsGenuineReleases) {
+  for (uint64_t seed : {1, 2, 3}) {
+    CensusDataset clinic = GenerateClinic(6000, seed).ValueOrDie();
+    PgOptions options;
+    options.k = 5;
+    options.p = 0.3;
+    options.seed = seed;
+    PgPublisher publisher(options);
+    PublishedTable published =
+        publisher.Publish(clinic.table, clinic.TaxonomyPointers())
+            .ValueOrDie();
+    EXPECT_TRUE(VerifyPublication(clinic.table, published).ok());
+  }
+}
+
+TEST(VerifyPublicationTest, DetectsForeignMicrodata) {
+  // A release verified against *different* microdata must fail: the cell
+  // populations cannot match.
+  CensusDataset a = GenerateClinic(4000, 10).ValueOrDie();
+  CensusDataset b = GenerateClinic(4000, 11).ValueOrDie();
+  PgOptions options;
+  options.k = 5;
+  options.p = 0.3;
+  PgPublisher publisher(options);
+  PublishedTable published =
+      publisher.Publish(a.table, a.TaxonomyPointers()).ValueOrDie();
+  Status status = VerifyPublication(b.table, published);
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
+}
+
+TEST(VerifyPublicationTest, DetectsUndersizedK) {
+  // Publish with k=2, then claim k=50: the verifier must catch G2.
+  CensusDataset clinic = GenerateClinic(3000, 12).ValueOrDie();
+  PgOptions options;
+  options.k = 2;
+  options.p = 0.3;
+  PgPublisher publisher(options);
+  PublishedTable published =
+      publisher.Publish(clinic.table, clinic.TaxonomyPointers())
+          .ValueOrDie();
+  // Rebuild a tampered release claiming a larger k.
+  std::vector<std::vector<int32_t>> qi_gen;
+  std::vector<int32_t> sensitive;
+  std::vector<uint32_t> group_size;
+  for (size_t r = 0; r < published.num_rows(); ++r) {
+    std::vector<int32_t> row;
+    for (int i = 0; i < published.num_qi_attrs(); ++i) {
+      row.push_back(published.qi_gen(r, i));
+    }
+    qi_gen.push_back(std::move(row));
+    sensitive.push_back(published.sensitive(r));
+    group_size.push_back(published.group_size(r));
+  }
+  PublishedTable tampered(
+      published.source_schema(),
+      std::vector<AttributeDomain>(clinic.table.domains()),
+      published.recoding(), published.sensitive_attr(),
+      published.retention_p(), /*k=*/50, std::move(qi_gen),
+      std::move(sensitive), std::move(group_size));
+  Status status = VerifyPublication(clinic.table, tampered);
+  EXPECT_TRUE(status.IsFailedPrecondition());
+}
+
+// -------------------------------------------------------------- clinic
+
+TEST(ClinicTest, ShapeAndDeterminism) {
+  CensusDataset clinic = GenerateClinic(5000, 42).ValueOrDie();
+  EXPECT_EQ(clinic.table.num_rows(), 5000u);
+  EXPECT_EQ(clinic.table.num_attributes(), 4);
+  EXPECT_EQ(clinic.table.domain(ClinicColumns::kDisease).size(), 40);
+  EXPECT_EQ(*clinic.table.schema().SensitiveIndex(),
+            ClinicColumns::kDisease);
+  CensusDataset again = GenerateClinic(5000, 42).ValueOrDie();
+  EXPECT_EQ(clinic.table.column(ClinicColumns::kDisease),
+            again.table.column(ClinicColumns::kDisease));
+}
+
+TEST(ClinicTest, DiseaseMarginalIsSkewed) {
+  CensusDataset clinic = GenerateClinic(40000, 7).ValueOrDie();
+  std::vector<int64_t> hist =
+      clinic.table.Histogram(ClinicColumns::kDisease);
+  int64_t max_count = 0, min_count = INT64_MAX;
+  for (int64_t c : hist) {
+    max_count = std::max(max_count, c);
+    min_count = std::min(min_count, c);
+  }
+  EXPECT_GT(max_count, 4 * std::max<int64_t>(min_count, 1));
+}
+
+TEST(ClinicTest, AgePredictsDiseaseBand) {
+  CensusDataset clinic = GenerateClinic(40000, 8).ValueOrDie();
+  // Young patients (<=30) should skew toward band 0 relative to the
+  // elderly (>=75) who skew toward band 3.
+  double young_band0 = 0, young_n = 0, old_band3 = 0, old_n = 0;
+  for (size_t r = 0; r < clinic.table.num_rows(); ++r) {
+    const int32_t age = 18 + clinic.table.value(r, ClinicColumns::kAge);
+    const int band = clinic.table.value(r, ClinicColumns::kDisease) / 10;
+    if (age <= 30) {
+      ++young_n;
+      if (band == 0) ++young_band0;
+    } else if (age >= 75) {
+      ++old_n;
+      if (band == 3) ++old_band3;
+    }
+  }
+  ASSERT_GT(young_n, 1000);
+  ASSERT_GT(old_n, 1000);
+  EXPECT_GT(young_band0 / young_n, 0.4);
+  EXPECT_GT(old_band3 / old_n, 0.4);
+}
+
+TEST(ClinicTest, PgPipelineHoldsOnClinicWorkload) {
+  // The complete PG contract must hold on this second data shape too:
+  // publish, verify, attack without breach, mine above the floor.
+  CensusDataset clinic = GenerateClinic(30000, 9).ValueOrDie();
+  PgOptions options;
+  options.k = 6;
+  options.p = 0.3;
+  options.seed = 10;
+  PgPublisher publisher(options);
+  PublishedTable published =
+      publisher.Publish(clinic.table, clinic.TaxonomyPointers())
+          .ValueOrDie();
+  ASSERT_TRUE(VerifyPublication(clinic.table, published).ok());
+
+  Rng rng(11);
+  ExternalDatabase edb =
+      ExternalDatabase::FromMicrodata(clinic.table, 2000, rng);
+  BreachHarnessOptions harness;
+  harness.num_victims = 80;
+  harness.corruption_rate = 1.0;
+  harness.lambda = 0.1;
+  harness.seed = 12;
+  BreachStats stats =
+      MeasurePgBreaches(published, edb, clinic.table, harness);
+  EXPECT_EQ(stats.delta_breaches, 0u);
+  EXPECT_EQ(stats.rho_breaches, 0u);
+
+  // Mine disease bands (4 categories of 10 codes each).
+  CategoryMap bands({0, 10, 20, 30}, 40);
+  Reconstructor reconstructor(0.3, bands.Weights());
+  TreeOptions tree_options;
+  tree_options.reconstructor = &reconstructor;
+  tree_options.min_leaf_rows = 20;
+  tree_options.min_split_rows = 40;
+  tree_options.significance_chi2 = 10.0;
+  DecisionTree tree =
+      DecisionTree::Train(
+          TreeDataset::FromPublished(published, bands, clinic.nominal),
+          tree_options)
+          .ValueOrDie();
+  const std::vector<int> qi = clinic.table.schema().QiIndices();
+  std::vector<int32_t> truth =
+      bands.Map(clinic.table.column(ClinicColumns::kDisease));
+  EvalResult eval = EvaluateTree(tree, clinic.table, qi, truth);
+  EXPECT_LT(eval.error(),
+            MajorityBaselineError(truth, bands.num_categories()) - 0.05);
+}
+
+}  // namespace
+}  // namespace pgpub
