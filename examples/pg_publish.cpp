@@ -21,8 +21,7 @@
 #include <vector>
 
 #include "common/string_util.h"
-#include "core/pg_publisher.h"
-#include "core/verify.h"
+#include "core/robust_publisher.h"
 #include "hierarchy/recoding_io.h"
 #include "mining/dataset_io.h"
 #include "table/csv_io.h"
@@ -176,15 +175,14 @@ int main(int argc, char** argv) {
   }
   for (const Taxonomy& t : taxonomies) pointers.push_back(&t);
 
-  PgPublisher publisher(args.options);
-  auto published = publisher.Publish(*table, pointers);
+  // Fail-closed publish: bounded reseeded retries, generalizer fallback,
+  // and a mandatory release audit (VerifyPublication + guarantee re-check)
+  // before anything leaves the publisher.
+  RobustPublisher publisher(args.options);
+  PublishReport report;
+  auto published = publisher.Publish(*table, pointers, &report);
+  std::printf("%s\n", report.Summary().c_str());
   if (!published.ok()) return Fail(published.status().ToString().c_str());
-
-  // Audit the release against Sections II/IV before anything leaves the
-  // publisher.
-  if (Status st = VerifyPublication(*table, *published); !st.ok()) {
-    return Fail(("release failed verification: " + st.ToString()).c_str());
-  }
 
   if (Status st = published->ToCsv(args.output, pointers); !st.ok()) {
     return Fail(st.ToString().c_str());

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
+
 namespace pgpub {
 
 Result<std::vector<std::string>> Csv::ParseLine(const std::string& line) {
@@ -52,29 +54,113 @@ Result<std::vector<std::string>> Csv::ParseLine(const std::string& line) {
 }
 
 Result<Csv::File> Csv::ReadFile(const std::string& path) {
-  std::ifstream in(path);
+  PGPUB_FAILPOINT(failpoints::kCsvReadFile);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read failed: " + path);
+
+  // Full-text scan (not line-by-line) so quoted fields may contain
+  // embedded newlines; \n, \r\n and lone \r all terminate a record
+  // outside quotes.
   File file;
-  std::string line;
-  bool first = true;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty() && in.eof()) break;
-    ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseLine(line));
-    if (first) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  bool record_open = false;  // any char consumed since the last terminator
+  size_t record_start_line = 1;
+  size_t line = 1;
+  bool have_header = false;
+
+  auto flush_record = [&]() -> Status {
+    fields.push_back(std::move(cur));
+    cur.clear();
+    if (!have_header) {
       file.header = std::move(fields);
-      first = false;
+      have_header = true;
+    } else if (fields.size() != file.header.size()) {
+      return Status::InvalidArgument(
+          "ragged row in " + path + " (line " +
+          std::to_string(record_start_line) + "): expected " +
+          std::to_string(file.header.size()) + " fields, got " +
+          std::to_string(fields.size()));
     } else {
-      if (fields.size() != file.header.size()) {
-        return Status::InvalidArgument(
-            "ragged row in " + path + ": expected " +
-            std::to_string(file.header.size()) + " fields, got " +
-            std::to_string(fields.size()));
-      }
       file.rows.push_back(std::move(fields));
     }
+    fields.clear();
+    record_open = false;
+    return Status::OK();
+  };
+
+  const size_t n = text.size();
+  size_t i = 0;
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          cur += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        if (c == '\n') ++line;
+        cur += c;
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cur.empty()) {
+          return Status::InvalidArgument(
+              "quote in the middle of an unquoted field in " + path +
+              " (line " + std::to_string(line) + ")");
+        }
+        in_quotes = true;
+        record_open = true;
+        ++i;
+        break;
+      case ',':
+        fields.push_back(std::move(cur));
+        cur.clear();
+        record_open = true;
+        ++i;
+        break;
+      case '\r':
+        if (i + 1 < n && text[i + 1] == '\n') ++i;  // CRLF
+        [[fallthrough]];
+      case '\n':
+        ++i;
+        ++line;
+        if (record_open || !cur.empty() || !fields.empty()) {
+          RETURN_IF_ERROR(flush_record());
+        }
+        record_start_line = line;
+        break;
+      default:
+        cur += c;
+        record_open = true;
+        ++i;
+        break;
+    }
   }
-  if (first) return Status::InvalidArgument("empty CSV file: " + path);
+  if (in_quotes) {
+    // The file ends inside an open quote: a truncated upload, not a
+    // recoverable record.
+    return Status::IOError("truncated CSV " + path +
+                           ": unterminated quoted field starting near line " +
+                           std::to_string(record_start_line));
+  }
+  if (record_open || !cur.empty() || !fields.empty()) {
+    RETURN_IF_ERROR(flush_record());  // final record without newline
+  }
+  if (!have_header) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
   return file;
 }
 

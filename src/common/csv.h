@@ -9,7 +9,8 @@
 namespace pgpub {
 
 /// \brief Minimal RFC-4180-ish CSV support: comma separator, optional
-/// double-quote quoting with "" escapes, \n or \r\n line endings.
+/// double-quote quoting with "" escapes (quoted fields may span lines),
+/// \n / \r\n / lone-\r record terminators, blank lines skipped.
 ///
 /// This backs dataset import/export; it is not a general streaming parser.
 class Csv {
@@ -18,8 +19,9 @@ class Csv {
   static Result<std::vector<std::string>> ParseLine(const std::string& line);
 
   /// Reads a whole file: first row is the header, the rest are records.
-  /// Fails with IOError if the file cannot be opened, InvalidArgument on
-  /// malformed quoting or ragged rows.
+  /// Fails with IOError if the file cannot be opened or ends inside an
+  /// open quote (truncated upload), InvalidArgument on malformed quoting
+  /// or ragged rows. Never aborts on malformed input.
   struct File {
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;

@@ -1,0 +1,207 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace pgpub {
+
+namespace {
+
+/// Stable 64-bit hash of a name — default seed of prob-mode streams, so
+/// two prob failpoints never share a trigger pattern.
+uint64_t NameHash(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FailpointRegistry::FailpointRegistry() {
+  for (const char* name : failpoints::kAll) {
+    points_.emplace(name, Point{});
+  }
+  if (const char* env = std::getenv("PGPUB_FAILPOINTS");
+      env != nullptr && *env != '\0') {
+    Status st = EnableFromSpec(env);
+    // A chaos run with a malformed spec must not silently test nothing.
+    PGPUB_CHECK(st.ok()) << "bad PGPUB_FAILPOINTS: " << st.ToString();
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Status FailpointRegistry::Enable(const std::string& name,
+                                 const std::string& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EnableLocked(name, spec);
+}
+
+Status FailpointRegistry::EnableLocked(const std::string& name,
+                                       const std::string& spec) {
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    return Status::InvalidArgument("unknown failpoint '" + name + "'");
+  }
+  Point next;
+  next.hits = it->second.hits;
+  next.triggers = it->second.triggers;
+  const std::string s(Trim(spec));
+  auto arg_of = [&s](size_t open) {
+    // "mode(args)" -> "args"; the caller verified s ends with ')'.
+    return s.substr(open + 1, s.size() - open - 2);
+  };
+  const size_t open = s.find('(');
+  const bool call_form = open != std::string::npos && s.back() == ')';
+  if (s == "off") {
+    next.mode = Point::Mode::kOff;
+  } else if (s == "always") {
+    next.mode = Point::Mode::kAlways;
+  } else if (call_form && s.compare(0, open, "every") == 0) {
+    next.mode = Point::Mode::kEveryNth;
+    char* end = nullptr;
+    const std::string arg = arg_of(open);
+    next.n = std::strtoull(arg.c_str(), &end, 10);
+    if (arg.empty() || *end != '\0' || next.n < 1) {
+      return Status::InvalidArgument("bad every(N) spec: " + s);
+    }
+  } else if (call_form && s.compare(0, open, "times") == 0) {
+    next.mode = Point::Mode::kFirstN;
+    char* end = nullptr;
+    const std::string arg = arg_of(open);
+    next.n = std::strtoull(arg.c_str(), &end, 10);
+    if (arg.empty() || *end != '\0' || next.n < 1) {
+      return Status::InvalidArgument("bad times(N) spec: " + s);
+    }
+  } else if (call_form && s.compare(0, open, "prob") == 0) {
+    next.mode = Point::Mode::kProb;
+    const std::string arg = arg_of(open);
+    const size_t comma = arg.find(',');
+    const std::string prob_str = arg.substr(0, comma);
+    char* end = nullptr;
+    next.prob = std::strtod(prob_str.c_str(), &end);
+    if (prob_str.empty() || *end != '\0' || next.prob < 0.0 ||
+        next.prob > 1.0) {
+      return Status::InvalidArgument("bad prob(P[,SEED]) spec: " + s);
+    }
+    uint64_t seed = NameHash(name);
+    if (comma != std::string::npos) {
+      const std::string seed_str = arg.substr(comma + 1);
+      seed = std::strtoull(seed_str.c_str(), &end, 10);
+      if (seed_str.empty() || *end != '\0') {
+        return Status::InvalidArgument("bad prob(P,SEED) seed: " + s);
+      }
+    }
+    next.rng_state = seed;
+  } else {
+    return Status::InvalidArgument("unknown failpoint spec '" + s + "'");
+  }
+
+  const bool was_on = it->second.mode != Point::Mode::kOff;
+  const bool is_on = next.mode != Point::Mode::kOff;
+  it->second = next;
+  if (was_on != is_on) {
+    enabled_count_.fetch_add(is_on ? 1 : -1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::EnableFromSpec(const std::string& spec_list) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& pair : Split(spec_list, ';')) {
+    const std::string entry(Trim(pair));
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint entry lacks '=': " + entry);
+    }
+    RETURN_IF_ERROR(EnableLocked(std::string(Trim(entry.substr(0, eq))),
+                                 entry.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::Register(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.emplace(name, Point{});
+}
+
+void FailpointRegistry::Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return;
+  if (it->second.mode != Point::Mode::kOff) {
+    it->second.mode = Point::Mode::kOff;
+    enabled_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int armed = 0;
+  for (auto& [name, point] : points_) {
+    if (point.mode != Point::Mode::kOff) ++armed;
+    point = Point{};
+  }
+  enabled_count_.fetch_sub(armed, std::memory_order_relaxed);
+}
+
+bool FailpointRegistry::ShouldFail(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& point = points_[name];  // registers unknown names, disarmed
+  ++point.hits;
+  bool fire = false;
+  switch (point.mode) {
+    case Point::Mode::kOff:
+      break;
+    case Point::Mode::kAlways:
+      fire = true;
+      break;
+    case Point::Mode::kEveryNth:
+      fire = point.hits % point.n == 0;
+      break;
+    case Point::Mode::kFirstN:
+      fire = point.triggers < point.n;
+      break;
+    case Point::Mode::kProb: {
+      SplitMix64 sm(point.rng_state);
+      const uint64_t draw = sm.Next();
+      point.rng_state = draw;  // advance the per-point stream
+      fire = static_cast<double>(draw >> 11) * 0x1.0p-53 < point.prob;
+      break;
+    }
+  }
+  if (fire) ++point.triggers;
+  return fire;
+}
+
+uint64_t FailpointRegistry::HitCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailpointRegistry::TriggerCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.triggers;
+}
+
+std::vector<std::string> FailpointRegistry::KnownNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+}  // namespace pgpub

@@ -116,10 +116,32 @@ double BisectMaxP(const Pred& predicate) {
 
 }  // namespace
 
+namespace {
+
+/// Shared screen for the Result-returning solvers: these take raw user
+/// parameters, so they must reject bad ones with Status instead of
+/// letting them reach the CHECK-guarded formula layer.
+Status ValidateSolverParams(int k, double lambda,
+                            int sensitive_domain_size) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (!(std::isfinite(lambda) && lambda > 0.0 && lambda <= 1.0)) {
+    return Status::InvalidArgument("adversary skew lambda must be in (0,1]");
+  }
+  if (sensitive_domain_size < 2) {
+    return Status::InvalidArgument(
+        "sensitive domain must hold at least 2 values");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<double> MaxRetentionForRho(int k, double lambda,
                                   int sensitive_domain_size, double rho1,
                                   double rho2) {
-  if (!(rho1 > 0.0 && rho1 < rho2 && rho2 <= 1.0)) {
+  RETURN_IF_ERROR(ValidateSolverParams(k, lambda, sensitive_domain_size));
+  if (!(std::isfinite(rho1) && std::isfinite(rho2) && rho1 > 0.0 &&
+        rho1 < rho2 && rho2 <= 1.0)) {
     return Status::InvalidArgument(
         "need 0 < rho1 < rho2 <= 1 for a rho1-to-rho2 guarantee");
   }
@@ -139,7 +161,8 @@ Result<double> MaxRetentionForRho(int k, double lambda,
 Result<double> MaxRetentionForDelta(int k, double lambda,
                                     int sensitive_domain_size,
                                     double delta) {
-  if (!(delta > 0.0 && delta <= 1.0)) {
+  RETURN_IF_ERROR(ValidateSolverParams(k, lambda, sensitive_domain_size));
+  if (!(std::isfinite(delta) && delta > 0.0 && delta <= 1.0)) {
     return Status::InvalidArgument("need 0 < delta <= 1");
   }
   PgParams params{0.0, k, lambda, sensitive_domain_size};
@@ -158,6 +181,15 @@ Result<double> MaxRetentionForDelta(int k, double lambda,
 Result<int> MinKForRho(double p, double lambda, int sensitive_domain_size,
                        double rho1, double rho2, int k_max) {
   if (k_max < 1) return Status::InvalidArgument("k_max must be >= 1");
+  RETURN_IF_ERROR(ValidateSolverParams(1, lambda, sensitive_domain_size));
+  if (!(std::isfinite(p) && p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("retention p must be in [0,1]");
+  }
+  if (!(std::isfinite(rho1) && std::isfinite(rho2) && rho1 > 0.0 &&
+        rho1 < rho2 && rho2 <= 1.0)) {
+    return Status::InvalidArgument(
+        "need 0 < rho1 < rho2 <= 1 for a rho1-to-rho2 guarantee");
+  }
   for (int k = 1; k <= k_max; ++k) {
     PgParams params{p, k, lambda, sensitive_domain_size};
     if (SatisfiesRhoGuarantee(params, rho1, rho2)) return k;
@@ -168,6 +200,13 @@ Result<int> MinKForRho(double p, double lambda, int sensitive_domain_size,
 Result<int> MinKForDelta(double p, double lambda, int sensitive_domain_size,
                          double delta, int k_max) {
   if (k_max < 1) return Status::InvalidArgument("k_max must be >= 1");
+  RETURN_IF_ERROR(ValidateSolverParams(1, lambda, sensitive_domain_size));
+  if (!(std::isfinite(p) && p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("retention p must be in [0,1]");
+  }
+  if (!(std::isfinite(delta) && delta > 0.0 && delta <= 1.0)) {
+    return Status::InvalidArgument("need 0 < delta <= 1");
+  }
   for (int k = 1; k <= k_max; ++k) {
     PgParams params{p, k, lambda, sensitive_domain_size};
     if (SatisfiesDeltaGuarantee(params, delta)) return k;

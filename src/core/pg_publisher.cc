@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
+#include "core/validate.h"
 #include "generalize/incognito.h"
 #include "generalize/metrics.h"
 #include "generalize/tds.h"
@@ -12,8 +14,11 @@
 namespace pgpub {
 
 Result<int> PgPublisher::EffectiveK(const PgOptions& options) {
+  if (options.k < 0) {
+    return Status::InvalidArgument("k must be >= 0");
+  }
   if (options.k > 0) return options.k;
-  if (!(options.s > 0.0 && options.s <= 1.0)) {
+  if (!(std::isfinite(options.s) && options.s > 0.0 && options.s <= 1.0)) {
     return Status::InvalidArgument("sampling parameter s must be in (0,1]");
   }
   return static_cast<int>(std::ceil(1.0 / options.s));
@@ -22,8 +27,15 @@ Result<int> PgPublisher::EffectiveK(const PgOptions& options) {
 Result<double> PgPublisher::EffectiveRetention(const PgOptions& options,
                                                int k,
                                                int sensitive_domain_size) {
+  if (k < 1) {
+    return Status::InvalidArgument("effective k must be >= 1");
+  }
+  if (sensitive_domain_size < 2) {
+    return Status::InvalidArgument(
+        "sensitive domain must hold at least 2 values");
+  }
   if (options.p >= 0.0) {
-    if (options.p > 1.0) {
+    if (!(std::isfinite(options.p) && options.p <= 1.0)) {
       return Status::InvalidArgument("retention p must be in [0,1]");
     }
     return options.p;
@@ -48,22 +60,15 @@ Result<double> PgPublisher::EffectiveRetention(const PgOptions& options,
 Result<PublishedTable> PgPublisher::Publish(
     const Table& microdata,
     const std::vector<const Taxonomy*>& taxonomies) const {
+  // All user-controlled input is screened here; the phases below may
+  // treat violations of these properties as internal bugs.
+  RETURN_IF_ERROR(ValidatePublishInputs(microdata, taxonomies, options_));
+
   const std::vector<int> qi = microdata.schema().QiIndices();
-  if (qi.empty()) {
-    return Status::InvalidArgument("schema declares no QI attributes");
-  }
-  if (taxonomies.size() != qi.size()) {
-    return Status::InvalidArgument(
-        "need one taxonomy entry (possibly null) per QI attribute");
-  }
   ASSIGN_OR_RETURN(int sens, microdata.schema().SensitiveIndex());
   const int32_t us = microdata.domain(sens).size();
   ASSIGN_OR_RETURN(int k, EffectiveK(options_));
   ASSIGN_OR_RETURN(double p, EffectiveRetention(options_, k, us));
-  if (microdata.num_rows() < static_cast<size_t>(k)) {
-    return Status::FailedPrecondition(
-        "microdata has fewer rows than k");
-  }
 
   Rng master(options_.seed);
   Rng perturb_rng(master.Fork());
@@ -71,6 +76,7 @@ Result<PublishedTable> PgPublisher::Publish(
 
   // ---- Phase 1: perturbation (P1/P2). QI untouched; sensitive retained
   // with probability p, otherwise uniformly regenerated.
+  PGPUB_FAILPOINT(failpoints::kPublishPerturb);
   const UniformPerturbation channel(p, us);
   std::vector<int32_t> perturbed =
       channel.PerturbColumn(microdata.column(sens), perturb_rng);
@@ -85,15 +91,6 @@ Result<PublishedTable> PgPublisher::Publish(
     num_classes = us;
   } else {
     const auto& starts = options_.class_category_starts;
-    if (starts[0] != 0) {
-      return Status::InvalidArgument("class_category_starts must begin at 0");
-    }
-    for (size_t i = 1; i < starts.size(); ++i) {
-      if (starts[i] <= starts[i - 1] || starts[i] >= us) {
-        return Status::InvalidArgument(
-            "class_category_starts must be ascending and within |U^s|");
-      }
-    }
     num_classes = static_cast<int>(starts.size());
     class_labels.reserve(perturbed.size());
     for (int32_t code : perturbed) {
@@ -120,12 +117,18 @@ Result<PublishedTable> PgPublisher::Publish(
   }
 
   QiGroups groups = ComputeQiGroups(microdata, recoding);
-  PGPUB_CHECK(IsKAnonymous(groups, k))
-      << "generalizer returned a non-k-anonymous recoding";
+  if (!IsKAnonymous(groups, k)) {
+    // A generalizer bug, not bad input — but the release must still fail
+    // closed rather than ship a table violating G2.
+    return Status::Internal(
+        "generalizer returned a non-k-anonymous recoding");
+  }
 
   // ---- Phase 3: stratified sampling (S1-S4).
+  PGPUB_FAILPOINT(failpoints::kPublishSample);
   std::vector<StratumSample> samples = StratifiedSample(groups, sample_rng);
 
+  PGPUB_FAILPOINT(failpoints::kPublishAssemble);
   std::vector<std::vector<int32_t>> qi_gen;
   std::vector<int32_t> sensitive;
   std::vector<uint32_t> group_sizes;

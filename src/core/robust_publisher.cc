@@ -1,0 +1,185 @@
+#include "core/robust_publisher.h"
+
+#include <chrono>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/validate.h"
+#include "core/verify.h"
+
+namespace pgpub {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+const char* GeneralizerName(PgOptions::Generalizer g) {
+  return g == PgOptions::Generalizer::kTds ? "tds" : "incognito";
+}
+
+/// Permanent failures describe the input, not the attempt: retrying with
+/// a fresh seed cannot fix them, so the policy stops immediately.
+bool IsPermanent(const Status& status) {
+  return status.IsInvalidArgument() || status.IsFailedPrecondition() ||
+         status.IsNotFound() || status.IsUnimplemented();
+}
+
+}  // namespace
+
+std::string PublishReport::Summary() const {
+  std::string out = StrFormat(
+      "publish %s after %zu attempt(s) in %.1f ms%s\n",
+      final_status.ok() ? "succeeded" : "FAILED", attempts.size(), total_ms,
+      fallback_used ? " (generalizer fallback engaged)" : "");
+  for (const Attempt& a : attempts) {
+    out += StrFormat("  attempt %d [%s, seed %llu]: %s", a.number,
+                     GeneralizerName(a.generalizer),
+                     static_cast<unsigned long long>(a.seed),
+                     a.outcome.ToString().c_str());
+    if (a.audited) {
+      out += StrFormat("; audit: %s", a.audit.ToString().c_str());
+    }
+    out += StrFormat(" (%.1f ms)\n", a.elapsed_ms);
+  }
+  out += StrFormat("  audit %s; final: %s",
+                   audit_clean ? "clean" : "not clean",
+                   final_status.ToString().c_str());
+  return out;
+}
+
+uint64_t RobustPublisher::AttemptSeed(uint64_t base_seed, int number) {
+  if (number <= 1) return base_seed;
+  // Deterministic reseed: the attempt index keys an independent SplitMix64
+  // stream, so attempt i is reproducible without replaying attempts < i.
+  SplitMix64 sm(base_seed ^ (0x9e3779b97f4a7c15ULL *
+                             static_cast<uint64_t>(number)));
+  return sm.Next();
+}
+
+Status RobustPublisher::AuditRelease(const Table& microdata,
+                                     const PublishedTable& published) const {
+  PGPUB_FAILPOINT(failpoints::kPublishAudit);
+  RETURN_IF_ERROR(
+      VerifyPublication(microdata, published).WithContext("release audit"));
+
+  // Re-establish the declared guarantee from the parameters the release
+  // actually used — a solver or plumbing bug must not ship quietly.
+  if (options_.p < 0.0 &&
+      options_.target.kind != PrivacyTarget::Kind::kNone) {
+    ASSIGN_OR_RETURN(int sens, microdata.schema().SensitiveIndex());
+    PgParams params;
+    params.p = published.retention_p();
+    params.k = published.k();
+    params.lambda = options_.target.lambda;
+    params.sensitive_domain_size = microdata.domain(sens).size();
+    if (options_.target.kind == PrivacyTarget::Kind::kRho &&
+        !SatisfiesRhoGuarantee(params, options_.target.rho1,
+                               options_.target.rho2)) {
+      return Status::Internal(StrFormat(
+          "release audit: published p=%.6f, k=%d does not establish the "
+          "declared %.3f-to-%.3f guarantee",
+          params.p, params.k, options_.target.rho1, options_.target.rho2));
+    }
+    if (options_.target.kind == PrivacyTarget::Kind::kDelta &&
+        !SatisfiesDeltaGuarantee(params, options_.target.delta)) {
+      return Status::Internal(StrFormat(
+          "release audit: published p=%.6f, k=%d does not establish the "
+          "declared %.3f-growth guarantee",
+          params.p, params.k, options_.target.delta));
+    }
+  }
+  return Status::OK();
+}
+
+Result<PublishedTable> RobustPublisher::Publish(
+    const Table& microdata, const std::vector<const Taxonomy*>& taxonomies,
+    PublishReport* report) const {
+  PublishReport local;
+  PublishReport& rep = report != nullptr ? *report : local;
+  rep = PublishReport{};
+  const auto publish_start = std::chrono::steady_clock::now();
+  auto finish = [&](Status status) {
+    rep.final_status = status;
+    rep.total_ms = MsSince(publish_start);
+    return status;
+  };
+
+  if (policy_.max_attempts < 1) {
+    return finish(Status::InvalidArgument("max_attempts must be >= 1"));
+  }
+
+  // Malformed input is permanent: retrying cannot repair a broken
+  // taxonomy or an unsatisfiable target.
+  if (Status st = ValidatePublishInputs(microdata, taxonomies, options_);
+      !st.ok()) {
+    return finish(st);
+  }
+
+  std::vector<PgOptions::Generalizer> rounds = {options_.generalizer};
+  if (policy_.allow_generalizer_fallback) {
+    bool all_taxonomies = true;
+    for (const Taxonomy* t : taxonomies) all_taxonomies &= t != nullptr;
+    if (all_taxonomies) {
+      rounds.push_back(options_.generalizer == PgOptions::Generalizer::kTds
+                           ? PgOptions::Generalizer::kIncognito
+                           : PgOptions::Generalizer::kTds);
+    }
+  }
+
+  Status last_error = Status::Internal("no publish attempt ran");
+  int attempt_number = 0;
+  for (const PgOptions::Generalizer generalizer : rounds) {
+    if (generalizer != options_.generalizer) rep.fallback_used = true;
+    for (int i = 1; i <= policy_.max_attempts; ++i) {
+      ++attempt_number;
+      PublishReport::Attempt attempt;
+      attempt.number = attempt_number;
+      attempt.generalizer = generalizer;
+      attempt.seed = AttemptSeed(options_.seed, attempt_number);
+      const auto attempt_start = std::chrono::steady_clock::now();
+
+      PgOptions attempt_options = options_;
+      attempt_options.generalizer = generalizer;
+      attempt_options.seed = attempt.seed;
+      Result<PublishedTable> candidate =
+          PgPublisher(attempt_options).Publish(microdata, taxonomies);
+      attempt.outcome = candidate.status();
+
+      if (candidate.ok() && policy_.audit_release) {
+        attempt.audited = true;
+        attempt.audit = AuditRelease(microdata, *candidate);
+      }
+      attempt.elapsed_ms = MsSince(attempt_start);
+      const bool audit_ok = !attempt.audited || attempt.audit.ok();
+      const Status failure = !attempt.outcome.ok() ? attempt.outcome
+                             : !audit_ok           ? attempt.audit
+                                                   : Status::OK();
+      rep.attempts.push_back(attempt);
+
+      if (failure.ok()) {
+        rep.audit_clean = attempt.audited;
+        rep.final_status = Status::OK();
+        rep.total_ms = MsSince(publish_start);
+        return std::move(candidate).ValueOrDie();
+      }
+      last_error = failure;
+      // Fail fast on input errors; an audit failure or transient phase
+      // error is worth another (reseeded) attempt.
+      if (IsPermanent(failure)) {
+        return finish(failure);
+      }
+    }
+  }
+  // Fail closed: every attempt either failed to publish or produced a
+  // table that did not survive the audit — nothing is released.
+  return finish(last_error.WithContext(
+      StrFormat("publish failed closed after %d attempt(s)",
+                attempt_number)));
+}
+
+}  // namespace pgpub

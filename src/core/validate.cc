@@ -1,0 +1,129 @@
+#include "core/validate.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/failpoint.h"
+
+namespace pgpub {
+
+Status ValidatePgOptions(const PgOptions& options,
+                         int sensitive_domain_size) {
+  if (sensitive_domain_size < 2) {
+    return Status::InvalidArgument(
+        "sensitive domain must hold at least 2 values, got " +
+        std::to_string(sensitive_domain_size));
+  }
+  if (options.k < 0) {
+    return Status::InvalidArgument("k must be >= 0, got " +
+                                   std::to_string(options.k));
+  }
+  if (options.k == 0 &&
+      !(std::isfinite(options.s) && options.s > 0.0 && options.s <= 1.0)) {
+    return Status::InvalidArgument(
+        "sampling parameter s must be in (0,1] when k is not given");
+  }
+  if (options.p >= 0.0) {
+    if (!(std::isfinite(options.p) && options.p <= 1.0)) {
+      return Status::InvalidArgument("retention p must be in [0,1]");
+    }
+  } else {
+    // p is to be solved from the declared target.
+    const PrivacyTarget& target = options.target;
+    if (target.kind == PrivacyTarget::Kind::kNone) {
+      return Status::InvalidArgument(
+          "no retention probability given and no privacy target to solve "
+          "it from");
+    }
+    if (!(std::isfinite(target.lambda) && target.lambda > 0.0 &&
+          target.lambda <= 1.0)) {
+      return Status::InvalidArgument("adversary skew lambda must be in "
+                                     "(0,1]");
+    }
+    if (target.kind == PrivacyTarget::Kind::kRho &&
+        !(std::isfinite(target.rho1) && std::isfinite(target.rho2) &&
+          target.rho1 > 0.0 && target.rho1 < target.rho2 &&
+          target.rho2 <= 1.0)) {
+      return Status::InvalidArgument(
+          "need 0 < rho1 < rho2 <= 1 for a rho1-to-rho2 guarantee");
+    }
+    if (target.kind == PrivacyTarget::Kind::kDelta &&
+        !(std::isfinite(target.delta) && target.delta > 0.0 &&
+          target.delta <= 1.0)) {
+      return Status::InvalidArgument(
+          "need 0 < delta <= 1 for a Delta-growth guarantee");
+    }
+  }
+  const auto& starts = options.class_category_starts;
+  if (!starts.empty()) {
+    if (starts[0] != 0) {
+      return Status::InvalidArgument("class_category_starts must begin at 0");
+    }
+    for (size_t i = 1; i < starts.size(); ++i) {
+      if (starts[i] <= starts[i - 1] || starts[i] >= sensitive_domain_size) {
+        return Status::InvalidArgument(
+            "class_category_starts must be ascending and within |U^s|");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateTaxonomy(const Taxonomy& taxonomy, int32_t domain_size) {
+  RETURN_IF_ERROR(taxonomy.Audit());
+  if (taxonomy.domain_size() != domain_size) {
+    return Status::InvalidArgument(
+        "taxonomy covers " + std::to_string(taxonomy.domain_size()) +
+        " codes but the attribute domain holds " +
+        std::to_string(domain_size));
+  }
+  return Status::OK();
+}
+
+Status ValidatePublishInputs(const Table& microdata,
+                             const std::vector<const Taxonomy*>& taxonomies,
+                             const PgOptions& options) {
+  PGPUB_FAILPOINT(failpoints::kPublishValidate);
+  const std::vector<int> qi = microdata.schema().QiIndices();
+  if (qi.empty()) {
+    return Status::InvalidArgument("schema declares no QI attributes");
+  }
+  if (taxonomies.size() != qi.size()) {
+    return Status::InvalidArgument(
+        "need one taxonomy entry (possibly null) per QI attribute, got " +
+        std::to_string(taxonomies.size()) + " for " +
+        std::to_string(qi.size()));
+  }
+  ASSIGN_OR_RETURN(int sens, microdata.schema().SensitiveIndex());
+  const int32_t us = microdata.domain(sens).size();
+  RETURN_IF_ERROR(ValidatePgOptions(options, us));
+
+  for (size_t i = 0; i < qi.size(); ++i) {
+    if (taxonomies[i] == nullptr) continue;
+    RETURN_IF_ERROR(
+        ValidateTaxonomy(*taxonomies[i], microdata.domain(qi[i]).size())
+            .WithContext("taxonomy of QI attribute " +
+                         microdata.schema().attribute(qi[i]).name));
+  }
+
+  // Sensitive codes must lie in [0, |U^s|): Phase 1 indexes the
+  // perturbation channel by them.
+  const std::vector<int32_t>& sens_col = microdata.column(sens);
+  for (size_t r = 0; r < sens_col.size(); ++r) {
+    if (sens_col[r] < 0 || sens_col[r] >= us) {
+      return Status::InvalidArgument(
+          "sensitive code out of range at row " + std::to_string(r) +
+          ": " + std::to_string(sens_col[r]));
+    }
+  }
+
+  ASSIGN_OR_RETURN(int k, PgPublisher::EffectiveK(options));
+  if (microdata.num_rows() < static_cast<size_t>(k)) {
+    return Status::FailedPrecondition(
+        "microdata has fewer rows (" + std::to_string(microdata.num_rows()) +
+        ") than k (" + std::to_string(k) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace pgpub

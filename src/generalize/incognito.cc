@@ -3,6 +3,7 @@
 #include <map>
 #include <queue>
 
+#include "common/failpoint.h"
 #include "generalize/metrics.h"
 
 namespace pgpub {
@@ -34,6 +35,7 @@ Result<GlobalRecoding> IncognitoSearch(
     const Table& table, const std::vector<int>& qi_attrs,
     const std::vector<const Taxonomy*>& taxonomies,
     const IncognitoOptions& options) {
+  PGPUB_FAILPOINT(failpoints::kPublishGeneralizeIncognito);
   if (qi_attrs.size() != taxonomies.size()) {
     return Status::InvalidArgument("qi_attrs/taxonomies size mismatch");
   }
@@ -121,7 +123,11 @@ Result<GlobalRecoding> IncognitoSearch(
       }
     }
   }
-  PGPUB_CHECK(found);
+  if (!found) {
+    return Status::Internal(
+        "Incognito explored the lattice without finding a minimal "
+        "k-anonymous node");
+  }
   return best;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "common/math_util.h"
 
 namespace pgpub {
@@ -437,6 +438,7 @@ void TopDownSpecializer::Apply(int attr_idx, int32_t lo,
 }
 
 Result<GlobalRecoding> TopDownSpecializer::Run() {
+  PGPUB_FAILPOINT(failpoints::kPublishGeneralizeTds);
   const size_t n = table_.num_rows();
   if (n < static_cast<size_t>(options_.k)) {
     return Status::FailedPrecondition(

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace pgpub {
@@ -28,6 +29,7 @@ Status SaveRecoding(const GlobalRecoding& recoding,
 }
 
 Result<GlobalRecoding> LoadRecoding(const std::string& path) {
+  PGPUB_FAILPOINT(failpoints::kRecodingLoad);
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
   std::string line;

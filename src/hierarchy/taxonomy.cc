@@ -1,5 +1,6 @@
 #include "hierarchy/taxonomy.h"
 
+#include <algorithm>
 #include <functional>
 
 namespace pgpub {
@@ -214,6 +215,110 @@ Result<Taxonomy> Taxonomy::FromSpec(const Spec& spec) {
   PGPUB_CHECK_EQ(t.domain_size(), domain_size);
   t.Finalize();
   return t;
+}
+
+Result<Taxonomy> Taxonomy::FromNodes(std::vector<TaxonomyNode> nodes) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("taxonomy needs at least a root node");
+  }
+  if (nodes[0].parent != -1) {
+    return Status::InvalidArgument("node 0 must be the root (parent -1)");
+  }
+  if (nodes[0].range.lo != 0 || nodes[0].range.hi < nodes[0].range.lo) {
+    return Status::InvalidArgument("root must cover [0, domain_size)");
+  }
+  // Rebuild children and depths from the parent links; the input lists
+  // are untrusted.
+  for (TaxonomyNode& n : nodes) n.children.clear();
+  nodes[0].depth = 0;  // before the loop: children derive depth from it
+  const int count = static_cast<int>(nodes.size());
+  for (int id = 1; id < count; ++id) {
+    const int parent = nodes[id].parent;
+    if (parent < 0 || parent >= id) {
+      return Status::InvalidArgument(
+          "node " + std::to_string(id) +
+          " must reference an earlier parent, got " + std::to_string(parent));
+    }
+    nodes[parent].children.push_back(id);
+    nodes[id].depth = nodes[parent].depth + 1;
+  }
+  // Children must cover their parent's range left to right.
+  for (TaxonomyNode& n : nodes) {
+    std::sort(n.children.begin(), n.children.end(),
+              [&nodes](int a, int b) {
+                return nodes[a].range.lo < nodes[b].range.lo;
+              });
+  }
+  Taxonomy t;
+  t.nodes_ = std::move(nodes);
+  RETURN_IF_ERROR(t.Audit());
+  t.Finalize();  // cannot abort: Audit established every invariant
+  return t;
+}
+
+Status Taxonomy::Audit() const {
+  if (nodes_.empty()) {
+    return Status::InvalidArgument("taxonomy has no nodes");
+  }
+  const TaxonomyNode& root = nodes_[0];
+  if (root.parent != -1 || root.depth != 0) {
+    return Status::InvalidArgument("node 0 is not a well-formed root");
+  }
+  if (root.range.lo != 0 || root.range.hi < 0) {
+    return Status::InvalidArgument("root range must be [0, domain_size)");
+  }
+  size_t reachable = 0;
+  for (int id = 0; id < num_nodes(); ++id) {
+    const TaxonomyNode& n = nodes_[id];
+    if (n.range.lo > n.range.hi) {
+      return Status::InvalidArgument("node " + std::to_string(id) +
+                                     " has an empty range");
+    }
+    if (n.children.empty()) {
+      if (!n.range.IsSingleton()) {
+        return Status::InvalidArgument(
+            "leaf " + std::to_string(id) + " covers " + n.range.ToString() +
+            " instead of a single code");
+      }
+      continue;
+    }
+    int32_t expect_lo = n.range.lo;
+    for (int c : n.children) {
+      if (c <= 0 || c >= num_nodes()) {
+        return Status::InvalidArgument("node " + std::to_string(id) +
+                                       " has an out-of-range child");
+      }
+      const TaxonomyNode& child = nodes_[c];
+      if (child.parent != id) {
+        return Status::InvalidArgument(
+            "child " + std::to_string(c) + " does not link back to parent " +
+            std::to_string(id));
+      }
+      if (child.depth != n.depth + 1) {
+        return Status::InvalidArgument("child " + std::to_string(c) +
+                                       " has inconsistent depth");
+      }
+      if (child.range.lo != expect_lo) {
+        return Status::InvalidArgument(
+            "children of node " + std::to_string(id) +
+            " do not partition its range (gap or overlap at code " +
+            std::to_string(expect_lo) + ")");
+      }
+      expect_lo = child.range.hi + 1;
+      ++reachable;
+    }
+    if (expect_lo != n.range.hi + 1) {
+      return Status::InvalidArgument("children of node " +
+                                     std::to_string(id) +
+                                     " do not cover its range");
+    }
+  }
+  // Every non-root node appeared exactly once as somebody's child.
+  if (reachable != nodes_.size() - 1) {
+    return Status::InvalidArgument(
+        "taxonomy has unreachable or multiply-linked nodes");
+  }
+  return Status::OK();
 }
 
 int Taxonomy::FindNode(const Interval& range) const {

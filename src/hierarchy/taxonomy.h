@@ -68,6 +68,20 @@ class Taxonomy {
   /// Builds from a nested spec; fails if group counts are inconsistent.
   static Result<Taxonomy> FromSpec(const Spec& spec);
 
+  /// Builds from an explicit node list (untrusted input, e.g. a parsed
+  /// hierarchy file). Node 0 must be the root; every other node's parent
+  /// must precede it. Children lists and depths are recomputed from the
+  /// parent links; the result is structurally audited (see Audit) and
+  /// malformed input fails with InvalidArgument instead of aborting.
+  static Result<Taxonomy> FromNodes(std::vector<TaxonomyNode> nodes);
+
+  /// Structural self-audit: root covers [0, domain_size); every internal
+  /// node's children partition its range in code order; every leaf is a
+  /// singleton; parent/depth links are consistent; every node is reachable
+  /// from the root. OK when all hold, InvalidArgument naming the first
+  /// violation otherwise.
+  Status Audit() const;
+
   int root() const { return 0; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   const TaxonomyNode& node(int id) const { return nodes_[id]; }

@@ -1,0 +1,76 @@
+#include "hierarchy/taxonomy_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace pgpub {
+
+Status SaveTaxonomy(const Taxonomy& taxonomy, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "pgpub-taxonomy v1\n";
+  out << "domain " << taxonomy.domain_size() << " nodes "
+      << taxonomy.num_nodes() << '\n';
+  for (int id = 0; id < taxonomy.num_nodes(); ++id) {
+    const TaxonomyNode& n = taxonomy.node(id);
+    out << "node " << n.parent << ' ' << n.range.lo << ' ' << n.range.hi
+        << ' ' << n.label << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Taxonomy> LoadTaxonomy(const std::string& path) {
+  PGPUB_FAILPOINT(failpoints::kTaxonomyLoad);
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != "pgpub-taxonomy v1") {
+    return Status::InvalidArgument("bad taxonomy header in " + path);
+  }
+  int32_t domain_size = 0;
+  int count = 0;
+  {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("missing domain/nodes line in " + path);
+    }
+    std::istringstream ls(line);
+    std::string tag1, tag2;
+    if (!(ls >> tag1 >> domain_size >> tag2 >> count) || tag1 != "domain" ||
+        tag2 != "nodes" || domain_size <= 0 || count <= 0) {
+      return Status::InvalidArgument("bad domain/nodes line in " + path);
+    }
+  }
+  std::vector<TaxonomyNode> nodes;
+  nodes.reserve(count);
+  for (int id = 0; id < count; ++id) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated taxonomy file " + path);
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    TaxonomyNode node;
+    if (!(ls >> tag >> node.parent >> node.range.lo >> node.range.hi) ||
+        tag != "node") {
+      return Status::InvalidArgument("bad node line " + std::to_string(id) +
+                                     " in " + path);
+    }
+    std::string label;
+    std::getline(ls, label);
+    node.label = std::string(Trim(label));
+    nodes.push_back(std::move(node));
+  }
+  ASSIGN_OR_RETURN(Taxonomy taxonomy, Taxonomy::FromNodes(std::move(nodes)));
+  if (taxonomy.domain_size() != domain_size) {
+    return Status::InvalidArgument(
+        "taxonomy root covers " + std::to_string(taxonomy.domain_size()) +
+        " codes but the header declares " + std::to_string(domain_size) +
+        " in " + path);
+  }
+  return taxonomy;
+}
+
+}  // namespace pgpub

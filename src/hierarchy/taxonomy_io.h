@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "hierarchy/taxonomy.h"
+
+namespace pgpub {
+
+/// \brief Sidecar serialization of a Taxonomy, so generalization
+/// hierarchies can be authored or shipped as plain files and audited
+/// independently of the code that built them.
+///
+/// Line-oriented text format (one node per line, ids are line order, the
+/// root first; labels may contain spaces and run to end of line):
+///
+///   pgpub-taxonomy v1
+///   domain <size> nodes <count>
+///   node <parent> <lo> <hi> <label>
+///
+/// Parent indices refer to earlier lines (-1 for the root). Depths and
+/// children are recomputed on load.
+Status SaveTaxonomy(const Taxonomy& taxonomy, const std::string& path);
+
+/// Loads a taxonomy written by SaveTaxonomy. Hierarchy files are
+/// user-controlled input: malformed structure (bad parent links, ranges
+/// that do not partition, non-singleton leaves, wrong counts) fails with
+/// InvalidArgument and unreadable files with IOError — never an abort.
+Result<Taxonomy> LoadTaxonomy(const std::string& path);
+
+}  // namespace pgpub

@@ -5,6 +5,7 @@
 #include <queue>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace pgpub {
@@ -88,6 +89,7 @@ void MInvariantRepublisher::AssignNewSignatures(
 
 Result<RepublishRelease> MInvariantRepublisher::PublishNext(
     const std::vector<std::pair<int64_t, int32_t>>& alive) {
+  PGPUB_FAILPOINT(failpoints::kRepublishNext);
   // Validate the snapshot.
   std::set<int64_t> seen;
   for (const auto& [owner, value] : alive) {

@@ -1,10 +1,12 @@
 #include "table/csv_io.h"
 
 #include "common/csv.h"
+#include "common/failpoint.h"
 
 namespace pgpub {
 
 Result<Table> LoadCsv(const std::string& path, const Schema& schema) {
+  PGPUB_FAILPOINT(failpoints::kTableLoadCsv);
   ASSIGN_OR_RETURN(Csv::File file, Csv::ReadFile(path));
   // Map each schema attribute to its CSV column.
   std::vector<int> csv_index(schema.num_attributes(), -1);

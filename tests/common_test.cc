@@ -398,5 +398,90 @@ TEST(CsvTest, WriteRaggedRowFails) {
   std::remove(path.c_str());
 }
 
+namespace {
+/// Writes `text` byte-for-byte and parses it back.
+Result<Csv::File> ReadCsvText(const std::string& name,
+                              const std::string& text) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  Result<Csv::File> file = Csv::ReadFile(path);
+  std::remove(path.c_str());
+  return file;
+}
+}  // namespace
+
+TEST(CsvTest, ReadCrlfTerminators) {
+  auto file =
+      ReadCsvText("pgpub_crlf.csv", "a,b\r\n1,2\r\n3,4\r\n").ValueOrDie();
+  EXPECT_EQ(file.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(file.rows.size(), 2u);
+  EXPECT_EQ(file.rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvTest, ReadLoneCarriageReturnTerminators) {
+  auto file = ReadCsvText("pgpub_cr.csv", "a,b\r1,2\r3,4").ValueOrDie();
+  ASSERT_EQ(file.rows.size(), 2u);
+  EXPECT_EQ(file.rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, ReadQuotedFieldSpanningLines) {
+  auto file = ReadCsvText("pgpub_span.csv",
+                          "a,b\n1,\"first\nsecond\r\nthird\"\n2,plain\n")
+                  .ValueOrDie();
+  ASSERT_EQ(file.rows.size(), 2u);
+  EXPECT_EQ(file.rows[0][1], "first\nsecond\r\nthird");
+  EXPECT_EQ(file.rows[1][1], "plain");
+}
+
+TEST(CsvTest, ReadQuotedFieldRoundTripsThroughWriter) {
+  const std::string path = ::testing::TempDir() + "/pgpub_multiline.csv";
+  std::vector<std::vector<std::string>> rows = {{"1", "two\nlines"},
+                                                {"2", "say \"hi\",ok"}};
+  ASSERT_TRUE(Csv::WriteFile(path, {"x", "note"}, rows).ok());
+  auto file = Csv::ReadFile(path).ValueOrDie();
+  EXPECT_EQ(file.rows, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadSkipsBlankLines) {
+  auto file =
+      ReadCsvText("pgpub_blank.csv", "a,b\n\n1,2\n\r\n\n3,4\n\n").ValueOrDie();
+  ASSERT_EQ(file.rows.size(), 2u);
+  EXPECT_EQ(file.rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvTest, ReadNoTrailingNewline) {
+  auto file = ReadCsvText("pgpub_notrail.csv", "a,b\n1,2").ValueOrDie();
+  ASSERT_EQ(file.rows.size(), 1u);
+  EXPECT_EQ(file.rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, ReadTruncatedInsideQuoteIsIOError) {
+  Status st =
+      ReadCsvText("pgpub_trunc.csv", "a,b\n1,\"cut off mid-fi").status();
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+}
+
+TEST(CsvTest, ReadEmptyFileFails) {
+  EXPECT_TRUE(
+      ReadCsvText("pgpub_empty.csv", "").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ReadRaggedRowNamesLineNumber) {
+  Status st =
+      ReadCsvText("pgpub_ragged2.csv", "a,b\n1,2\n3,4,5\n").status();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("3"), std::string::npos) << st.ToString();
+}
+
+TEST(CsvTest, ReadMidFieldQuoteFails) {
+  EXPECT_TRUE(ReadCsvText("pgpub_midq.csv", "a,b\n1,x\"y\"\n")
+                  .status()
+                  .IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace pgpub

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 
 #include "hierarchy/interval.h"
 #include "hierarchy/recoding.h"
 #include "hierarchy/taxonomy.h"
+#include "hierarchy/taxonomy_io.h"
 
 namespace pgpub {
 namespace {
@@ -282,6 +285,154 @@ TEST(GlobalRecodingTest, SignatureOfCodesMatchesRow) {
   }
   EXPECT_EQ(g.GenVectorOfRow(t, 0), (std::vector<int32_t>{0, 1}));
   EXPECT_EQ(g.GenVectorOfRow(t, 1), (std::vector<int32_t>{1, 1}));
+}
+
+// ----------------------------------------------- FromNodes / Audit
+
+namespace {
+/// Root over [0,3] with two internal children and four singleton leaves —
+/// the smallest taxonomy exercising every structural invariant.
+std::vector<TaxonomyNode> GoodNodes() {
+  auto node = [](int parent, int32_t lo, int32_t hi, const char* label) {
+    TaxonomyNode n;
+    n.parent = parent;
+    n.range = Interval(lo, hi);
+    n.label = label;
+    return n;
+  };
+  return {node(-1, 0, 3, "*"),    node(0, 0, 1, "low"),
+          node(0, 2, 3, "high"),  node(1, 0, 0, "0"),
+          node(1, 1, 1, "1"),     node(2, 2, 2, "2"),
+          node(2, 3, 3, "3")};
+}
+}  // namespace
+
+TEST(TaxonomyFromNodesTest, BuildsAndAuditsCleanly) {
+  Taxonomy taxonomy = Taxonomy::FromNodes(GoodNodes()).ValueOrDie();
+  EXPECT_TRUE(taxonomy.Audit().ok());
+  EXPECT_EQ(taxonomy.domain_size(), 4);
+  EXPECT_EQ(taxonomy.height(), 2);
+  EXPECT_EQ(taxonomy.LeafOf(2), 5);
+  EXPECT_EQ(taxonomy.node(1).children, (std::vector<int>{3, 4}));
+}
+
+TEST(TaxonomyFromNodesTest, RecomputesDepthsAndChildren) {
+  std::vector<TaxonomyNode> nodes = GoodNodes();
+  for (TaxonomyNode& n : nodes) {
+    n.depth = 77;                    // garbage in
+    n.children = {1, 2, 3, 4, 5};    // garbage in
+  }
+  Taxonomy taxonomy = Taxonomy::FromNodes(std::move(nodes)).ValueOrDie();
+  EXPECT_EQ(taxonomy.node(0).depth, 0);
+  EXPECT_EQ(taxonomy.node(6).depth, 2);
+}
+
+TEST(TaxonomyFromNodesTest, RejectsStructuralViolations) {
+  {
+    std::vector<TaxonomyNode> nodes = GoodNodes();
+    nodes[0].parent = 3;  // root must have parent -1
+    EXPECT_TRUE(
+        Taxonomy::FromNodes(std::move(nodes)).status().IsInvalidArgument());
+  }
+  {
+    std::vector<TaxonomyNode> nodes = GoodNodes();
+    nodes[2].parent = 5;  // forward reference
+    EXPECT_TRUE(
+        Taxonomy::FromNodes(std::move(nodes)).status().IsInvalidArgument());
+  }
+  {
+    std::vector<TaxonomyNode> nodes = GoodNodes();
+    nodes[2].range = Interval(1, 3);  // overlaps sibling "low"
+    EXPECT_TRUE(
+        Taxonomy::FromNodes(std::move(nodes)).status().IsInvalidArgument());
+  }
+  {
+    std::vector<TaxonomyNode> nodes = GoodNodes();
+    nodes[2].range = Interval(3, 3);  // gap: code 2 uncovered
+    EXPECT_TRUE(
+        Taxonomy::FromNodes(std::move(nodes)).status().IsInvalidArgument());
+  }
+  {
+    std::vector<TaxonomyNode> nodes = GoodNodes();
+    nodes.pop_back();  // "high" keeps children but loses coverage of 3
+    EXPECT_TRUE(
+        Taxonomy::FromNodes(std::move(nodes)).status().IsInvalidArgument());
+  }
+  {
+    // Non-singleton leaf: drop the leaves under "high".
+    std::vector<TaxonomyNode> nodes = GoodNodes();
+    nodes.resize(5);
+    EXPECT_TRUE(
+        Taxonomy::FromNodes(std::move(nodes)).status().IsInvalidArgument());
+  }
+  {
+    EXPECT_TRUE(
+        Taxonomy::FromNodes({}).status().IsInvalidArgument());
+  }
+}
+
+// ------------------------------------------------------ taxonomy file I/O
+
+namespace {
+std::string WriteTempTaxonomy(const std::string& name,
+                              const std::string& text) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+}  // namespace
+
+TEST(TaxonomyIoTest, SaveLoadRoundTrip) {
+  Taxonomy original = Taxonomy::Binary(11, "age");
+  const std::string path = ::testing::TempDir() + "/pgpub_tax_rt.txt";
+  ASSERT_TRUE(SaveTaxonomy(original, path).ok());
+  Taxonomy loaded = LoadTaxonomy(path).ValueOrDie();
+  ASSERT_EQ(loaded.num_nodes(), original.num_nodes());
+  for (int id = 0; id < original.num_nodes(); ++id) {
+    EXPECT_EQ(loaded.node(id).parent, original.node(id).parent);
+    EXPECT_EQ(loaded.node(id).range, original.node(id).range);
+    EXPECT_EQ(loaded.node(id).label, original.node(id).label);
+    EXPECT_EQ(loaded.node(id).depth, original.node(id).depth);
+  }
+  EXPECT_TRUE(loaded.Audit().ok());
+  std::remove(path.c_str());
+}
+
+TEST(TaxonomyIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadTaxonomy("/nonexistent/t.txt").status().IsIOError());
+}
+
+TEST(TaxonomyIoTest, MalformedFilesFailWithInvalidArgument) {
+  struct Case {
+    const char* name;
+    const char* text;
+  };
+  const Case cases[] = {
+      {"bad_header", "not-a-taxonomy\n"},
+      {"missing_counts", "pgpub-taxonomy v1\n"},
+      {"bad_counts", "pgpub-taxonomy v1\ndomain 0 nodes 3\n"},
+      {"truncated",
+       "pgpub-taxonomy v1\ndomain 2 nodes 3\nnode -1 0 1 *\n"},
+      {"bad_node_line",
+       "pgpub-taxonomy v1\ndomain 2 nodes 3\nnode -1 0 1 *\n"
+       "node zero 0 0 a\nnode 0 1 1 b\n"},
+      {"domain_mismatch",
+       "pgpub-taxonomy v1\ndomain 5 nodes 3\nnode -1 0 1 *\n"
+       "node 0 0 0 a\nnode 0 1 1 b\n"},
+      {"broken_structure",
+       "pgpub-taxonomy v1\ndomain 2 nodes 3\nnode -1 0 1 *\n"
+       "node 0 0 0 a\nnode 0 0 0 dup\n"},
+  };
+  for (const Case& c : cases) {
+    const std::string path =
+        WriteTempTaxonomy(std::string("pgpub_tax_") + c.name + ".txt",
+                          c.text);
+    Status st = LoadTaxonomy(path).status();
+    EXPECT_TRUE(st.IsInvalidArgument())
+        << c.name << ": " << st.ToString();
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace

@@ -64,6 +64,64 @@ TEST(PgPublisherTest, EffectiveRetentionDirectAndSolved) {
   EXPECT_TRUE(SatisfiesDeltaGuarantee({p, 6, 0.1, 50}, 0.24));
 }
 
+TEST(PgPublisherTest, EffectiveKRejectsNegativeKAndNonFiniteS) {
+  PgOptions options;
+  options.k = -1;
+  EXPECT_TRUE(PgPublisher::EffectiveK(options).status().IsInvalidArgument());
+  options.k = 0;
+  options.s = std::nan("");
+  EXPECT_TRUE(PgPublisher::EffectiveK(options).status().IsInvalidArgument());
+}
+
+TEST(PgPublisherTest, EffectiveRetentionRejectsDegenerateInputs) {
+  PgOptions options;
+  options.p = 0.3;
+  // Even a direct p needs a sane k and sensitive domain.
+  EXPECT_TRUE(PgPublisher::EffectiveRetention(options, 0, 50)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PgPublisher::EffectiveRetention(options, 6, 1)
+                  .status()
+                  .IsInvalidArgument());
+  options.p = std::nan("");
+  EXPECT_TRUE(PgPublisher::EffectiveRetention(options, 6, 50)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PgPublisherTest, EffectiveRetentionRejectsBadTargets) {
+  PgOptions options;
+  options.p = -1.0;
+  options.target.lambda = 0.1;
+
+  options.target.kind = PrivacyTarget::Kind::kRho;
+  options.target.rho1 = 0.5;
+  options.target.rho2 = 0.3;  // rho1 >= rho2
+  EXPECT_TRUE(PgPublisher::EffectiveRetention(options, 6, 50)
+                  .status()
+                  .IsInvalidArgument());
+  options.target.rho2 = 0.5;
+  EXPECT_TRUE(PgPublisher::EffectiveRetention(options, 6, 50)
+                  .status()
+                  .IsInvalidArgument());
+
+  options.target.kind = PrivacyTarget::Kind::kDelta;
+  options.target.delta = 0.0;  // delta <= 0
+  EXPECT_TRUE(PgPublisher::EffectiveRetention(options, 6, 50)
+                  .status()
+                  .IsInvalidArgument());
+  options.target.delta = -0.2;
+  EXPECT_TRUE(PgPublisher::EffectiveRetention(options, 6, 50)
+                  .status()
+                  .IsInvalidArgument());
+
+  options.target.delta = 0.24;
+  options.target.lambda = 1.5;  // adversary skew out of (0,1]
+  EXPECT_TRUE(PgPublisher::EffectiveRetention(options, 6, 50)
+                  .status()
+                  .IsInvalidArgument());
+}
+
 // -------------------------------------------------------------- pipeline
 
 TEST(PgPublisherTest, CardinalityRequirement) {
