@@ -74,8 +74,8 @@ int main() {
     harness.seed = 900 + static_cast<uint64_t>(rate * 100);
 
     GeneralizationBreachStats gen = MeasureGeneralizationBreaches(
-        microdata, groups, sens, harness);
-    BreachStats pg = MeasurePgBreaches(published, edb, microdata, harness);
+        microdata, groups, sens, harness).ValueOrDie();
+    BreachStats pg = MeasurePgBreaches(published, edb, microdata, harness).ValueOrDie();
 
     std::printf("%-10.2f | %-9.4f %-9.4f %-9zu | %-9.4f %-9.4f %-9.4f %-6zu\n",
                 rate, gen.max_growth, gen.mean_growth,

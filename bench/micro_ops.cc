@@ -143,9 +143,10 @@ void BM_AttackPosterior(benchmark::State& state) {
   Rng rng(6);
   static ExternalDatabase edb =
       ExternalDatabase::FromMicrodata(census.table, 1000, rng);
-  LinkingAttack attacker(&published, &edb);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&published, &edb).ValueOrDie();
   Adversary adversary;
-  adversary.victim_prior = BackgroundKnowledge::Uniform(50);
+  adversary.victim_prior = BackgroundKnowledge::Uniform(50).ValueOrDie();
   size_t victim = 0;
   for (auto _ : state) {
     auto result = attacker.Attack(victim, adversary).ValueOrDie();

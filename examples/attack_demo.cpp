@@ -76,9 +76,9 @@ int main(int argc, char** argv) {
     harness.seed = 5000 + static_cast<uint64_t>(rate * 100);
 
     GeneralizationBreachStats gen_stats = MeasureGeneralizationBreaches(
-        microdata, groups, sens, harness);
+        microdata, groups, sens, harness).ValueOrDie();
     BreachStats pg_stats =
-        MeasurePgBreaches(published, edb, microdata, harness);
+        MeasurePgBreaches(published, edb, microdata, harness).ValueOrDie();
 
     std::printf("%-16.2f | %-9.4f %-9.4f %-8zu | %-9.4f %-9.4f %-8zu\n",
                 rate, gen_stats.max_growth, gen_stats.mean_growth,

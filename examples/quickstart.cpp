@@ -82,12 +82,13 @@ int main() {
 
   Adversary adversary;
   adversary.victim_prior =
-      BackgroundKnowledge::Uniform(microdata.domain(sens).size());
+      BackgroundKnowledge::Uniform(microdata.domain(sens).size()).ValueOrDie();
   adversary.corrupted[debbie] =
       microdata.value(edb.individual(debbie).microdata_row, sens);
   adversary.corrupted[emily] = Adversary::kExtraneousMark;
 
-  LinkingAttack attacker(&published, &edb);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&published, &edb).ValueOrDie();
   AttackResult attack = attacker.Attack(ellie, adversary).ValueOrDie();
 
   std::printf("\n=== Example 1: linking attack on Ellie ===\n");
@@ -104,9 +105,9 @@ int main() {
   q[microdata.domain(sens).dict().Lookup("bronchitis").ValueOrDie()] = true;
   q[microdata.domain(sens).dict().Lookup("pneumonia").ValueOrDie()] = true;
   std::printf("P_prior(Q=respiratory) = %.4f\n",
-              adversary.victim_prior.Confidence(q));
-  std::printf("P_post(Q=respiratory)  = %.4f\n", attack.Confidence(q));
+              adversary.victim_prior.Confidence(q).ValueOrDie());
+  std::printf("P_post(Q=respiratory)  = %.4f\n", attack.Confidence(q).ValueOrDie());
   std::printf("max growth over any Q  = %.4f (bound %.4f)\n",
-              attack.MaxGrowth(adversary.victim_prior), MinDelta(params));
+              attack.MaxGrowth(adversary.victim_prior).ValueOrDie(), MinDelta(params));
   return 0;
 }

@@ -1,25 +1,54 @@
 #include "attack/adversary.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/math_util.h"
+#include "common/string_util.h"
 
 namespace pgpub {
 
-BackgroundKnowledge BackgroundKnowledge::Uniform(int32_t domain_size) {
-  PGPUB_CHECK_GT(domain_size, 0);
+namespace {
+
+Status ValidateDomainSize(int32_t domain_size) {
+  if (domain_size <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("sensitive domain size must be positive, got %d",
+                  domain_size));
+  }
+  return Status::OK();
+}
+
+Status ValidateLambda(int32_t domain_size, double lambda) {
+  if (!(std::isfinite(lambda) && lambda >= 1.0 / domain_size &&
+        lambda <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("lambda %g infeasible for domain of size %d "
+                  "(need 1/|U^s| <= lambda <= 1)",
+                  lambda, domain_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BackgroundKnowledge> BackgroundKnowledge::Uniform(
+    int32_t domain_size) {
+  RETURN_IF_ERROR(ValidateDomainSize(domain_size));
   BackgroundKnowledge bk;
   bk.pdf.assign(domain_size, 1.0 / domain_size);
   return bk;
 }
 
-BackgroundKnowledge BackgroundKnowledge::SkewedTowards(int32_t domain_size,
-                                                       int32_t value,
-                                                       double lambda) {
-  PGPUB_CHECK_GT(domain_size, 0);
-  PGPUB_CHECK(value >= 0 && value < domain_size);
-  PGPUB_CHECK(lambda >= 1.0 / domain_size && lambda <= 1.0)
-      << "lambda " << lambda << " infeasible for domain " << domain_size;
+Result<BackgroundKnowledge> BackgroundKnowledge::SkewedTowards(
+    int32_t domain_size, int32_t value, double lambda) {
+  RETURN_IF_ERROR(ValidateDomainSize(domain_size));
+  if (value < 0 || value >= domain_size) {
+    return Status::OutOfRange(
+        StrFormat("skew target %d outside domain [0,%d)", value,
+                  domain_size));
+  }
+  RETURN_IF_ERROR(ValidateLambda(domain_size, lambda));
   BackgroundKnowledge bk;
   if (domain_size == 1) {
     bk.pdf = {1.0};
@@ -30,25 +59,30 @@ BackgroundKnowledge BackgroundKnowledge::SkewedTowards(int32_t domain_size,
   return bk;
 }
 
-BackgroundKnowledge BackgroundKnowledge::Excluding(
+Result<BackgroundKnowledge> BackgroundKnowledge::Excluding(
     int32_t domain_size, const std::vector<int32_t>& impossible) {
-  PGPUB_CHECK_GT(domain_size, 0);
+  RETURN_IF_ERROR(ValidateDomainSize(domain_size));
   BackgroundKnowledge bk;
   bk.pdf.assign(domain_size, 1.0);
   for (int32_t v : impossible) {
-    PGPUB_CHECK(v >= 0 && v < domain_size);
+    if (v < 0 || v >= domain_size) {
+      return Status::OutOfRange(
+          StrFormat("excluded value %d outside domain [0,%d)", v,
+                    domain_size));
+    }
     bk.pdf[v] = 0.0;
   }
-  PGPUB_CHECK(NormalizeInPlace(bk.pdf))
-      << "cannot exclude every sensitive value";
+  if (!NormalizeInPlace(bk.pdf)) {
+    return Status::InvalidArgument(
+        "cannot exclude every sensitive value");
+  }
   return bk;
 }
 
-BackgroundKnowledge BackgroundKnowledge::RandomSkewed(int32_t domain_size,
-                                                      double lambda,
-                                                      Rng& rng) {
-  PGPUB_CHECK_GT(domain_size, 0);
-  PGPUB_CHECK(lambda >= 1.0 / domain_size && lambda <= 1.0);
+Result<BackgroundKnowledge> BackgroundKnowledge::RandomSkewed(
+    int32_t domain_size, double lambda, Rng& rng) {
+  RETURN_IF_ERROR(ValidateDomainSize(domain_size));
+  RETURN_IF_ERROR(ValidateLambda(domain_size, lambda));
   BackgroundKnowledge bk;
   bk.pdf.resize(domain_size);
   for (double& v : bk.pdf) v = rng.UniformDouble();
@@ -80,11 +114,17 @@ BackgroundKnowledge BackgroundKnowledge::RandomSkewed(int32_t domain_size,
 }
 
 double BackgroundKnowledge::MaxMass() const {
+  if (pdf.empty()) return 0.0;
   return *std::max_element(pdf.begin(), pdf.end());
 }
 
-double BackgroundKnowledge::Confidence(const std::vector<bool>& q) const {
-  PGPUB_CHECK_EQ(q.size(), pdf.size());
+Result<double> BackgroundKnowledge::Confidence(
+    const std::vector<bool>& q) const {
+  if (q.size() != pdf.size()) {
+    return Status::InvalidArgument(
+        StrFormat("predicate size %zu != sensitive domain size %zu",
+                  q.size(), pdf.size()));
+  }
   double c = 0.0;
   for (size_t i = 0; i < pdf.size(); ++i) {
     if (q[i]) c += pdf[i];

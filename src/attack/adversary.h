@@ -4,41 +4,48 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/logging.h"
 #include "common/random.h"
+#include "common/result.h"
 
 namespace pgpub {
 
 /// \brief Background knowledge as a pdf over the sensitive domain
 /// (Definition 4): P[X = x] for each code x. λ-skewed when no mass exceeds
 /// λ.
+///
+/// The factories take raw user parameters (domain sizes, λ, exclusion
+/// lists come straight from configuration), so they validate and return
+/// `Result` instead of aborting — corruption experiments must fail closed
+/// on bad adversary specs, not bring the publisher down.
 struct BackgroundKnowledge {
   std::vector<double> pdf;
 
   /// No non-trivial expertise: uniform over |U^s| values (λ = 1/|U^s|).
-  static BackgroundKnowledge Uniform(int32_t domain_size);
+  [[nodiscard]] static Result<BackgroundKnowledge> Uniform(
+      int32_t domain_size);
 
   /// Puts mass λ on `value` and spreads the rest uniformly. Requires
   /// λ >= 1/|U^s|.
-  static BackgroundKnowledge SkewedTowards(int32_t domain_size, int32_t value,
-                                           double lambda);
+  [[nodiscard]] static Result<BackgroundKnowledge> SkewedTowards(
+      int32_t domain_size, int32_t value, double lambda);
 
   /// The (c,ℓ)-diversity style knowledge (Section III): `impossible`
   /// values are known to be wrong, the rest equally likely.
-  static BackgroundKnowledge Excluding(int32_t domain_size,
-                                       const std::vector<int32_t>& impossible);
+  [[nodiscard]] static Result<BackgroundKnowledge> Excluding(
+      int32_t domain_size, const std::vector<int32_t>& impossible);
 
   /// Random λ-skewed pdf: a Dirichlet-ish draw rescaled so its maximum is
   /// exactly `lambda` where feasible. Used by property tests to sweep
   /// adversary knowledge.
-  static BackgroundKnowledge RandomSkewed(int32_t domain_size, double lambda,
-                                          Rng& rng);
+  [[nodiscard]] static Result<BackgroundKnowledge> RandomSkewed(
+      int32_t domain_size, double lambda, Rng& rng);
 
   /// max_x P[X = x] — the λ this knowledge actually attains.
   double MaxMass() const;
 
   /// Σ_{x in q} pdf[x] — prior confidence of predicate Q (Equation 5).
-  double Confidence(const std::vector<bool>& q) const;
+  /// Fails if `q` is not a predicate over this pdf's domain.
+  [[nodiscard]] Result<double> Confidence(const std::vector<bool>& q) const;
 };
 
 /// \brief Adversary state for one linking attack: prior knowledge about

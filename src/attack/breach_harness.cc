@@ -1,16 +1,40 @@
 #include "attack/breach_harness.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/random.h"
+#include "common/string_util.h"
 
 namespace pgpub {
 
 namespace {
 
-BackgroundKnowledge MakePrior(BreachHarnessOptions::PriorKind kind,
-                              int32_t us, int32_t true_value, double lambda,
-                              Rng& rng) {
+/// Screens raw harness options before they reach the CHECK-guarded
+/// guarantee formulas (ValidateParams aborts on a bad rho1 / lambda).
+Status ValidateHarnessOptions(const BreachHarnessOptions& options) {
+  if (!(std::isfinite(options.rho1) && options.rho1 > 0.0 &&
+        options.rho1 < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("rho1 must be in (0,1), got %g", options.rho1));
+  }
+  if (!(std::isfinite(options.corruption_rate) &&
+        options.corruption_rate >= 0.0 && options.corruption_rate <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("corruption rate must be in [0,1], got %g",
+                  options.corruption_rate));
+  }
+  if (!(std::isfinite(options.lambda) && options.lambda > 0.0 &&
+        options.lambda <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("lambda must be in (0,1], got %g", options.lambda));
+  }
+  return Status::OK();
+}
+
+Result<BackgroundKnowledge> MakePrior(BreachHarnessOptions::PriorKind kind,
+                                      int32_t us, int32_t true_value,
+                                      double lambda, Rng& rng) {
   switch (kind) {
     case BreachHarnessOptions::PriorKind::kUniform:
       return BackgroundKnowledge::Uniform(us);
@@ -26,10 +50,11 @@ BackgroundKnowledge MakePrior(BreachHarnessOptions::PriorKind kind,
 
 }  // namespace
 
-BreachStats MeasurePgBreaches(const PublishedTable& published,
-                              const ExternalDatabase& edb,
-                              const Table& microdata,
-                              const BreachHarnessOptions& options) {
+Result<BreachStats> MeasurePgBreaches(const PublishedTable& published,
+                                      const ExternalDatabase& edb,
+                                      const Table& microdata,
+                                      const BreachHarnessOptions& options) {
+  RETURN_IF_ERROR(ValidateHarnessOptions(options));
   BreachStats stats;
   const int sens = published.sensitive_attr();
   const int32_t us = published.domain(sens).size();
@@ -44,7 +69,8 @@ BreachStats MeasurePgBreaches(const PublishedTable& published,
   stats.rho2_bound = MinRho2(params, options.rho1);
 
   Rng rng(options.seed);
-  LinkingAttack attacker(&published, &edb);
+  ASSIGN_OR_RETURN(LinkingAttack attacker,
+                   LinkingAttack::Create(&published, &edb));
 
   // Victims: microdata members only.
   std::vector<size_t> members;
@@ -52,7 +78,10 @@ BreachStats MeasurePgBreaches(const PublishedTable& published,
   for (size_t i = 0; i < edb.size(); ++i) {
     if (!edb.individual(i).extraneous()) members.push_back(i);
   }
-  PGPUB_CHECK(!members.empty());
+  if (members.empty()) {
+    return Status::FailedPrecondition(
+        "external database contains no microdata members to attack");
+  }
 
   double growth_sum = 0.0;
   for (size_t v = 0; v < options.num_victims; ++v) {
@@ -62,13 +91,17 @@ BreachStats MeasurePgBreaches(const PublishedTable& published,
         microdata.value(victim_ind.microdata_row, sens);
 
     Adversary adv;
-    adv.victim_prior =
-        MakePrior(options.prior_kind, us, true_value, params.lambda, rng);
+    ASSIGN_OR_RETURN(
+        adv.victim_prior,
+        MakePrior(options.prior_kind, us, true_value, params.lambda, rng));
 
     // Corrupt candidates sharing the victim's published cell (the most
     // damaging corruption targets).
     auto crucial = published.CrucialTuple(victim_ind.qi_codes);
-    PGPUB_CHECK(crucial.ok());
+    if (!crucial.ok()) {
+      return crucial.status().WithContext(
+          "microdata member has no crucial tuple");
+    }
     for (size_t i = 0; i < edb.size(); ++i) {
       if (i == victim) continue;
       auto other = published.CrucialTuple(edb.individual(i).qi_codes);
@@ -80,18 +113,19 @@ BreachStats MeasurePgBreaches(const PublishedTable& published,
                              : microdata.value(ind.microdata_row, sens);
     }
 
-    auto result = attacker.Attack(victim, adv);
-    PGPUB_CHECK(result.ok()) << result.status().ToString();
+    ASSIGN_OR_RETURN(AttackResult result, attacker.Attack(victim, adv));
     ++stats.attacks;
-    stats.max_h = std::max(stats.max_h, result->h);
-    const double growth = result->MaxGrowth(adv.victim_prior);
+    stats.max_h = std::max(stats.max_h, result.h);
+    ASSIGN_OR_RETURN(const double growth,
+                     result.MaxGrowth(adv.victim_prior));
     growth_sum += growth;
     stats.max_growth = std::max(stats.max_growth, growth);
     if (growth > stats.delta_bound + 1e-9) ++stats.delta_breaches;
     // Optimal adversary: exact knapsack over predicates with prior <=
     // rho1 (the greedy heuristic is a lower bound of this).
-    const double post = result->MaxPosteriorGivenPriorBoundExact(
-        adv.victim_prior, options.rho1);
+    ASSIGN_OR_RETURN(const double post,
+                     result.MaxPosteriorGivenPriorBoundExact(
+                         adv.victim_prior, options.rho1));
     stats.max_posterior_rho1 = std::max(stats.max_posterior_rho1, post);
     if (post > stats.rho2_bound + 1e-9) ++stats.rho_breaches;
   }
@@ -100,14 +134,17 @@ BreachStats MeasurePgBreaches(const PublishedTable& published,
   return stats;
 }
 
-GeneralizationBreachStats MeasureGeneralizationBreaches(
+Result<GeneralizationBreachStats> MeasureGeneralizationBreaches(
     const Table& microdata, const QiGroups& groups, int sensitive_attr,
     const BreachHarnessOptions& options) {
+  RETURN_IF_ERROR(ValidateHarnessOptions(options));
   GeneralizationBreachStats stats;
   const int32_t us = microdata.domain(sensitive_attr).size();
   Rng rng(options.seed);
   const size_t n = microdata.num_rows();
-  PGPUB_CHECK_GT(n, 0u);
+  if (n == 0) {
+    return Status::InvalidArgument("microdata table is empty");
+  }
 
   double growth_sum = 0.0;
   for (size_t v = 0; v < options.num_victims; ++v) {
@@ -116,9 +153,9 @@ GeneralizationBreachStats MeasureGeneralizationBreaches(
     const auto& group_rows =
         groups.group_rows[groups.row_to_group[victim_row]];
 
-    BackgroundKnowledge prior =
-        MakePrior(options.prior_kind, us, true_value,
-                  std::max(options.lambda, 1.0 / us), rng);
+    ASSIGN_OR_RETURN(BackgroundKnowledge prior,
+                     MakePrior(options.prior_kind, us, true_value,
+                               std::max(options.lambda, 1.0 / us), rng));
 
     std::vector<uint32_t> corrupted;
     for (uint32_t r : group_rows) {
@@ -127,8 +164,10 @@ GeneralizationBreachStats MeasureGeneralizationBreaches(
       }
     }
 
-    std::vector<double> post = GeneralizationAttackPosterior(
-        microdata, group_rows, sensitive_attr, victim_row, corrupted, prior);
+    ASSIGN_OR_RETURN(
+        std::vector<double> post,
+        GeneralizationAttackPosterior(microdata, group_rows, sensitive_attr,
+                                      victim_row, corrupted, prior));
 
     ++stats.attacks;
     double growth = 0.0;

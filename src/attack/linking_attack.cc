@@ -5,21 +5,38 @@
 #include <unordered_set>
 
 #include "common/math_util.h"
+#include "common/string_util.h"
 #include "perturb/randomized_response.h"
 
 namespace pgpub {
 
-double AttackResult::Confidence(const std::vector<bool>& q) const {
-  PGPUB_CHECK_EQ(q.size(), posterior.size());
-  double c = 0.0;
-  for (size_t i = 0; i < posterior.size(); ++i) {
-    if (q[i]) c += posterior[i];
+namespace {
+
+/// All the AttackResult accessors compare the adversary's pdf against the
+/// posterior; a size mismatch means the caller mixed up sensitive domains.
+Status ValidateSameDomain(size_t prior_size, size_t posterior_size) {
+  if (prior_size != posterior_size) {
+    return Status::InvalidArgument(
+        StrFormat("prior pdf size %zu != posterior size %zu", prior_size,
+                  posterior_size));
   }
-  return c;
+  return Status::OK();
 }
 
-double AttackResult::MaxGrowth(const BackgroundKnowledge& prior) const {
-  PGPUB_CHECK_EQ(prior.pdf.size(), posterior.size());
+}  // namespace
+
+Result<double> AttackResult::Confidence(const std::vector<bool>& q) const {
+  RETURN_IF_ERROR(ValidateSameDomain(q.size(), posterior.size()));
+  double confidence = 0.0;
+  for (size_t i = 0; i < posterior.size(); ++i) {
+    if (q[i]) confidence += posterior[i];
+  }
+  return confidence;
+}
+
+Result<double> AttackResult::MaxGrowth(
+    const BackgroundKnowledge& prior) const {
+  RETURN_IF_ERROR(ValidateSameDomain(prior.pdf.size(), posterior.size()));
   double growth = 0.0;
   for (size_t i = 0; i < posterior.size(); ++i) {
     growth += std::max(0.0, posterior[i] - prior.pdf[i]);
@@ -27,9 +44,9 @@ double AttackResult::MaxGrowth(const BackgroundKnowledge& prior) const {
   return growth;
 }
 
-double AttackResult::MaxPosteriorGivenPriorBound(
+Result<double> AttackResult::MaxPosteriorGivenPriorBound(
     const BackgroundKnowledge& prior, double rho1) const {
-  PGPUB_CHECK_EQ(prior.pdf.size(), posterior.size());
+  RETURN_IF_ERROR(ValidateSameDomain(prior.pdf.size(), posterior.size()));
   const size_t m = posterior.size();
   std::vector<size_t> order(m);
   std::iota(order.begin(), order.end(), 0);
@@ -62,11 +79,15 @@ double AttackResult::MaxPosteriorGivenPriorBound(
   return std::max(by_post, by_ratio);
 }
 
-double AttackResult::MaxPosteriorGivenPriorBoundExact(
+Result<double> AttackResult::MaxPosteriorGivenPriorBoundExact(
     const BackgroundKnowledge& prior, double rho1,
     double resolution) const {
-  PGPUB_CHECK_EQ(prior.pdf.size(), posterior.size());
-  PGPUB_CHECK_GT(resolution, 0.0);
+  RETURN_IF_ERROR(ValidateSameDomain(prior.pdf.size(), posterior.size()));
+  if (!(resolution > 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("knapsack grid resolution must be positive, got %g",
+                  resolution));
+  }
   const size_t m = posterior.size();
   // Round each prior down to the grid: any predicate feasible under the
   // true priors stays feasible under the rounded ones, so the DP optimum
@@ -86,22 +107,29 @@ double AttackResult::MaxPosteriorGivenPriorBoundExact(
   return best[budget];
 }
 
-LinkingAttack::LinkingAttack(const PublishedTable* published,
-                             const ExternalDatabase* edb)
-    : published_(published), edb_(edb) {
-  PGPUB_CHECK(published != nullptr);
-  PGPUB_CHECK(edb != nullptr);
-  PGPUB_CHECK(edb->qi_attrs() == published->recoding().qi_attrs)
-      << "external database QI attributes must match the release's";
-  crucial_of_individual_.assign(edb->size(), -1);
-  candidates_of_row_.assign(published->num_rows(), {});
+Result<LinkingAttack> LinkingAttack::Create(const PublishedTable* published,
+                                            const ExternalDatabase* edb) {
+  if (published == nullptr) {
+    return Status::InvalidArgument("published table must not be null");
+  }
+  if (edb == nullptr) {
+    return Status::InvalidArgument("external database must not be null");
+  }
+  if (edb->qi_attrs() != published->recoding().qi_attrs) {
+    return Status::InvalidArgument(
+        "external database QI attributes must match the release's");
+  }
+  LinkingAttack attack(published, edb);
+  attack.crucial_of_individual_.assign(edb->size(), -1);
+  attack.candidates_of_row_.assign(published->num_rows(), {});
   for (size_t i = 0; i < edb->size(); ++i) {
     auto row = published->CrucialTuple(edb->individual(i).qi_codes);
     if (row.ok()) {
-      crucial_of_individual_[i] = static_cast<int64_t>(*row);
-      candidates_of_row_[*row].push_back(static_cast<uint32_t>(i));
+      attack.crucial_of_individual_[i] = static_cast<int64_t>(*row);
+      attack.candidates_of_row_[*row].push_back(static_cast<uint32_t>(i));
     }
   }
+  return attack;
 }
 
 Result<AttackResult> LinkingAttack::Attack(size_t victim_index,
@@ -223,19 +251,24 @@ Result<AttackResult> LinkingAttack::Attack(size_t victim_index,
   return result;
 }
 
-std::vector<double> GeneralizationAttackPosterior(
+Result<std::vector<double>> GeneralizationAttackPosterior(
     const Table& microdata, const std::vector<uint32_t>& victim_group_rows,
     int sensitive_attr, uint32_t victim_row,
     const std::vector<uint32_t>& corrupted_rows,
     const BackgroundKnowledge& prior) {
   const int32_t us = microdata.domain(sensitive_attr).size();
-  PGPUB_CHECK_EQ(prior.pdf.size(), static_cast<size_t>(us));
+  if (static_cast<int32_t>(prior.pdf.size()) != us) {
+    return Status::InvalidArgument(
+        StrFormat("prior pdf size %zu != sensitive domain size %d",
+                  prior.pdf.size(), us));
+  }
 
   // Sensitive multiset of the victim's QI-group, minus corrupted members.
   std::unordered_set<uint32_t> corrupted(corrupted_rows.begin(),
                                          corrupted_rows.end());
-  PGPUB_CHECK(corrupted.count(victim_row) == 0)
-      << "the victim cannot be corrupted";
+  if (corrupted.count(victim_row) > 0) {
+    return Status::InvalidArgument("the victim cannot be corrupted");
+  }
   std::vector<double> counts(us, 0.0);
   bool victim_in_group = false;
   for (uint32_t r : victim_group_rows) {
@@ -243,7 +276,9 @@ std::vector<double> GeneralizationAttackPosterior(
     if (corrupted.count(r) > 0) continue;
     counts[microdata.value(r, sensitive_attr)] += 1.0;
   }
-  PGPUB_CHECK(victim_in_group) << "victim not in the given QI-group";
+  if (!victim_in_group) {
+    return Status::InvalidArgument("victim not in the given QI-group");
+  }
 
   // Random-worlds posterior restricted to the prior's support: the victim
   // is equally likely to be any remaining tuple whose value the prior does

@@ -22,19 +22,22 @@ struct AttackResult {
   double h = 0.0;           ///< P[o owns t | y] (Eq. 8/14).
   std::vector<double> posterior;  ///< P[X = x | y] (Eq. 9).
 
-  /// Posterior confidence of predicate Q (Equation 10).
-  double Confidence(const std::vector<bool>& q) const;
+  /// Posterior confidence of predicate Q (Equation 10). Fails if `q` is
+  /// not a predicate over the posterior's domain.
+  [[nodiscard]] Result<double> Confidence(const std::vector<bool>& q) const;
 
   /// The adversary's best possible knowledge growth over any predicate:
   /// Σ_x max(0, posterior[x] - prior[x]). By Theorem 1's argument this is
   /// attained by a Q containing exactly the values whose mass grew.
-  double MaxGrowth(const BackgroundKnowledge& prior) const;
+  /// Fails if `prior` is over a different domain than the posterior.
+  [[nodiscard]] Result<double> MaxGrowth(
+      const BackgroundKnowledge& prior) const;
 
   /// Greedy search for the predicate with the largest posterior confidence
   /// among those with prior confidence <= rho1; returns that posterior
   /// confidence (a lower bound on the adversary's optimum).
-  double MaxPosteriorGivenPriorBound(const BackgroundKnowledge& prior,
-                                     double rho1) const;
+  [[nodiscard]] Result<double> MaxPosteriorGivenPriorBound(
+      const BackgroundKnowledge& prior, double rho1) const;
 
   /// Exact (up to the prior grid `resolution`) optimum of the same
   /// predicate search via 0/1 knapsack: maximize sum of posterior over Q
@@ -42,9 +45,10 @@ struct AttackResult {
   /// the grid, so the result upper-bounds the true optimum by at most
   /// |U^s| * resolution worth of prior slack — suitable for verifying
   /// that even an optimal adversary stays below the Theorem 2 bound.
-  double MaxPosteriorGivenPriorBoundExact(const BackgroundKnowledge& prior,
-                                          double rho1,
-                                          double resolution = 1e-4) const;
+  /// Fails on a domain mismatch or a non-positive `resolution`.
+  [[nodiscard]] Result<double> MaxPosteriorGivenPriorBoundExact(
+      const BackgroundKnowledge& prior, double rho1,
+      double resolution = 1e-4) const;
 };
 
 /// \brief Executes corruption-aided linking attacks (steps A1–A3) against a
@@ -52,16 +56,22 @@ struct AttackResult {
 /// Section VI (Equations 8–19).
 class LinkingAttack {
  public:
-  /// Both referents must outlive the attacker.
-  LinkingAttack(const PublishedTable* published,
-                const ExternalDatabase* edb);
+  /// Validating factory. Both referents must be non-null, must outlive the
+  /// attacker, and the external database's QI attributes must match the
+  /// release's — a mismatched ℰ would silently make every attack vacuous,
+  /// so it is rejected up front.
+  [[nodiscard]] static Result<LinkingAttack> Create(
+      const PublishedTable* published, const ExternalDatabase* edb);
 
   /// Attacks the victim (an ℰ index that must be non-extraneous and must
   /// not be in `adversary.corrupted`).
-  Result<AttackResult> Attack(size_t victim_index,
-                              const Adversary& adversary) const;
+  [[nodiscard]] Result<AttackResult> Attack(size_t victim_index,
+                                            const Adversary& adversary) const;
 
  private:
+  LinkingAttack(const PublishedTable* published, const ExternalDatabase* edb)
+      : published_(published), edb_(edb) {}
+
   const PublishedTable* published_;
   const ExternalDatabase* edb_;
   /// Cached crucial-row id per ℰ individual (-1 = no match).
@@ -79,7 +89,9 @@ class LinkingAttack {
 ///
 /// This realizes the Section III defect analysis (Lemmas 1 and 2): with
 /// enough corruption the posterior collapses to a point mass.
-std::vector<double> GeneralizationAttackPosterior(
+/// Fails on a prior/domain mismatch, a corrupted victim, or a victim
+/// outside `victim_group_rows`.
+[[nodiscard]] Result<std::vector<double>> GeneralizationAttackPosterior(
     const Table& microdata, const std::vector<uint32_t>& victim_group_rows,
     int sensitive_attr, uint32_t victim_row,
     const std::vector<uint32_t>& corrupted_rows,

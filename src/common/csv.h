@@ -16,7 +16,7 @@ namespace pgpub {
 class Csv {
  public:
   /// Parses one CSV record (no trailing newline) into fields.
-  static Result<std::vector<std::string>> ParseLine(const std::string& line);
+  [[nodiscard]] static Result<std::vector<std::string>> ParseLine(const std::string& line);
 
   /// Reads a whole file: first row is the header, the rest are records.
   /// Fails with IOError if the file cannot be opened or ends inside an
@@ -26,13 +26,13 @@ class Csv {
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;
   };
-  static Result<File> ReadFile(const std::string& path);
+  [[nodiscard]] static Result<File> ReadFile(const std::string& path);
 
   /// Quotes a field if it contains a comma, quote, or newline.
   static std::string EscapeField(const std::string& field);
 
   /// Writes header + rows to `path`, overwriting.
-  static Status WriteFile(const std::string& path,
+  [[nodiscard]] static Status WriteFile(const std::string& path,
                           const std::vector<std::string>& header,
                           const std::vector<std::vector<std::string>>& rows);
 };

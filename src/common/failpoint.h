@@ -73,10 +73,10 @@ class FailpointRegistry {
   /// Arms `name` with a trigger spec (see class comment). Unknown names
   /// are rejected with InvalidArgument so typos cannot silently disable a
   /// chaos sweep; use Register() first for ad-hoc test-only points.
-  Status Enable(const std::string& name, const std::string& spec);
+  [[nodiscard]] Status Enable(const std::string& name, const std::string& spec);
 
   /// Parses a `name=spec;name=spec` list (the env syntax).
-  Status EnableFromSpec(const std::string& spec_list);
+  [[nodiscard]] Status EnableFromSpec(const std::string& spec_list);
 
   /// Adds a non-canonical name to the registry (idempotent, starts off).
   void Register(const std::string& name);
@@ -117,7 +117,7 @@ class FailpointRegistry {
 
   FailpointRegistry();
 
-  Status EnableLocked(const std::string& name, const std::string& spec);
+  [[nodiscard]] Status EnableLocked(const std::string& name, const std::string& spec);
 
   mutable std::mutex mu_;
   std::atomic<int> enabled_count_{0};

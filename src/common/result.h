@@ -14,7 +14,7 @@ namespace pgpub {
 /// unwrap with `ASSIGN_OR_RETURN` or, in tests/examples where failure is a
 /// bug, with `ValueOrDie()`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT

@@ -28,7 +28,7 @@ std::string_view StatusCodeToString(StatusCode code);
 /// The library does not throw exceptions across module boundaries; functions
 /// that can fail return `Status` (or `Result<T>`, see result.h). A `Status`
 /// is cheap to copy in the success case (no allocation).
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -20,10 +20,10 @@ std::string Join(const std::vector<std::string>& parts,
                  std::string_view sep);
 
 /// Parses a base-10 signed integer; the whole string must be consumed.
-Result<int64_t> ParseInt64(std::string_view s);
+[[nodiscard]] Result<int64_t> ParseInt64(std::string_view s);
 
 /// Parses a floating-point number; the whole string must be consumed.
-Result<double> ParseDouble(std::string_view s);
+[[nodiscard]] Result<double> ParseDouble(std::string_view s);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)

@@ -67,22 +67,22 @@ bool SatisfiesDeltaGuarantee(const PgParams& params, double delta);
 
 /// Largest retention probability p (best utility) such that the ρ₁-to-ρ₂
 /// guarantee holds at (k, λ); NotFound when even p = 0 fails (ρ₂ < ρ₁).
-Result<double> MaxRetentionForRho(int k, double lambda,
+[[nodiscard]] Result<double> MaxRetentionForRho(int k, double lambda,
                                   int sensitive_domain_size, double rho1,
                                   double rho2);
 
 /// Largest retention probability p such that the Δ-growth guarantee holds;
 /// NotFound when even p = 0 fails (Δ < 0).
-Result<double> MaxRetentionForDelta(int k, double lambda,
+[[nodiscard]] Result<double> MaxRetentionForDelta(int k, double lambda,
                                     int sensitive_domain_size, double delta);
 
 /// Smallest k in [1, k_max] such that the ρ₁-to-ρ₂ guarantee holds at
 /// (p, λ); NotFound when k_max is insufficient.
-Result<int> MinKForRho(double p, double lambda, int sensitive_domain_size,
+[[nodiscard]] Result<int> MinKForRho(double p, double lambda, int sensitive_domain_size,
                        double rho1, double rho2, int k_max);
 
 /// Smallest k in [1, k_max] such that the Δ-growth guarantee holds.
-Result<int> MinKForDelta(double p, double lambda, int sensitive_domain_size,
+[[nodiscard]] Result<int> MinKForDelta(double p, double lambda, int sensitive_domain_size,
                          double delta, int k_max);
 
 }  // namespace pgpub

@@ -61,16 +61,16 @@ class PgPublisher {
 
   /// Publishes `microdata`. `taxonomies` is parallel to the schema's QI
   /// attributes; null entries request data-driven binary splits (TDS only).
-  Result<PublishedTable> Publish(
+  [[nodiscard]] Result<PublishedTable> Publish(
       const Table& microdata,
       const std::vector<const Taxonomy*>& taxonomies) const;
 
   /// The effective k for a given options bundle: options.k, or ceil(1/s).
-  static Result<int> EffectiveK(const PgOptions& options);
+  [[nodiscard]] static Result<int> EffectiveK(const PgOptions& options);
 
   /// The effective retention probability: options.p, or the largest p
   /// establishing options.target (needs |U^s|).
-  static Result<double> EffectiveRetention(const PgOptions& options, int k,
+  [[nodiscard]] static Result<double> EffectiveRetention(const PgOptions& options, int k,
                                            int sensitive_domain_size);
 
  private:

@@ -74,13 +74,13 @@ class PublishedTable {
   /// generalized QI-vector generalizes `victim_qi_codes` (raw codes,
   /// parallel to recoding().qi_attrs). NotFound when the victim's cell
   /// produced no published tuple (cannot happen for members of 𝒟).
-  Result<size_t> CrucialTuple(const std::vector<int32_t>& victim_qi_codes)
+  [[nodiscard]] Result<size_t> CrucialTuple(const std::vector<int32_t>& victim_qi_codes)
       const;
 
   /// Writes the release as CSV: generalized QI columns, the sensitive
   /// column, and G. `taxonomies` may be empty or hold one (possibly null)
   /// pointer per QI attribute for labeled rendering.
-  Status ToCsv(const std::string& path,
+  [[nodiscard]] Status ToCsv(const std::string& path,
                const std::vector<const Taxonomy*>& taxonomies) const;
 
   const std::optional<Provenance>& provenance() const { return provenance_; }

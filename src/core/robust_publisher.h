@@ -78,7 +78,7 @@ class RobustPublisher {
   /// returned table passed the full audit; on failure no table escapes.
   /// `report`, when non-null, receives the attempt-by-attempt account
   /// regardless of the outcome.
-  Result<PublishedTable> Publish(
+  [[nodiscard]] Result<PublishedTable> Publish(
       const Table& microdata,
       const std::vector<const Taxonomy*>& taxonomies,
       PublishReport* report = nullptr) const;
@@ -91,7 +91,7 @@ class RobustPublisher {
  private:
   /// Audits a candidate release; OK only when VerifyPublication passes
   /// and the declared privacy target (if any) is still established.
-  Status AuditRelease(const Table& microdata,
+  [[nodiscard]] Status AuditRelease(const Table& microdata,
                       const PublishedTable& published) const;
 
   PgOptions options_;

@@ -22,19 +22,19 @@ namespace pgpub {
 /// `sensitive_domain_size` values: s in (0,1], k >= 0, p in [0,1] or
 /// negative with a solvable target, lambda in (0,1], 0 < rho1 < rho2 <= 1,
 /// 0 < delta <= 1, well-formed class_category_starts, finite numerics.
-Status ValidatePgOptions(const PgOptions& options, int sensitive_domain_size);
+[[nodiscard]] Status ValidatePgOptions(const PgOptions& options, int sensitive_domain_size);
 
 /// Structural audit of a taxonomy against the attribute domain it is
 /// meant to generalize: leaves cover exactly [0, domain_size) with no
 /// overlapping intervals (delegates to Taxonomy::Audit and checks the
 /// root width).
-Status ValidateTaxonomy(const Taxonomy& taxonomy, int32_t domain_size);
+[[nodiscard]] Status ValidateTaxonomy(const Taxonomy& taxonomy, int32_t domain_size);
 
 /// Full pre-flight check of a publish call: schema roles (>= 1 QI,
 /// exactly one sensitive attribute with >= 2 values), one taxonomy entry
 /// per QI attribute with matching domains, sensitive codes in range,
 /// enough rows for the effective k, and ValidatePgOptions.
-Status ValidatePublishInputs(const Table& microdata,
+[[nodiscard]] Status ValidatePublishInputs(const Table& microdata,
                              const std::vector<const Taxonomy*>& taxonomies,
                              const PgOptions& options);
 

@@ -21,7 +21,7 @@ namespace pgpub {
 /// Returns OK when all hold; FailedPrecondition naming the first violated
 /// property otherwise. Publishers can run this before releasing; auditors
 /// can run it on (microdata, release) pairs.
-Status VerifyPublication(const Table& microdata,
+[[nodiscard]] Status VerifyPublication(const Table& microdata,
                          const PublishedTable& published);
 
 }  // namespace pgpub

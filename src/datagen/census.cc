@@ -93,6 +93,7 @@ std::vector<Taxonomy> MakeTaxonomies() {
                              "Race:*", {Taxonomy::Spec::Group("groupA", 3),
                                         Taxonomy::Spec::Group("groupB", 3),
                                         Taxonomy::Spec::Group("groupC", 3)}))
+          // Hard-coded spec; cannot fail. pgpub-lint: allow(unchecked-result)
           .ValueOrDie());
   taxonomies.push_back(
       Taxonomy::FromSpec(
@@ -101,6 +102,7 @@ std::vector<Taxonomy> MakeTaxonomies() {
                                     Taxonomy::Spec::Group("private", 3),
                                     Taxonomy::Spec::Group("self-employed", 2),
                                     Taxonomy::Spec::Group("other", 1)}))
+          // Hard-coded spec; cannot fail. pgpub-lint: allow(unchecked-result)
           .ValueOrDie());
   taxonomies.push_back(
       Taxonomy::FromSpec(Taxonomy::Spec::Internal(
@@ -108,6 +110,7 @@ std::vector<Taxonomy> MakeTaxonomies() {
                              {Taxonomy::Spec::Group("never-married", 2),
                               Taxonomy::Spec::Group("married", 2),
                               Taxonomy::Spec::Group("formerly-married", 2)}))
+          // Hard-coded spec; cannot fail. pgpub-lint: allow(unchecked-result)
           .ValueOrDie());
   return taxonomies;
 }

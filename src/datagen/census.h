@@ -47,6 +47,6 @@ struct CensusColumns {
 };
 
 /// Generates `num_rows` census records deterministically from `seed`.
-Result<CensusDataset> GenerateCensus(size_t num_rows, uint64_t seed);
+[[nodiscard]] Result<CensusDataset> GenerateCensus(size_t num_rows, uint64_t seed);
 
 }  // namespace pgpub

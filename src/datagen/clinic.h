@@ -23,6 +23,6 @@ struct ClinicColumns {
 
 /// Generates `num_rows` patient records deterministically from `seed`.
 /// Disease domain size is 40; Age spans 18-90; Zipcode has 80 values.
-Result<CensusDataset> GenerateClinic(size_t num_rows, uint64_t seed);
+[[nodiscard]] Result<CensusDataset> GenerateClinic(size_t num_rows, uint64_t seed);
 
 }  // namespace pgpub

@@ -87,6 +87,7 @@ Result<HospitalDataset> MakeHospitalDataset() {
   // Age in [21,80] (60 codes): 20-year bands then 5-year bands — matches
   // the paper's [21,40]/[41,60]/[61,80] generalization.
   taxonomies.push_back(
+      // Hard-coded levels; cannot fail. pgpub-lint: allow(unchecked-result)
       Taxonomy::UniformLevels(60, "Age:*", {20, 5}).ValueOrDie());
   taxonomies.push_back(Taxonomy::Flat(2, "Gender:*"));
   // Zipcode in [15,65] thousands (51 codes): 20k bands starting at 11k in
@@ -99,6 +100,7 @@ Result<HospitalDataset> MakeHospitalDataset() {
     taxonomies.push_back(
         Taxonomy::FromSpec(
             Taxonomy::Spec::Internal("Zipcode:*", std::move(bands)))
+            // Hard-coded spec; cannot fail. pgpub-lint: allow(unchecked-result)
             .ValueOrDie());
   }
 

@@ -34,6 +34,6 @@ struct HospitalColumns {
 };
 
 /// Builds the fixture.
-Result<HospitalDataset> MakeHospitalDataset();
+[[nodiscard]] Result<HospitalDataset> MakeHospitalDataset();
 
 }  // namespace pgpub

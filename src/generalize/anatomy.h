@@ -46,7 +46,7 @@ struct AnatomyRelease {
 /// Fails with FailedPrecondition when the table is not ℓ-eligible (some
 /// sensitive value occurs in more than ⌈n/ℓ⌉ tuples) and InvalidArgument
 /// for a non-positive ℓ or ℓ larger than the number of distinct values.
-Result<AnatomyRelease> Anatomize(const Table& table, int sensitive_attr,
+[[nodiscard]] Result<AnatomyRelease> Anatomize(const Table& table, int sensitive_attr,
                                  int l, Rng& rng);
 
 }  // namespace pgpub

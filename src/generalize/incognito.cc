@@ -26,6 +26,8 @@ GlobalRecoding RecodingAtDepths(
     for (int node : cut) starts.push_back(tax->node(node).range.lo);
     out.per_attr.push_back(
         AttributeRecoding::FromStarts(tax->domain_size(), std::move(starts))
+            // Starts come from a valid taxonomy cut; cannot fail.
+            // pgpub-lint: allow(unchecked-result)
             .ValueOrDie());
   }
   return out;

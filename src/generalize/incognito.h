@@ -30,7 +30,7 @@ struct IncognitoOptions {
 ///
 /// Suited to few QI attributes with shallow hierarchies; the paper's SAL
 /// pipeline uses TDS instead (both satisfy G1–G3).
-Result<GlobalRecoding> IncognitoSearch(
+[[nodiscard]] Result<GlobalRecoding> IncognitoSearch(
     const Table& table, const std::vector<int>& qi_attrs,
     const std::vector<const Taxonomy*>& taxonomies,
     const IncognitoOptions& options);

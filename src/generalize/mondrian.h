@@ -30,7 +30,7 @@ struct MondrianOptions {
 /// \brief Mondrian multidimensional partitioning (LeFevre et al., ICDE'06),
 /// strict mode: recursively median-splits the dimension with the widest
 /// normalized extent while both sides keep at least k rows.
-Result<LocalRecoding> MondrianPartition(const Table& table,
+[[nodiscard]] Result<LocalRecoding> MondrianPartition(const Table& table,
                                         const std::vector<int>& qi_attrs,
                                         const MondrianOptions& options);
 

@@ -504,8 +504,11 @@ Result<GlobalRecoding> TopDownSpecializer::Run() {
                  static_cast<int32_t>(key & 0xffffffffu), &cand);
       }
       if (!cand.valid) continue;
+      // Exact compare is intentional: equal cached scores (same bits) tie-
+      // break on key so specialization order is deterministic across runs.
       if (!found || cand.score > best_score ||
-          (cand.score == best_score && key < best_key)) {
+          (cand.score == best_score &&  // pgpub-lint: allow(float-equality)
+           key < best_key)) {
         best_key = key;
         best_score = cand.score;
         found = true;

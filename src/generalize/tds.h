@@ -64,7 +64,7 @@ class TopDownSpecializer {
 
   /// Runs the search. Fails with FailedPrecondition when even the fully
   /// generalized table violates k-anonymity (n < k) or the constraint.
-  Result<GlobalRecoding> Run();
+  [[nodiscard]] Result<GlobalRecoding> Run();
 
   /// Number of specializations applied by the last Run().
   int num_specializations() const { return num_specializations_; }

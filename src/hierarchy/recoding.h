@@ -30,7 +30,7 @@ class AttributeRecoding {
 
   /// From ascending interval start positions; starts[0] must be 0, every
   /// start < domain_size.
-  static Result<AttributeRecoding> FromStarts(int32_t domain_size,
+  [[nodiscard]] static Result<AttributeRecoding> FromStarts(int32_t domain_size,
                                               std::vector<int32_t> starts);
 
   int32_t domain_size() const {
@@ -57,7 +57,7 @@ class AttributeRecoding {
   /// Replaces the generalized value covering `node`'s range by one value
   /// per child of `node` in `taxonomy`. The recoding must currently have a
   /// gen value exactly matching the node's range.
-  Status SpecializeByTaxonomy(const Taxonomy& taxonomy, int node_id);
+  [[nodiscard]] Status SpecializeByTaxonomy(const Taxonomy& taxonomy, int node_id);
 
   /// Renders a generalized value: singleton -> the domain value; exact
   /// taxonomy-node match -> node label; otherwise "[lo_value, hi_value]".

@@ -18,10 +18,10 @@ namespace pgpub {
 ///   attr <table-attr-index> <domain_size> <num_gen_values> <start>...
 ///
 /// One `attr` line per QI attribute, in recoding order.
-Status SaveRecoding(const GlobalRecoding& recoding, const std::string& path);
+[[nodiscard]] Status SaveRecoding(const GlobalRecoding& recoding, const std::string& path);
 
 /// Loads a recoding written by SaveRecoding. Fails with InvalidArgument on
 /// malformed input and IOError when the file cannot be read.
-Result<GlobalRecoding> LoadRecoding(const std::string& path);
+[[nodiscard]] Result<GlobalRecoding> LoadRecoding(const std::string& path);
 
 }  // namespace pgpub

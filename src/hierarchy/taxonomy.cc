@@ -177,6 +177,8 @@ Result<Taxonomy> Taxonomy::FromSpec(const Spec& spec) {
     } else {
       width = 0;
       for (const Spec& c : s.children) {
+        // Spec was validated before build; cannot fail.
+        // pgpub-lint: allow(unchecked-result)
         width += count_leaves(c).ValueOrDie();
       }
     }
@@ -204,6 +206,8 @@ Result<Taxonomy> Taxonomy::FromSpec(const Spec& spec) {
     } else {
       int32_t child_lo = lo;
       for (const Spec& c : s.children) {
+        // Spec was validated before build; cannot fail.
+        // pgpub-lint: allow(unchecked-result)
         int32_t n = count_leaves(c).ValueOrDie();
         build(c, id, child_lo, depth + 1);
         child_lo += n;

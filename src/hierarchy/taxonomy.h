@@ -61,26 +61,26 @@ class Taxonomy {
   /// `level_widths` (descending, each dividing the previous conceptually;
   /// uneven tails are allowed) -> singleton leaves. Suited to Incognito's
   /// full-domain levels on numeric attributes.
-  static Result<Taxonomy> UniformLevels(int32_t domain_size,
+  [[nodiscard]] static Result<Taxonomy> UniformLevels(int32_t domain_size,
                                         const std::string& root_label,
                                         std::vector<int32_t> level_widths);
 
   /// Builds from a nested spec; fails if group counts are inconsistent.
-  static Result<Taxonomy> FromSpec(const Spec& spec);
+  [[nodiscard]] static Result<Taxonomy> FromSpec(const Spec& spec);
 
   /// Builds from an explicit node list (untrusted input, e.g. a parsed
   /// hierarchy file). Node 0 must be the root; every other node's parent
   /// must precede it. Children lists and depths are recomputed from the
   /// parent links; the result is structurally audited (see Audit) and
   /// malformed input fails with InvalidArgument instead of aborting.
-  static Result<Taxonomy> FromNodes(std::vector<TaxonomyNode> nodes);
+  [[nodiscard]] static Result<Taxonomy> FromNodes(std::vector<TaxonomyNode> nodes);
 
   /// Structural self-audit: root covers [0, domain_size); every internal
   /// node's children partition its range in code order; every leaf is a
   /// singleton; parent/depth links are consistent; every node is reachable
   /// from the root. OK when all hold, InvalidArgument naming the first
   /// violation otherwise.
-  Status Audit() const;
+  [[nodiscard]] Status Audit() const;
 
   int root() const { return 0; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }

@@ -20,12 +20,12 @@ namespace pgpub {
 ///
 /// Parent indices refer to earlier lines (-1 for the root). Depths and
 /// children are recomputed on load.
-Status SaveTaxonomy(const Taxonomy& taxonomy, const std::string& path);
+[[nodiscard]] Status SaveTaxonomy(const Taxonomy& taxonomy, const std::string& path);
 
 /// Loads a taxonomy written by SaveTaxonomy. Hierarchy files are
 /// user-controlled input: malformed structure (bad parent links, ranges
 /// that do not partition, non-singleton leaves, wrong counts) fails with
 /// InvalidArgument and unreadable files with IOError — never an abort.
-Result<Taxonomy> LoadTaxonomy(const std::string& path);
+[[nodiscard]] Result<Taxonomy> LoadTaxonomy(const std::string& path);
 
 }  // namespace pgpub

@@ -16,14 +16,14 @@ namespace pgpub {
 ///
 /// Header: "<attr-name>#gen" per QI attribute, "<sensitive-name>#code",
 /// "G".
-Status SavePublishedCodes(const PublishedTable& published,
+[[nodiscard]] Status SavePublishedCodes(const PublishedTable& published,
                           const std::string& path);
 
 /// Reconstructs a tree-training dataset from the files written by
 /// SavePublishedCodes + SaveRecoding. `categories` maps the sensitive
 /// codes to classes; `nominal` flags each QI attribute (parallel to the
 /// recoding's attribute list).
-Result<TreeDataset> LoadPublishedDataset(const std::string& codes_path,
+[[nodiscard]] Result<TreeDataset> LoadPublishedDataset(const std::string& codes_path,
                                          const GlobalRecoding& recoding,
                                          const CategoryMap& categories,
                                          const std::vector<bool>& nominal);

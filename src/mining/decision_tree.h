@@ -117,7 +117,7 @@ class DecisionTree {
   };
 
   /// Grows a tree. Fails on empty/ill-formed datasets.
-  static Result<DecisionTree> Train(const TreeDataset& dataset,
+  [[nodiscard]] static Result<DecisionTree> Train(const TreeDataset& dataset,
                                     const TreeOptions& options);
 
   /// Classifies a raw code vector (parallel to the dataset's attributes).

@@ -26,7 +26,7 @@ struct NaiveBayesOptions {
 class NaiveBayesClassifier {
  public:
   /// Trains on `dataset` (labels possibly perturbed; see options).
-  static Result<NaiveBayesClassifier> Train(const TreeDataset& dataset,
+  [[nodiscard]] static Result<NaiveBayesClassifier> Train(const TreeDataset& dataset,
                                             const NaiveBayesOptions& options);
 
   /// Classifies a raw code vector (parallel to the training attributes).

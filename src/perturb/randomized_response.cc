@@ -77,6 +77,8 @@ PerturbationMatrix PerturbationMatrix::Uniform(double p,
       rows[a][b] = up.TransitionProb(a, b);
     }
   }
+  // Rows form a proper stochastic channel by construction; cannot fail.
+  // pgpub-lint: allow(unchecked-result)
   return Create(std::move(rows)).ValueOrDie();
 }
 

@@ -49,7 +49,7 @@ class UniformPerturbation {
 class PerturbationMatrix {
  public:
   /// `matrix[a][b]` = P[a -> b]; every row must be a distribution.
-  static Result<PerturbationMatrix> Create(
+  [[nodiscard]] static Result<PerturbationMatrix> Create(
       std::vector<std::vector<double>> matrix);
 
   /// The matrix equivalent of UniformPerturbation(p, m).

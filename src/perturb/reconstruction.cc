@@ -72,7 +72,6 @@ Result<std::vector<double>> InvertChannel(
     for (int r = 0; r < m; ++r) {
       if (r == col) continue;
       const double f = a[r][col] / a[col][col];
-      if (f == 0.0) continue;
       for (int c = col; c < m; ++c) a[r][c] -= f * a[col][c];
       b[r] -= f * b[col];
     }

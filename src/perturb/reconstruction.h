@@ -46,7 +46,7 @@ class Reconstructor {
 /// Gaussian elimination with partial pivoting — the matrix-inversion
 /// reconstruction for arbitrary perturbation matrices. Fails when M is
 /// (numerically) singular, e.g. the fully randomizing channel.
-Result<std::vector<double>> InvertChannel(const PerturbationMatrix& matrix,
+[[nodiscard]] Result<std::vector<double>> InvertChannel(const PerturbationMatrix& matrix,
                                           const std::vector<double>& observed);
 
 /// Iterative Bayesian (EM) reconstruction of the true distribution from an

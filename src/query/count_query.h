@@ -35,7 +35,7 @@ struct CountQuery {
 };
 
 /// Ground truth on the microdata.
-Result<int64_t> ExactCount(const Table& microdata, const CountQuery& query);
+[[nodiscard]] Result<int64_t> ExactCount(const Table& microdata, const CountQuery& query);
 
 /// Point estimate with an (approximate, delta-method) standard error.
 struct CountEstimate {
@@ -55,13 +55,13 @@ struct CountEstimate {
 /// unbiased up to the within-cell uniformity assumption. Estimates are NOT
 /// clamped (clamping would bias aggregates; callers may clamp for
 /// display).
-Result<CountEstimate> EstimateCount(const PublishedTable& published,
+[[nodiscard]] Result<CountEstimate> EstimateCount(const PublishedTable& published,
                                     const CountQuery& query);
 
 /// Baseline: estimate from a uniform row sample (size n_sample of
 /// n_total), scaled by n_total / n_sample — what a subset release
 /// supports.
-Result<CountEstimate> EstimateCountFromSample(const Table& sample,
+[[nodiscard]] Result<CountEstimate> EstimateCountFromSample(const Table& sample,
                                               size_t total_rows,
                                               const CountQuery& query);
 

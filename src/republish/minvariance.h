@@ -54,7 +54,7 @@ class MInvariantRepublisher {
   /// snapshot; an owner's sensitive value must never change across
   /// snapshots (checked). Owners absent from a snapshot are treated as
   /// deleted (they may return later — their signature still binds).
-  Result<RepublishRelease> PublishNext(
+  [[nodiscard]] Result<RepublishRelease> PublishNext(
       const std::vector<std::pair<int64_t, int32_t>>& alive);
 
   int m() const { return m_; }

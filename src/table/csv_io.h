@@ -10,10 +10,10 @@ namespace pgpub {
 /// Loads a CSV file into a Table. The CSV header must contain every
 /// attribute of `schema` (extra CSV columns are ignored); fields are parsed
 /// according to the attribute types, numeric ranges are inferred.
-Result<Table> LoadCsv(const std::string& path, const Schema& schema);
+[[nodiscard]] Result<Table> LoadCsv(const std::string& path, const Schema& schema);
 
 /// Writes a Table to CSV (header = attribute names, cells rendered through
 /// the domains).
-Status SaveCsv(const Table& table, const std::string& path);
+[[nodiscard]] Status SaveCsv(const Table& table, const std::string& path);
 
 }  // namespace pgpub

@@ -17,7 +17,7 @@ class Dictionary {
   int32_t GetOrAdd(const std::string& value);
 
   /// Returns the code for `value`, or NotFound if it was never added.
-  Result<int32_t> Lookup(const std::string& value) const;
+  [[nodiscard]] Result<int32_t> Lookup(const std::string& value) const;
 
   /// Returns the string for `code`; requires 0 <= code < size().
   const std::string& ValueOf(int32_t code) const;

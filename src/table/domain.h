@@ -39,7 +39,7 @@ class AttributeDomain {
   int64_t max_value() const { return max_value_; }
 
   /// Numeric only: value -> code; OutOfRange outside [min,max].
-  Result<int32_t> EncodeNumeric(int64_t value) const;
+  [[nodiscard]] Result<int32_t> EncodeNumeric(int64_t value) const;
   /// Numeric only: code -> original integer value.
   int64_t DecodeNumeric(int32_t code) const;
 
@@ -47,9 +47,9 @@ class AttributeDomain {
   const Dictionary& dict() const { return dict_; }
 
   /// Encodes a textual field according to the domain type.
-  Result<int32_t> EncodeString(const std::string& text) const;
+  [[nodiscard]] Result<int32_t> EncodeString(const std::string& text) const;
   /// Like EncodeString but adds unseen categorical values to the dictionary.
-  Result<int32_t> EncodeStringGrow(const std::string& text);
+  [[nodiscard]] Result<int32_t> EncodeStringGrow(const std::string& text);
 
   /// Renders a code for display/export.
   std::string CodeToString(int32_t code) const;

@@ -52,14 +52,14 @@ class Schema {
   int AddAttribute(Attribute attr);
 
   /// Index of the attribute named `name`, or NotFound.
-  Result<int> IndexOf(const std::string& name) const;
+  [[nodiscard]] Result<int> IndexOf(const std::string& name) const;
 
   /// Indices of all quasi-identifier attributes, in schema order.
   std::vector<int> QiIndices() const;
 
   /// Index of the unique sensitive attribute; FailedPrecondition if the
   /// schema declares zero or more than one.
-  Result<int> SensitiveIndex() const;
+  [[nodiscard]] Result<int> SensitiveIndex() const;
 
  private:
   std::vector<Attribute> attributes_;

@@ -21,7 +21,7 @@ class Table {
 
   /// Validates shape (one column per attribute, equal lengths, codes within
   /// domains) and constructs.
-  static Result<Table> Create(Schema schema,
+  [[nodiscard]] static Result<Table> Create(Schema schema,
                               std::vector<AttributeDomain> domains,
                               std::vector<std::vector<int32_t>> columns);
 
@@ -74,10 +74,10 @@ class TableBuilder {
   TableBuilder(Schema schema, std::vector<AttributeDomain> domains);
 
   /// Appends a textual record (one field per attribute).
-  Status AddRow(const std::vector<std::string>& fields);
+  [[nodiscard]] Status AddRow(const std::vector<std::string>& fields);
 
   /// Finalizes into a Table. The builder is left empty.
-  Result<Table> Build();
+  [[nodiscard]] Result<Table> Build();
 
  private:
   Schema schema_;

@@ -15,13 +15,13 @@ namespace {
 // ---------------------------------------------------- BackgroundKnowledge
 
 TEST(BackgroundKnowledgeTest, UniformPdf) {
-  BackgroundKnowledge bk = BackgroundKnowledge::Uniform(4);
+  BackgroundKnowledge bk = BackgroundKnowledge::Uniform(4).ValueOrDie();
   for (double v : bk.pdf) EXPECT_DOUBLE_EQ(v, 0.25);
   EXPECT_DOUBLE_EQ(bk.MaxMass(), 0.25);
 }
 
 TEST(BackgroundKnowledgeTest, SkewedTowardsPutsLambdaOnValue) {
-  BackgroundKnowledge bk = BackgroundKnowledge::SkewedTowards(5, 2, 0.4);
+  BackgroundKnowledge bk = BackgroundKnowledge::SkewedTowards(5, 2, 0.4).ValueOrDie();
   EXPECT_DOUBLE_EQ(bk.pdf[2], 0.4);
   EXPECT_DOUBLE_EQ(bk.pdf[0], 0.15);
   double total = 0;
@@ -30,7 +30,7 @@ TEST(BackgroundKnowledgeTest, SkewedTowardsPutsLambdaOnValue) {
 }
 
 TEST(BackgroundKnowledgeTest, ExcludingZerosOutValues) {
-  BackgroundKnowledge bk = BackgroundKnowledge::Excluding(5, {1, 3});
+  BackgroundKnowledge bk = BackgroundKnowledge::Excluding(5, {1, 3}).ValueOrDie();
   EXPECT_DOUBLE_EQ(bk.pdf[1], 0.0);
   EXPECT_DOUBLE_EQ(bk.pdf[3], 0.0);
   EXPECT_NEAR(bk.pdf[0], 1.0 / 3.0, 1e-12);
@@ -39,7 +39,7 @@ TEST(BackgroundKnowledgeTest, ExcludingZerosOutValues) {
 TEST(BackgroundKnowledgeTest, RandomSkewedRespectsLambda) {
   Rng rng(9);
   for (int trial = 0; trial < 50; ++trial) {
-    BackgroundKnowledge bk = BackgroundKnowledge::RandomSkewed(20, 0.1, rng);
+    BackgroundKnowledge bk = BackgroundKnowledge::RandomSkewed(20, 0.1, rng).ValueOrDie();
     EXPECT_LE(bk.MaxMass(), 0.1 + 1e-6);
     double total = 0;
     for (double v : bk.pdf) {
@@ -51,9 +51,64 @@ TEST(BackgroundKnowledgeTest, RandomSkewedRespectsLambda) {
 }
 
 TEST(BackgroundKnowledgeTest, ConfidenceSumsPredicate) {
-  BackgroundKnowledge bk = BackgroundKnowledge::Uniform(4);
+  BackgroundKnowledge bk = BackgroundKnowledge::Uniform(4).ValueOrDie();
   std::vector<bool> q = {true, false, true, false};
-  EXPECT_DOUBLE_EQ(bk.Confidence(q), 0.5);
+  EXPECT_DOUBLE_EQ(bk.Confidence(q).ValueOrDie(), 0.5);
+}
+
+TEST(BackgroundKnowledgeTest, FactoriesRejectBadArguments) {
+  EXPECT_TRUE(BackgroundKnowledge::Uniform(0).status().IsInvalidArgument());
+  EXPECT_TRUE(BackgroundKnowledge::Uniform(-3).status().IsInvalidArgument());
+  // Skew target outside the domain.
+  EXPECT_TRUE(
+      BackgroundKnowledge::SkewedTowards(5, 7, 0.4).status().IsOutOfRange());
+  EXPECT_TRUE(
+      BackgroundKnowledge::SkewedTowards(5, -1, 0.4).status().IsOutOfRange());
+  // Infeasible lambda: below 1/|U^s| or above 1.
+  EXPECT_TRUE(
+      BackgroundKnowledge::SkewedTowards(5, 2, 0.1).status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      BackgroundKnowledge::SkewedTowards(5, 2, 1.5).status()
+          .IsInvalidArgument());
+  // Excluding every value leaves no feasible pdf.
+  EXPECT_TRUE(BackgroundKnowledge::Excluding(2, {0, 1})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      BackgroundKnowledge::Excluding(2, {4}).status().IsOutOfRange());
+  Rng rng(3);
+  EXPECT_TRUE(
+      BackgroundKnowledge::RandomSkewed(10, 0.01, rng).status()
+          .IsInvalidArgument());
+}
+
+TEST(BackgroundKnowledgeTest, ConfidenceRejectsWrongPredicateWidth) {
+  BackgroundKnowledge bk = BackgroundKnowledge::Uniform(4).ValueOrDie();
+  EXPECT_TRUE(
+      bk.Confidence({true, false}).status().IsInvalidArgument());
+}
+
+TEST(AttackResultTest, AccessorsRejectDomainMismatch) {
+  AttackResult r;
+  r.posterior = {0.5, 0.5};
+  BackgroundKnowledge prior = BackgroundKnowledge::Uniform(3).ValueOrDie();
+  EXPECT_TRUE(r.MaxGrowth(prior).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      r.MaxPosteriorGivenPriorBound(prior, 0.5).status().IsInvalidArgument());
+  EXPECT_TRUE(r.MaxPosteriorGivenPriorBoundExact(prior, 0.5)
+                  .status()
+                  .IsInvalidArgument());
+  BackgroundKnowledge matched = BackgroundKnowledge::Uniform(2).ValueOrDie();
+  EXPECT_TRUE(r.MaxPosteriorGivenPriorBoundExact(matched, 0.5, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(r.Confidence({true}).status().IsInvalidArgument());
+}
+
+TEST(LinkingAttackTest, CreateRejectsNullReferents) {
+  EXPECT_TRUE(
+      LinkingAttack::Create(nullptr, nullptr).status().IsInvalidArgument());
 }
 
 // --------------------------------------------------------- Hospital attack
@@ -90,12 +145,13 @@ TEST(LinkingAttackTest, Example1HandComputedPosterior) {
   const int32_t us = f.hospital.table.domain(sens).size();  // 7
 
   Adversary adv;
-  adv.victim_prior = BackgroundKnowledge::Uniform(us);
+  adv.victim_prior = BackgroundKnowledge::Uniform(us).ValueOrDie();
   adv.corrupted[f.debbie] = f.hospital.table.value(
       f.hospital.voter_list.individual(f.debbie).microdata_row, sens);
   adv.corrupted[f.emily] = Adversary::kExtraneousMark;
 
-  LinkingAttack attacker(&f.published, &f.hospital.voter_list);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&f.published, &f.hospital.voter_list).ValueOrDie();
   AttackResult r = attacker.Attack(f.ellie, adv).ValueOrDie();
 
   // Candidates besides Ellie in her cell: Debbie and Emily.
@@ -126,21 +182,22 @@ TEST(LinkingAttackTest, Theorem1NoBreachWhenYNotInQ) {
   const int32_t us = f.hospital.table.domain(sens).size();
 
   Adversary adv;
-  adv.victim_prior = BackgroundKnowledge::Uniform(us);
-  LinkingAttack attacker(&f.published, &f.hospital.voter_list);
+  adv.victim_prior = BackgroundKnowledge::Uniform(us).ValueOrDie();
+  LinkingAttack attacker =
+      LinkingAttack::Create(&f.published, &f.hospital.voter_list).ValueOrDie();
   AttackResult r = attacker.Attack(f.ellie, adv).ValueOrDie();
 
   // Any Q excluding the observed y must not gain confidence (Theorem 1).
   std::vector<bool> q(us, true);
   q[r.observed_y] = false;
-  EXPECT_LE(r.Confidence(q), adv.victim_prior.Confidence(q) + 1e-12);
+  EXPECT_LE(r.Confidence(q).ValueOrDie(), adv.victim_prior.Confidence(q).ValueOrDie() + 1e-12);
   // ... and single-value predicates excluding y likewise.
   for (int32_t x = 0; x < us; ++x) {
     if (x == r.observed_y) continue;
     std::vector<bool> single(us, false);
     single[x] = true;
-    EXPECT_LE(r.Confidence(single),
-              adv.victim_prior.Confidence(single) + 1e-12);
+    EXPECT_LE(r.Confidence(single).ValueOrDie(),
+              adv.victim_prior.Confidence(single).ValueOrDie() + 1e-12);
   }
 }
 
@@ -148,9 +205,10 @@ TEST(LinkingAttackTest, RejectsBadVictims) {
   HospitalAttackFixture f;
   const int32_t us = f.hospital.table.domain(HospitalColumns::kDisease)
                          .size();
-  LinkingAttack attacker(&f.published, &f.hospital.voter_list);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&f.published, &f.hospital.voter_list).ValueOrDie();
   Adversary adv;
-  adv.victim_prior = BackgroundKnowledge::Uniform(us);
+  adv.victim_prior = BackgroundKnowledge::Uniform(us).ValueOrDie();
   // Emily is extraneous.
   EXPECT_TRUE(attacker.Attack(f.emily, adv).status().IsInvalidArgument());
   // Corrupted victim.
@@ -163,7 +221,7 @@ TEST(LinkingAttackTest, RejectsBadVictims) {
                   .IsInvalidArgument());
   // Wrong pdf width.
   Adversary bad;
-  bad.victim_prior = BackgroundKnowledge::Uniform(us + 1);
+  bad.victim_prior = BackgroundKnowledge::Uniform(us + 1).ValueOrDie();
   EXPECT_TRUE(attacker.Attack(f.ellie, bad).status().IsInvalidArgument());
 }
 
@@ -171,10 +229,11 @@ TEST(LinkingAttackTest, CorruptionRaisesOwnershipProbability) {
   HospitalAttackFixture f;
   const int32_t us =
       f.hospital.table.domain(HospitalColumns::kDisease).size();
-  LinkingAttack attacker(&f.published, &f.hospital.voter_list);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&f.published, &f.hospital.voter_list).ValueOrDie();
 
   Adversary without;
-  without.victim_prior = BackgroundKnowledge::Uniform(us);
+  without.victim_prior = BackgroundKnowledge::Uniform(us).ValueOrDie();
   AttackResult r0 = attacker.Attack(f.ellie, without).ValueOrDie();
 
   Adversary with = without;
@@ -209,7 +268,8 @@ TEST_P(HBoundSweep, OwnershipProbabilityNeverExceedsHTop) {
   Rng rng(23);
   ExternalDatabase edb =
       ExternalDatabase::FromMicrodata(census.table, 400, rng);
-  LinkingAttack attacker(&published, &edb);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&published, &edb).ValueOrDie();
 
   PgParams bound_params{param.p, param.k, param.lambda, 50};
   const double h_top = HTop(bound_params);
@@ -219,7 +279,7 @@ TEST_P(HBoundSweep, OwnershipProbabilityNeverExceedsHTop) {
        victim += 97) {
     Adversary adv;
     adv.victim_prior = BackgroundKnowledge::RandomSkewed(
-        50, std::max(param.lambda, 1.0 / 50), rng);
+        50, std::max(param.lambda, 1.0 / 50), rng).ValueOrDie();
     // Random corruption of half the external database individuals that
     // share the victim's cell (approximated by corrupting random people —
     // only cell-mates matter to the attack).
@@ -278,9 +338,10 @@ TEST(LinkingAttackTest, OwnershipProbabilityMatchesMonteCarlo) {
       publisher.Publish(t, {nullptr}).ValueOrDie();
   Rng edb_rng(1);
   ExternalDatabase edb = ExternalDatabase::FromMicrodata(t, 0, edb_rng);
-  LinkingAttack attacker(&published, &edb);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&published, &edb).ValueOrDie();
   Adversary adv;
-  adv.victim_prior = BackgroundKnowledge::Uniform(us);
+  adv.victim_prior = BackgroundKnowledge::Uniform(us).ValueOrDie();
   AttackResult r = attacker.Attack(0, adv).ValueOrDie();
   const int32_t y = r.observed_y;
 
@@ -331,7 +392,8 @@ TEST(LinkingAttackTest, PosteriorMatchesConditionalSimulation) {
   PublishedTable published = publisher.Publish(t, {nullptr}).ValueOrDie();
   Rng edb_rng(2);
   ExternalDatabase edb = ExternalDatabase::FromMicrodata(t, 0, edb_rng);
-  LinkingAttack attacker(&published, &edb);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&published, &edb).ValueOrDie();
 
   Adversary adv;
   adv.victim_prior.pdf = {0.4, 0.3, 0.2, 0.1};
@@ -375,9 +437,9 @@ TEST(GeneralizationAttackTest, UniformPriorGivesGroupFrequencies) {
   Table t = Table::Create(schema, domains, {{0, 0, 0, 0}, {0, 0, 1, 2}})
                 .ValueOrDie();
   std::vector<uint32_t> group = {0, 1, 2, 3};
-  BackgroundKnowledge prior = BackgroundKnowledge::Uniform(3);
+  BackgroundKnowledge prior = BackgroundKnowledge::Uniform(3).ValueOrDie();
   std::vector<double> post =
-      GeneralizationAttackPosterior(t, group, 1, 0, {}, prior);
+      GeneralizationAttackPosterior(t, group, 1, 0, {}, prior).ValueOrDie();
   EXPECT_NEAR(post[0], 0.5, 1e-12);
   EXPECT_NEAR(post[1], 0.25, 1e-12);
   EXPECT_NEAR(post[2], 0.25, 1e-12);
@@ -395,9 +457,9 @@ TEST(GeneralizationAttackTest, FullCorruptionPinpointsVictim) {
   Table t = Table::Create(schema, domains, {{0, 0, 0}, {2, 0, 1}})
                 .ValueOrDie();
   std::vector<uint32_t> group = {0, 1, 2};
-  BackgroundKnowledge prior = BackgroundKnowledge::Uniform(3);
+  BackgroundKnowledge prior = BackgroundKnowledge::Uniform(3).ValueOrDie();
   std::vector<double> post =
-      GeneralizationAttackPosterior(t, group, 1, 0, {1, 2}, prior);
+      GeneralizationAttackPosterior(t, group, 1, 0, {1, 2}, prior).ValueOrDie();
   EXPECT_NEAR(post[2], 1.0, 1e-12);
   EXPECT_NEAR(post[0], 0.0, 1e-12);
 }
@@ -417,9 +479,9 @@ TEST(GeneralizationAttackTest, Lemma1ExclusionPrior) {
                           {{0, 0, 0, 0}, {0, 1, 2, 5}})
                 .ValueOrDie();
   std::vector<uint32_t> group = {0, 1, 2, 3};
-  BackgroundKnowledge prior = BackgroundKnowledge::Excluding(6, {5});
+  BackgroundKnowledge prior = BackgroundKnowledge::Excluding(6, {5}).ValueOrDie();
   std::vector<double> post =
-      GeneralizationAttackPosterior(t, group, 1, 0, {}, prior);
+      GeneralizationAttackPosterior(t, group, 1, 0, {}, prior).ValueOrDie();
   // Q = {0,1,2} ("respiratory"): prior 3/5, posterior 1.
   double post_q = post[0] + post[1] + post[2];
   EXPECT_NEAR(post_q, 1.0, 1e-12);
@@ -434,11 +496,11 @@ TEST(AttackResultTest, MaxGrowthAndGreedyPredicate) {
   r.posterior = {0.5, 0.3, 0.1, 0.1};
   BackgroundKnowledge prior;
   prior.pdf = {0.25, 0.25, 0.25, 0.25};
-  EXPECT_NEAR(r.MaxGrowth(prior), 0.3, 1e-12);
+  EXPECT_NEAR(r.MaxGrowth(prior).ValueOrDie(), 0.3, 1e-12);
   // With rho1 = 0.5 the best Q takes the two grown values {0,1}.
-  EXPECT_NEAR(r.MaxPosteriorGivenPriorBound(prior, 0.5), 0.8, 1e-12);
+  EXPECT_NEAR(r.MaxPosteriorGivenPriorBound(prior, 0.5).ValueOrDie(), 0.8, 1e-12);
   // With rho1 = 0.25 only one value fits.
-  EXPECT_NEAR(r.MaxPosteriorGivenPriorBound(prior, 0.25), 0.5, 1e-12);
+  EXPECT_NEAR(r.MaxPosteriorGivenPriorBound(prior, 0.25).ValueOrDie(), 0.5, 1e-12);
 }
 
 TEST(AttackResultTest, ExactKnapsackDominatesGreedy) {
@@ -456,9 +518,9 @@ TEST(AttackResultTest, ExactKnapsackDominatesGreedy) {
     NormalizeInPlace(r.posterior);
     NormalizeInPlace(prior.pdf);
     for (double rho1 : {0.1, 0.3, 0.6}) {
-      const double greedy = r.MaxPosteriorGivenPriorBound(prior, rho1);
+      const double greedy = r.MaxPosteriorGivenPriorBound(prior, rho1).ValueOrDie();
       const double exact =
-          r.MaxPosteriorGivenPriorBoundExact(prior, rho1, 1e-4);
+          r.MaxPosteriorGivenPriorBoundExact(prior, rho1, 1e-4).ValueOrDie();
       EXPECT_GE(exact, greedy - 1e-9)
           << "trial " << trial << " rho1 " << rho1;
       EXPECT_LE(exact, 1.0 + 1e-9);
@@ -474,10 +536,10 @@ TEST(AttackResultTest, ExactKnapsackSolvesKnownInstance) {
   r.posterior = {0.5, 0.3, 0.2};
   BackgroundKnowledge prior;
   prior.pdf = {0.5, 0.25, 0.25};
-  EXPECT_NEAR(r.MaxPosteriorGivenPriorBoundExact(prior, 0.5), 0.5, 1e-9);
-  EXPECT_NEAR(r.MaxPosteriorGivenPriorBoundExact(prior, 0.75), 0.8, 1e-9);
-  EXPECT_NEAR(r.MaxPosteriorGivenPriorBoundExact(prior, 1.0), 1.0, 1e-9);
-  EXPECT_NEAR(r.MaxPosteriorGivenPriorBoundExact(prior, 0.2), 0.0, 1e-9);
+  EXPECT_NEAR(r.MaxPosteriorGivenPriorBoundExact(prior, 0.5).ValueOrDie(), 0.5, 1e-9);
+  EXPECT_NEAR(r.MaxPosteriorGivenPriorBoundExact(prior, 0.75).ValueOrDie(), 0.8, 1e-9);
+  EXPECT_NEAR(r.MaxPosteriorGivenPriorBoundExact(prior, 1.0).ValueOrDie(), 1.0, 1e-9);
+  EXPECT_NEAR(r.MaxPosteriorGivenPriorBoundExact(prior, 0.2).ValueOrDie(), 0.0, 1e-9);
 }
 
 TEST(AttackResultTest, ZeroPriorValuesAreFree) {
@@ -485,7 +547,7 @@ TEST(AttackResultTest, ZeroPriorValuesAreFree) {
   r.posterior = {0.6, 0.4};
   BackgroundKnowledge prior;
   prior.pdf = {0.0, 1.0};
-  EXPECT_NEAR(r.MaxPosteriorGivenPriorBound(prior, 0.0), 0.6, 1e-12);
+  EXPECT_NEAR(r.MaxPosteriorGivenPriorBound(prior, 0.0).ValueOrDie(), 0.6, 1e-12);
 }
 
 }  // namespace

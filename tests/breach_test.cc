@@ -28,6 +28,25 @@ struct BreachFixture {
   }
 };
 
+TEST(BreachHarnessTest, RejectsInfeasibleOptions) {
+  BreachFixture f;
+  BreachHarnessOptions options;
+  options.rho1 = 1.5;  // must be in (0,1)
+  EXPECT_TRUE(MeasurePgBreaches(f.published, f.edb, f.census.table, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.rho1 = 0.2;
+  options.corruption_rate = -0.1;
+  EXPECT_TRUE(MeasurePgBreaches(f.published, f.edb, f.census.table, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.corruption_rate = 0.5;
+  options.lambda = 0.0;
+  EXPECT_TRUE(MeasurePgBreaches(f.published, f.edb, f.census.table, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
 class CorruptionSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(CorruptionSweep, PgNeverBreachesTheoremBounds) {
@@ -42,7 +61,7 @@ TEST_P(CorruptionSweep, PgNeverBreachesTheoremBounds) {
   options.prior_kind = BreachHarnessOptions::PriorKind::kSkewTrue;
 
   BreachStats stats =
-      MeasurePgBreaches(f.published, f.edb, f.census.table, options);
+      MeasurePgBreaches(f.published, f.edb, f.census.table, options).ValueOrDie();
   EXPECT_EQ(stats.attacks, options.num_victims);
   EXPECT_EQ(stats.delta_breaches, 0u) << "corruption=" << rate;
   EXPECT_EQ(stats.rho_breaches, 0u) << "corruption=" << rate;
@@ -66,7 +85,7 @@ TEST_P(PriorKindSweep, NoBreachUnderAnyHarnessPrior) {
   options.prior_kind = GetParam();
   options.seed = 9;
   BreachStats stats =
-      MeasurePgBreaches(f.published, f.edb, f.census.table, options);
+      MeasurePgBreaches(f.published, f.edb, f.census.table, options).ValueOrDie();
   EXPECT_EQ(stats.delta_breaches, 0u);
   EXPECT_EQ(stats.rho_breaches, 0u);
 }
@@ -87,7 +106,7 @@ TEST(BreachHarnessTest, GrowthIsPositiveUnderStrongCorruption) {
   options.lambda = 0.1;
   options.seed = 11;
   BreachStats stats =
-      MeasurePgBreaches(f.published, f.edb, f.census.table, options);
+      MeasurePgBreaches(f.published, f.edb, f.census.table, options).ValueOrDie();
   EXPECT_GT(stats.max_growth, 0.0);
   EXPECT_GT(stats.max_h, 0.0);
 }
@@ -102,9 +121,9 @@ TEST(BreachHarnessTest, LowerRetentionLowersGrowth) {
   BreachFixture strong(0.1, 4);
   BreachFixture weak(0.6, 4);
   BreachStats s_strong = MeasurePgBreaches(strong.published, strong.edb,
-                                           strong.census.table, options);
+                                           strong.census.table, options).ValueOrDie();
   BreachStats s_weak =
-      MeasurePgBreaches(weak.published, weak.edb, weak.census.table, options);
+      MeasurePgBreaches(weak.published, weak.edb, weak.census.table, options).ValueOrDie();
   EXPECT_LT(s_strong.max_growth, s_weak.max_growth);
   EXPECT_LT(s_strong.delta_bound, s_weak.delta_bound);
 }
@@ -131,7 +150,7 @@ TEST(GeneralizationBreachTest, FullCorruptionCausesCertainDisclosure) {
   options.prior_kind = BreachHarnessOptions::PriorKind::kUniform;
   options.seed = 17;
   GeneralizationBreachStats stats = MeasureGeneralizationBreaches(
-      census.table, groups, sens, options);
+      census.table, groups, sens, options).ValueOrDie();
   // Every attack ends in a point mass (the victim's value disclosed).
   EXPECT_EQ(stats.point_mass_disclosures, stats.attacks);
   // Growth approaches 1 - 1/|U^s|.
@@ -167,8 +186,8 @@ TEST(GeneralizationBreachTest, PgBeatsGeneralizationUnderCorruption) {
   options.lambda = 0.1;
   options.seed = 46;
   GeneralizationBreachStats gen = MeasureGeneralizationBreaches(
-      census.table, groups, sens, options);
-  BreachStats pg = MeasurePgBreaches(published, edb, census.table, options);
+      census.table, groups, sens, options).ValueOrDie();
+  BreachStats pg = MeasurePgBreaches(published, edb, census.table, options).ValueOrDie();
   EXPECT_GT(gen.max_growth, pg.max_growth + 0.3);
 }
 
@@ -192,7 +211,7 @@ TEST(GeneralizationBreachTest, NoCorruptionStillLeaksLemma1Style) {
   options.prior_kind = BreachHarnessOptions::PriorKind::kUniform;
   options.seed = 48;
   GeneralizationBreachStats stats = MeasureGeneralizationBreaches(
-      census.table, groups, sens, options);
+      census.table, groups, sens, options).ValueOrDie();
   PgParams pg_params{0.3, 4, 0.1, 50};
   EXPECT_GT(stats.max_growth, MinDelta(pg_params));
 }

@@ -133,10 +133,11 @@ TEST(EdgeTest, AttackWithNoOtherCandidates) {
   PublishedTable published =
       publisher.Publish(hospital.table, hospital.TaxonomyPointers())
           .ValueOrDie();
-  LinkingAttack attacker(&published, &hospital.voter_list);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&published, &hospital.voter_list).ValueOrDie();
   Adversary adv;
   adv.victim_prior = BackgroundKnowledge::Uniform(
-      hospital.table.domain(HospitalColumns::kDisease).size());
+      hospital.table.domain(HospitalColumns::kDisease).size()).ValueOrDie();
   // Bob (index 0) has a unique QI vector even among the voter list? Not
   // necessarily — just assert the attack math stays consistent.
   AttackResult r = attacker.Attack(0, adv).ValueOrDie();
@@ -160,7 +161,8 @@ TEST(EdgeTest, FullySkewedPriorPinsPosterior) {
   PublishedTable published =
       publisher.Publish(hospital.table, hospital.TaxonomyPointers())
           .ValueOrDie();
-  LinkingAttack attacker(&published, &hospital.voter_list);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&published, &hospital.voter_list).ValueOrDie();
   const int32_t us =
       hospital.table.domain(HospitalColumns::kDisease).size();
   const int32_t truth =
@@ -170,7 +172,7 @@ TEST(EdgeTest, FullySkewedPriorPinsPosterior) {
   adv.victim_prior.pdf[truth] = 1.0;
   AttackResult r = attacker.Attack(0, adv).ValueOrDie();
   EXPECT_NEAR(r.posterior[truth], 1.0, 1e-9);
-  EXPECT_NEAR(r.MaxGrowth(adv.victim_prior), 0.0, 1e-9);
+  EXPECT_NEAR(r.MaxGrowth(adv.victim_prior).ValueOrDie(), 0.0, 1e-9);
 }
 
 TEST(EdgeTest, GValueOfExample1IsZeroWhenAllCandidatesCorrupted) {
@@ -194,11 +196,12 @@ TEST(EdgeTest, GValueOfExample1IsZeroWhenAllCandidatesCorrupted) {
   }
   Adversary adv;
   adv.victim_prior = BackgroundKnowledge::Uniform(
-      hospital.table.domain(HospitalColumns::kDisease).size());
+      hospital.table.domain(HospitalColumns::kDisease).size()).ValueOrDie();
   adv.corrupted[debbie] = hospital.table.value(
       edb.individual(debbie).microdata_row, HospitalColumns::kDisease);
   adv.corrupted[emily] = Adversary::kExtraneousMark;
-  LinkingAttack attacker(&published, &edb);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&published, &edb).ValueOrDie();
   AttackResult r = attacker.Attack(ellie, adv).ValueOrDie();
   EXPECT_EQ(r.e, r.alpha);
   EXPECT_DOUBLE_EQ(r.g, 0.0);

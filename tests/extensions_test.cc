@@ -168,7 +168,8 @@ TEST(AnatomyTest, CollapsesUnderCorruptionLikeGeneralization) {
   }
   std::vector<double> post = GeneralizationAttackPosterior(
       census.table, release.group_rows[gid], CensusColumns::kIncome, victim,
-      corrupted, BackgroundKnowledge::Uniform(us));
+      corrupted, BackgroundKnowledge::Uniform(us).ValueOrDie())
+                                 .ValueOrDie();
   EXPECT_NEAR(post[census.table.value(victim, CensusColumns::kIncome)], 1.0,
               1e-12);
 }

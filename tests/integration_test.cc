@@ -53,7 +53,7 @@ TEST_P(FullPipeline, PublishAttackMine) {
   harness.corruption_rate = 1.0;
   harness.lambda = 0.1;
   harness.seed = 3000 + param.k;
-  BreachStats stats = MeasurePgBreaches(published, edb, microdata, harness);
+  BreachStats stats = MeasurePgBreaches(published, edb, microdata, harness).ValueOrDie();
   EXPECT_EQ(stats.delta_breaches, 0u);
   EXPECT_EQ(stats.rho_breaches, 0u);
 

@@ -289,15 +289,16 @@ TEST(AttackPathsTest, NonUniformOthersPriorShiftsH) {
   Rng rng(93);
   ExternalDatabase edb =
       ExternalDatabase::FromMicrodata(census.table, 0, rng);
-  LinkingAttack attacker(&published, &edb);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&published, &edb).ValueOrDie();
 
   Adversary base;
-  base.victim_prior = BackgroundKnowledge::Uniform(50);
+  base.victim_prior = BackgroundKnowledge::Uniform(50).ValueOrDie();
   AttackResult neutral = attacker.Attack(0, base).ValueOrDie();
 
   Adversary informed = base;
   informed.others_prior =
-      BackgroundKnowledge::SkewedTowards(50, neutral.observed_y, 0.9).pdf;
+      BackgroundKnowledge::SkewedTowards(50, neutral.observed_y, 0.9).ValueOrDie().pdf;
   AttackResult shifted = attacker.Attack(0, informed).ValueOrDie();
   EXPECT_LT(shifted.h, neutral.h);
 
@@ -305,7 +306,7 @@ TEST(AttackPathsTest, NonUniformOthersPriorShiftsH) {
   // Unknowns almost surely do NOT hold y: they are weak rivals, h rises.
   std::vector<int32_t> just_y = {neutral.observed_y};
   dismissive.others_prior =
-      BackgroundKnowledge::Excluding(50, just_y).pdf;
+      BackgroundKnowledge::Excluding(50, just_y).ValueOrDie().pdf;
   AttackResult raised = attacker.Attack(0, dismissive).ValueOrDie();
   EXPECT_GT(raised.h, neutral.h);
 }
@@ -326,7 +327,8 @@ TEST(AttackPathsTest, CorruptingExtraneousOnlyIncreasesH) {
   Rng rng(96);
   ExternalDatabase edb =
       ExternalDatabase::FromMicrodata(census.table, 2000, rng);
-  LinkingAttack attacker(&published, &edb);
+  LinkingAttack attacker =
+      LinkingAttack::Create(&published, &edb).ValueOrDie();
 
   // Find a victim whose cell contains extraneous candidates.
   for (size_t victim = 0; victim < 2000; ++victim) {
@@ -340,7 +342,7 @@ TEST(AttackPathsTest, CorruptingExtraneousOnlyIncreasesH) {
     if (extraneous_mates.size() < 2) continue;
 
     Adversary adv;
-    adv.victim_prior = BackgroundKnowledge::Uniform(50);
+    adv.victim_prior = BackgroundKnowledge::Uniform(50).ValueOrDie();
     double prev_h =
         attacker.Attack(victim, adv).ValueOrDie().h;
     for (size_t mate : extraneous_mates) {

@@ -147,7 +147,7 @@ TEST(ClinicTest, PgPipelineHoldsOnClinicWorkload) {
   harness.lambda = 0.1;
   harness.seed = 12;
   BreachStats stats =
-      MeasurePgBreaches(published, edb, clinic.table, harness);
+      MeasurePgBreaches(published, edb, clinic.table, harness).ValueOrDie();
   EXPECT_EQ(stats.delta_breaches, 0u);
   EXPECT_EQ(stats.rho_breaches, 0u);
 

@@ -1,0 +1,280 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace pgpub::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character operators, longest first within each first-character
+/// group. Three-character operators the rules could care about (`<<=`,
+/// `>>=`, `...`, `->*`) are listed before their two-character prefixes.
+const char* const kOperators[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",  ".*",
+};
+
+/// Parses `pgpub-lint: allow(a, b)` directives out of a comment body and
+/// records them for `line` (and `line + 1` when the comment stood alone).
+void HarvestSuppressions(const std::string& comment, int line,
+                         bool comment_only_line, Suppressions* out) {
+  const std::string needle = "pgpub-lint:";
+  size_t at = comment.find(needle);
+  if (at == std::string::npos) return;
+  at += needle.size();
+  const size_t allow = comment.find("allow", at);
+  if (allow == std::string::npos) return;
+  const size_t open = comment.find('(', allow);
+  if (open == std::string::npos) return;
+  const size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+
+  std::string name;
+  auto flush = [&] {
+    if (!name.empty()) {
+      out->by_line[line].insert(name);
+      if (comment_only_line) out->by_line[line + 1].insert(name);
+      name.clear();
+    }
+  };
+  for (size_t i = open + 1; i < close; ++i) {
+    const char c = comment[i];
+    if (c == ',') {
+      flush();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      name.push_back(c);
+    }
+  }
+  flush();
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  LexedFile Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_has_code_ = false;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;  // line continuation
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && !line_has_code_) {
+        LexPreprocessor();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        LexStringOrChar(c);
+        continue;
+      }
+      if (c == 'R' && Peek(1) == '"') {
+        LexRawString();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        LexNumber();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokenKind kind, std::string text, int line,
+            bool is_float = false) {
+    line_has_code_ = true;
+    result_.tokens.push_back(Token{kind, std::move(text), line, is_float});
+  }
+
+  void LexLineComment() {
+    const int line = line_;
+    const bool comment_only = !line_has_code_;
+    const size_t start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    HarvestSuppressions(src_.substr(start, pos_ - start), line, comment_only,
+                        &result_.suppressions);
+  }
+
+  void LexBlockComment() {
+    const int line = line_;
+    const bool comment_only = !line_has_code_;
+    const size_t start = pos_;
+    pos_ += 2;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && Peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) pos_ += 2;
+    HarvestSuppressions(src_.substr(start, pos_ - start), line, comment_only,
+                        &result_.suppressions);
+  }
+
+  void LexPreprocessor() {
+    const int line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && Peek(1) == '\n') {
+        ++line_;
+        pos_ += 2;
+        text.push_back(' ');
+        continue;
+      }
+      if (c == '\n') break;
+      // A trailing comment ends the directive for our purposes.
+      if (c == '/' && (Peek(1) == '/' || Peek(1) == '*')) break;
+      text.push_back(c);
+      ++pos_;
+    }
+    Emit(TokenKind::kPreprocessor, std::move(text), line);
+    line_has_code_ = false;  // the directive owns its line
+  }
+
+  void LexStringOrChar(char quote) {
+    const int line = line_;
+    std::string text(1, quote);
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != quote) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '\n') ++line_;
+        text.push_back(src_[pos_]);
+        text.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') {
+        ++line_;  // unterminated literal; keep going gracefully
+      }
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size()) {
+      text.push_back(quote);
+      ++pos_;
+    }
+    Emit(TokenKind::kString, std::move(text), line);
+  }
+
+  void LexRawString() {
+    const int line = line_;
+    // R"delim( ... )delim"
+    size_t p = pos_ + 2;
+    std::string delim;
+    while (p < src_.size() && src_[p] != '(') delim.push_back(src_[p++]);
+    const std::string closer = ")" + delim + "\"";
+    const size_t body = p < src_.size() ? p + 1 : p;
+    size_t end = src_.find(closer, body);
+    if (end == std::string::npos) end = src_.size();
+    for (size_t i = pos_; i < end && i < src_.size(); ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    const size_t stop =
+        end == src_.size() ? end : end + closer.size();
+    Emit(TokenKind::kString, src_.substr(pos_, stop - pos_), line);
+    pos_ = stop;
+  }
+
+  void LexIdentifier() {
+    const int line = line_;
+    const size_t start = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    Emit(TokenKind::kIdentifier, src_.substr(start, pos_ - start), line);
+  }
+
+  void LexNumber() {
+    const int line = line_;
+    const size_t start = pos_;
+    bool is_float = false;
+    const bool hex = src_[pos_] == '0' && (Peek(1) == 'x' || Peek(1) == 'X');
+    if (hex) pos_ += 2;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '\'') {
+        if (!hex && (c == 'e' || c == 'E') &&
+            (Peek(1) == '+' || Peek(1) == '-')) {
+          is_float = true;
+          pos_ += 2;
+          continue;
+        }
+        if (!hex && (c == 'e' || c == 'E')) is_float = true;
+        if (!hex && (c == 'f' || c == 'F')) is_float = true;
+        if (hex && (c == 'p' || c == 'P')) is_float = true;
+        ++pos_;
+        continue;
+      }
+      if (c == '.') {
+        is_float = true;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, src_.substr(start, pos_ - start), line,
+         is_float);
+  }
+
+  void LexPunct() {
+    const int line = line_;
+    for (const char* op : kOperators) {
+      const size_t n = std::char_traits<char>::length(op);
+      if (src_.compare(pos_, n, op) == 0) {
+        Emit(TokenKind::kPunct, op, line);
+        pos_ += n;
+        return;
+      }
+    }
+    Emit(TokenKind::kPunct, std::string(1, src_[pos_]), line);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool line_has_code_ = false;
+  LexedFile result_;
+};
+
+}  // namespace
+
+LexedFile Lex(const std::string& source) { return Lexer(source).Run(); }
+
+}  // namespace pgpub::lint

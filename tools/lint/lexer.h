@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pgpub::lint {
+
+/// Token categories the rules care about. The lexer is deliberately
+/// coarse — it understands just enough C++ to track statement structure,
+/// identifiers, literals, and comments, without a preprocessor or AST.
+enum class TokenKind {
+  kIdentifier,   ///< Identifiers and keywords (rules tell them apart).
+  kNumber,       ///< Integer or floating literal.
+  kString,       ///< String or character literal (contents opaque).
+  kPunct,        ///< Operators and punctuation, longest-match.
+  kPreprocessor  ///< A whole `#...` directive line (continuations folded).
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;            ///< 1-based line of the token's first character.
+  bool is_float = false;   ///< kNumber only: literal has '.', exponent or
+                           ///< f/F suffix (i.e. a floating literal).
+};
+
+/// Per-line lint suppressions harvested from comments:
+///   // pgpub-lint: allow(rule-a, rule-b)
+/// A suppression on a line with code applies to that line; a suppression
+/// on a comment-only line applies to the *next* line as well, so both
+/// trailing and leading comment styles work. The special rule name `all`
+/// suppresses every rule.
+struct Suppressions {
+  /// line -> set of rule names allowed on that line.
+  std::map<int, std::set<std::string>> by_line;
+
+  bool Allows(int line, const std::string& rule) const {
+    auto it = by_line.find(line);
+    if (it == by_line.end()) return false;
+    return it->second.count(rule) > 0 || it->second.count("all") > 0;
+  }
+};
+
+/// Result of lexing one translation unit.
+struct LexedFile {
+  std::vector<Token> tokens;
+  Suppressions suppressions;
+};
+
+/// Tokenizes C++ source text. Comments and whitespace are consumed (the
+/// `pgpub-lint: allow(...)` directives inside comments are captured into
+/// `suppressions`); raw strings, char literals, digit separators and line
+/// continuations are handled. Never fails: unrecognized bytes become
+/// single-character punct tokens.
+LexedFile Lex(const std::string& source);
+
+}  // namespace pgpub::lint

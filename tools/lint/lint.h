@@ -1,0 +1,95 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace pgpub::lint {
+
+/// One diagnostic. `rule` is the canonical kebab-case rule name.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// The five project invariants, by canonical name. Suppression comments
+/// accept either the canonical name or the short id (L1..L5):
+///
+///   L1 discarded-status     — a call to a Status/Result-returning function
+///                             whose return value is discarded.
+///   L2 unchecked-result     — Result unwrap (`ValueOrDie`) with no
+///                             preceding ok()/status() check of the same
+///                             object, or an unwrap of an unnamed
+///                             temporary.
+///   L3 check-on-input-path  — PGPUB_CHECK* in a src/ file that is not on
+///                             the CHECK allowlist (user-reachable code
+///                             must fail closed with Status instead).
+///   L4 nondeterminism       — RNG or wall-clock primitives not routed
+///                             through common/random.h (std::rand,
+///                             std::random_device, default-seeded engines,
+///                             time(), ...). Breaks bit-for-bit
+///                             reproducibility of the experiments.
+///   L5 float-equality       — exact ==/!= on doubles outside math_util.
+extern const char* const kRuleDiscardedStatus;
+extern const char* const kRuleUncheckedResult;
+extern const char* const kRuleCheckOnInputPath;
+extern const char* const kRuleNondeterminism;
+extern const char* const kRuleFloatEquality;
+
+/// Maps "L1".."L5" or a canonical name to the canonical name; returns an
+/// empty string for unknown rules.
+std::string CanonicalRuleName(const std::string& name_or_id);
+
+/// Where a file sits in the tree; decides which rules apply.
+///   kLibrary   (src/)      — all rules.
+///   kHarness   (bench/, examples/) — all but L2/L3: those trees use the
+///                            documented die-on-error unwrap idiom and are
+///                            not user-reachable input paths.
+///   kExempt    — not scanned (tests/, build/, third-party).
+enum class FileCategory { kLibrary, kHarness, kExempt };
+
+/// Classifies a path relative to the repo root ("src/core/foo.cc").
+FileCategory CategorizeRelPath(const std::string& rel_path);
+
+struct LintOptions {
+  /// Function names known to return Status or Result<T> (L1). Filled by
+  /// HarvestStatusApis; callers may inject extra names.
+  std::set<std::string> status_apis;
+
+  /// Relative paths (as written in the allowlist file) where PGPUB_CHECK
+  /// remains acceptable — internal invariant layers (L3).
+  std::set<std::string> check_allowlist;
+
+  /// Relative paths exempt from L4 (the deterministic RNG implementation
+  /// itself) and L5 (the float-comparison utility layer).
+  std::set<std::string> nondeterminism_exempt = {"src/common/random.h",
+                                                 "src/common/random.cc"};
+  std::set<std::string> float_eq_exempt = {"src/common/math_util.h",
+                                           "src/common/math_util.cc"};
+
+  /// Rules to run (canonical names). Empty = all five.
+  std::set<std::string> enabled_rules;
+};
+
+/// Scans one lexed file for declarations of Status/Result-returning
+/// functions and adds their names to `out` (pass 1 of the tool).
+void HarvestStatusApis(const LexedFile& lexed, std::set<std::string>* out);
+
+/// Runs every applicable rule over one file. `rel_path` is the
+/// repo-relative path used for policy (allowlists, exemptions) and for
+/// reporting; `category` usually comes from CategorizeRelPath.
+std::vector<Finding> LintFile(const std::string& rel_path,
+                              FileCategory category, const LexedFile& lexed,
+                              const LintOptions& options);
+
+/// Convenience for tests and the CLI: lex `source` and lint it.
+std::vector<Finding> LintSource(const std::string& rel_path,
+                                FileCategory category,
+                                const std::string& source,
+                                const LintOptions& options);
+
+}  // namespace pgpub::lint

@@ -1,0 +1,412 @@
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lexer.h"
+
+namespace pgpub::lint {
+namespace {
+
+std::vector<Finding> RunLint(const std::string& source,
+                         FileCategory category = FileCategory::kLibrary,
+                         LintOptions options = LintOptions()) {
+  return LintSource("src/fixture.cc", category, source, options);
+}
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& rule,
+                int line) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       return f.rule == rule && f.line == line;
+                     });
+}
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LexerTest, TokenizesIdentifiersNumbersAndOperators) {
+  const LexedFile lexed = Lex("int x = 3; double y = 2.5e-1; x != 0x1p3;");
+  ASSERT_GE(lexed.tokens.size(), 10u);
+  EXPECT_EQ(lexed.tokens[0].text, "int");
+  EXPECT_EQ(lexed.tokens[0].kind, TokenKind::kIdentifier);
+  const auto num = std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                                [](const Token& t) { return t.text == "3"; });
+  ASSERT_NE(num, lexed.tokens.end());
+  EXPECT_FALSE(num->is_float);
+  const auto flt = std::find_if(
+      lexed.tokens.begin(), lexed.tokens.end(),
+      [](const Token& t) { return t.text == "2.5e-1"; });
+  ASSERT_NE(flt, lexed.tokens.end());
+  EXPECT_TRUE(flt->is_float);
+  const auto hexf = std::find_if(
+      lexed.tokens.begin(), lexed.tokens.end(),
+      [](const Token& t) { return t.text == "0x1p3"; });
+  ASSERT_NE(hexf, lexed.tokens.end());
+  EXPECT_TRUE(hexf->is_float);
+}
+
+TEST(LexerTest, CommentsAndStringsDoNotProduceIdentifierTokens) {
+  const LexedFile lexed = Lex(
+      "// std::rand() in a comment\n"
+      "/* time(nullptr) in a block */\n"
+      "const char* s = \"std::rand()\";\n");
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "rand") << "line " << t.line;
+    EXPECT_NE(t.text, "time") << "line " << t.line;
+  }
+}
+
+TEST(LexerTest, TracksLineNumbersAcrossConstructs) {
+  const LexedFile lexed = Lex(
+      "int a;\n"
+      "/* multi\n   line */ int b;\n"
+      "int c;\n");
+  const auto find = [&](const char* name) {
+    for (const Token& t : lexed.tokens) {
+      if (t.text == name) return t.line;
+    }
+    return -1;
+  };
+  EXPECT_EQ(find("a"), 1);
+  EXPECT_EQ(find("b"), 3);
+  EXPECT_EQ(find("c"), 4);
+}
+
+TEST(LexerTest, HarvestsSuppressionsTrailingAndLeading) {
+  const LexedFile lexed = Lex(
+      "int a;  // pgpub-lint: allow(float-equality)\n"
+      "// pgpub-lint: allow(nondeterminism, L1)\n"
+      "int b;\n");
+  EXPECT_TRUE(lexed.suppressions.Allows(1, "float-equality"));
+  EXPECT_FALSE(lexed.suppressions.Allows(2, "float-equality"));
+  // Comment-only line covers itself and the next line.
+  EXPECT_TRUE(lexed.suppressions.Allows(3, "nondeterminism"));
+  EXPECT_TRUE(lexed.suppressions.Allows(3, "L1"));
+  EXPECT_FALSE(lexed.suppressions.Allows(4, "nondeterminism"));
+}
+
+TEST(LexerTest, AllowAllSuppressesEverything) {
+  const LexedFile lexed = Lex("int a;  // pgpub-lint: allow(all)\n");
+  EXPECT_TRUE(lexed.suppressions.Allows(1, "float-equality"));
+  EXPECT_TRUE(lexed.suppressions.Allows(1, "nondeterminism"));
+}
+
+// ------------------------------------------------------- rule name mapping
+
+TEST(RuleNameTest, ShortIdsMapToCanonicalNames) {
+  EXPECT_EQ(CanonicalRuleName("L1"), kRuleDiscardedStatus);
+  EXPECT_EQ(CanonicalRuleName("L2"), kRuleUncheckedResult);
+  EXPECT_EQ(CanonicalRuleName("L3"), kRuleCheckOnInputPath);
+  EXPECT_EQ(CanonicalRuleName("L4"), kRuleNondeterminism);
+  EXPECT_EQ(CanonicalRuleName("L5"), kRuleFloatEquality);
+  EXPECT_EQ(CanonicalRuleName("float-equality"), kRuleFloatEquality);
+  EXPECT_EQ(CanonicalRuleName("bogus"), "");
+}
+
+TEST(CategoryTest, PathsMapToCategories) {
+  EXPECT_EQ(CategorizeRelPath("src/core/validate.cc"),
+            FileCategory::kLibrary);
+  EXPECT_EQ(CategorizeRelPath("bench/micro_ops.cc"),
+            FileCategory::kHarness);
+  EXPECT_EQ(CategorizeRelPath("examples/quickstart.cpp"),
+            FileCategory::kHarness);
+  EXPECT_EQ(CategorizeRelPath("tests/attack_test.cc"),
+            FileCategory::kExempt);
+  EXPECT_EQ(CategorizeRelPath("build/generated.cc"), FileCategory::kExempt);
+}
+
+// ----------------------------------------------------- L1 discarded-status
+
+constexpr char kStatusDecls[] =
+    "Status Validate(const Table& t);\n"
+    "Result<int> Parse(const std::string& s);\n";
+
+TEST(DiscardedStatusTest, FlagsBareStatementCall) {
+  const auto findings = RunLint(std::string(kStatusDecls) +
+                            "void f(const Table& t) {\n"
+                            "  Validate(t);\n"
+                            "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleDiscardedStatus, 4));
+}
+
+TEST(DiscardedStatusTest, FlagsDiscardedMemberCall) {
+  LintOptions options;
+  options.status_apis.insert("Publish");
+  const auto findings =
+      RunLint("void f(Publisher& p, const Table& t) {\n"
+          "  p.Publish(t);\n"
+          "}\n",
+          FileCategory::kLibrary, options);
+  EXPECT_TRUE(HasFinding(findings, kRuleDiscardedStatus, 2));
+}
+
+TEST(DiscardedStatusTest, AcceptsAssignedReturnAndConditions) {
+  const auto findings = RunLint(std::string(kStatusDecls) +
+                            "Status g(const Table& t) {\n"
+                            "  Status s = Validate(t);\n"
+                            "  if (!Validate(t).ok()) return s;\n"
+                            "  RETURN_IF_ERROR(Validate(t));\n"
+                            "  return Validate(t);\n"
+                            "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(DiscardedStatusTest, FlagsDiscardInsideIfBody) {
+  const auto findings = RunLint(std::string(kStatusDecls) +
+                            "void f(const Table& t, bool retry) {\n"
+                            "  if (retry) Validate(t);\n"
+                            "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleDiscardedStatus, 4));
+}
+
+TEST(DiscardedStatusTest, VoidCastIsASanctionedDiscard) {
+  const auto findings = RunLint(std::string(kStatusDecls) +
+                            "void f(const Table& t) {\n"
+                            "  (void)Validate(t);\n"
+                            "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(DiscardedStatusTest, SuppressibleWithAllowComment) {
+  const auto findings =
+      RunLint(std::string(kStatusDecls) +
+          "void f(const Table& t) {\n"
+          "  Validate(t);  // pgpub-lint: allow(discarded-status)\n"
+          "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(DiscardedStatusTest, HarvestsQualifiedAndResultDeclarations) {
+  const auto findings =
+      RunLint("Result<std::vector<int>> Loader::LoadRows(const Path& p);\n"
+          "void f(const Path& p) {\n"
+          "  LoadRows(p);\n"
+          "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleDiscardedStatus, 3));
+}
+
+// ---------------------------------------------------- L2 unchecked-result
+
+TEST(UncheckedResultTest, FlagsUnwrapWithoutCheck) {
+  const auto findings =
+      RunLint("int f(Result<int> r) {\n"
+          "  return r.ValueOrDie();\n"
+          "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleUncheckedResult, 2));
+}
+
+TEST(UncheckedResultTest, AcceptsUnwrapAfterOkCheck) {
+  const auto findings =
+      RunLint("int f(Result<int> r) {\n"
+          "  if (!r.ok()) return -1;\n"
+          "  return r.ValueOrDie();\n"
+          "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(UncheckedResultTest, MoveUnwrapSeesThroughStdMove) {
+  const auto findings =
+      RunLint("int f(Result<int> candidate) {\n"
+          "  if (candidate.ok()) {\n"
+          "    return std::move(candidate).ValueOrDie();\n"
+          "  }\n"
+          "  return 0;\n"
+          "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(UncheckedResultTest, FlagsTemporaryUnwrap) {
+  const auto findings =
+      RunLint("Result<int> Parse(const std::string& s);\n"
+          "int f(const std::string& s) {\n"
+          "  return Parse(s).ValueOrDie();\n"
+          "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleUncheckedResult, 3));
+}
+
+TEST(UncheckedResultTest, NotAppliedToHarnessCode) {
+  const auto findings =
+      LintSource("bench/fixture.cc", FileCategory::kHarness,
+                 "int f(Result<int> r) { return r.ValueOrDie(); }\n",
+                 LintOptions());
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(UncheckedResultTest, SuppressibleWithShortId) {
+  const auto findings =
+      RunLint("int f(Result<int> r) {\n"
+          "  return r.ValueOrDie();  // pgpub-lint: allow(L2)\n"
+          "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+// -------------------------------------------------- L3 check-on-input-path
+
+TEST(CheckOnInputPathTest, FlagsCheckInUnlistedFile) {
+  const auto findings =
+      RunLint("void f(int k) {\n"
+          "  PGPUB_CHECK_GT(k, 0) << \"k\";\n"
+          "  PGPUB_CHECK(k < 100);\n"
+          "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleCheckOnInputPath, 2));
+  EXPECT_TRUE(HasFinding(findings, kRuleCheckOnInputPath, 3));
+}
+
+TEST(CheckOnInputPathTest, AllowlistedFileIsExempt) {
+  LintOptions options;
+  options.check_allowlist.insert("src/fixture.cc");
+  const auto findings =
+      RunLint("void f(int k) { PGPUB_CHECK_GT(k, 0); }\n",
+          FileCategory::kLibrary, options);
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(CheckOnInputPathTest, NotAppliedToHarnessCode) {
+  const auto findings = LintSource(
+      "bench/fixture.cc", FileCategory::kHarness,
+      "void f(int k) { PGPUB_CHECK_GT(k, 0); }\n", LintOptions());
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(CheckOnInputPathTest, Suppressible) {
+  const auto findings = RunLint(
+      "void f(int k) {\n"
+      "  // Invariant, not input: k was validated by the caller.\n"
+      "  // pgpub-lint: allow(check-on-input-path)\n"
+      "  PGPUB_CHECK_GT(k, 0);\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+// ------------------------------------------------------ L4 nondeterminism
+
+TEST(NondeterminismTest, FlagsBannedEnginesAndCalls) {
+  const auto findings =
+      RunLint("#include <random>\n"
+          "uint64_t f() {\n"
+          "  std::random_device rd;\n"
+          "  std::mt19937 gen(rd());\n"
+          "  std::srand(42);\n"
+          "  return std::rand() + time(nullptr);\n"
+          "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleNondeterminism, 3));
+  EXPECT_TRUE(HasFinding(findings, kRuleNondeterminism, 4));
+  EXPECT_TRUE(HasFinding(findings, kRuleNondeterminism, 5));
+  EXPECT_TRUE(HasFinding(findings, kRuleNondeterminism, 6));
+}
+
+TEST(NondeterminismTest, TimeAsMemberOrFieldIsFine) {
+  const auto findings =
+      RunLint("double f(const Stats& s) { return s.time(); }\n"
+          "struct T { int time; };\n"
+          "int g(const T& t) { return t.time; }\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(NondeterminismTest, AppliesToHarnessCodeToo) {
+  const auto findings = LintSource(
+      "bench/fixture.cc", FileCategory::kHarness,
+      "int f() { return std::rand(); }\n", LintOptions());
+  EXPECT_TRUE(HasFinding(findings, kRuleNondeterminism, 1));
+}
+
+TEST(NondeterminismTest, RandomImplIsExempt) {
+  const auto findings = LintSource(
+      "src/common/random.h", FileCategory::kLibrary,
+      "std::mt19937 LegacyEngine();\n", LintOptions());
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(NondeterminismTest, Suppressible) {
+  const auto findings = RunLint(
+      "int f() {\n"
+      "  return std::rand();  // pgpub-lint: allow(nondeterminism)\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+// ------------------------------------------------------ L5 float-equality
+
+TEST(FloatEqualityTest, FlagsComparisonWithFloatLiteral) {
+  const auto findings =
+      RunLint("bool f(double x) {\n"
+          "  return x == 0.0;\n"
+          "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleFloatEquality, 2));
+}
+
+TEST(FloatEqualityTest, FlagsDeclaredDoubleOnEitherSide) {
+  const auto findings =
+      RunLint("bool f(int mask) {\n"
+          "  double pivot = Compute();\n"
+          "  return pivot != Other(mask);\n"
+          "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleFloatEquality, 3));
+}
+
+TEST(FloatEqualityTest, FlagsNegatedLiteralRhs) {
+  const auto findings = RunLint("bool f(double x) { return x == -1.0; }\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleFloatEquality, 1));
+}
+
+TEST(FloatEqualityTest, IntegerComparisonsAreFine) {
+  const auto findings =
+      RunLint("bool f(int a, int b) {\n"
+          "  return a == b && a != 0;\n"
+          "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(FloatEqualityTest, PointerToDoubleComparisonIsFine) {
+  const auto findings =
+      RunLint("bool f(double* p) {\n"
+          "  return p == nullptr;\n"
+          "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(FloatEqualityTest, MathUtilIsExempt) {
+  const auto findings = LintSource(
+      "src/common/math_util.cc", FileCategory::kLibrary,
+      "bool Exact(double a, double b) { return a == b; }\n", LintOptions());
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(FloatEqualityTest, Suppressible) {
+  const auto findings = RunLint(
+      "bool f(double x) {\n"
+      "  // Sentinel compare: x is set to exactly -1.0, never computed.\n"
+      "  // pgpub-lint: allow(float-equality)\n"
+      "  return x == -1.0;\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+// ---------------------------------------------------------- rule selection
+
+TEST(RuleSelectionTest, EnabledRulesRestrictsTheRun) {
+  LintOptions options;
+  options.enabled_rules.insert(kRuleNondeterminism);
+  const auto findings =
+      RunLint("bool f(double x) {\n"
+          "  std::srand(7);\n"
+          "  return x == 0.0;\n"
+          "}\n",
+          FileCategory::kLibrary, options);
+  EXPECT_TRUE(HasFinding(findings, kRuleNondeterminism, 2));
+  EXPECT_FALSE(HasFinding(findings, kRuleFloatEquality, 3));
+}
+
+TEST(FindingsTest, SortedByLine) {
+  const auto findings =
+      RunLint("bool f(double x) {\n"
+          "  std::srand(7);\n"
+          "  return x == 0.0;\n"
+          "}\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_LT(findings[0].line, findings[1].line);
+}
+
+}  // namespace
+}  // namespace pgpub::lint
