@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "generalize/tds.h"
 
@@ -68,6 +69,10 @@ double MineError(const CensusDataset& census,
 
 int main() {
   const size_t n = SalRows();
+  BenchReport report("ablation_design");
+  report.SetParam("sal_n", n);
+  report.SetParam("sal_runs", SalRuns());
+  report.SetParam("k", 6);
   std::printf("generating %zu census rows...\n", n);
   CensusDataset census = GenerateCensus(n, 20080407).ValueOrDie();
   const CategoryMap cats = CategoryMap::PaperIncome(2);
@@ -92,6 +97,13 @@ int main() {
     std::printf("%-24s %-8zu %-8zu %-10.1f\n",
                 balance_aware ? "balance-aware (default)" : "pure info-gain",
                 stats.groups, stats.max_g, stats.ess);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("ablation", "tds_scoring");
+    row.Set("balance_aware", balance_aware);
+    row.Set("groups", stats.groups);
+    row.Set("max_g", stats.max_g);
+    row.Set("release_ess", stats.ess);
+    report.AddResult(std::move(row));
     (balance_aware ? balanced : greedy) = std::move(recoding);
   }
 
@@ -113,11 +125,19 @@ int main() {
     PublishedTable published =
         publisher.Publish(census.table, census.TaxonomyPointers())
             .ValueOrDie();
-    std::printf("%-6.2f %-12.4f %-12.4f %-12.4f %-8zu\n", bp,
-                MineError(census, published, cats, true, true, bp),
-                MineError(census, published, cats, true, false, bp),
-                MineError(census, published, cats, false, true, bp),
-                published.num_rows());
+    const double err_default = MineError(census, published, cats, true, true, bp);
+    const double err_no_chi2 = MineError(census, published, cats, true, false, bp);
+    const double err_no_recon = MineError(census, published, cats, false, true, bp);
+    std::printf("%-6.2f %-12.4f %-12.4f %-12.4f %-8zu\n", bp, err_default,
+                err_no_chi2, err_no_recon, published.num_rows());
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("ablation", "mining_hardening");
+    row.Set("p", bp);
+    row.Set("error_default", err_default);
+    row.Set("error_no_chi2_gate", err_no_chi2);
+    row.Set("error_no_reconstruction", err_no_recon);
+    row.Set("tuples", published.num_rows());
+    report.AddResult(std::move(row));
   }
   std::printf(
       "\nExpected: the balance-aware recoding multiplies the release ESS.\n"
@@ -125,5 +145,5 @@ int main() {
       "reconstruction matters most at low p (for m = 2 equal-width\n"
       "categories the observed argmax already orders classes correctly,\n"
       "so 'no-recon' is a surprisingly strong baseline there).\n");
-  return 0;
+  return report.WriteAndLog() ? 0 : 1;
 }

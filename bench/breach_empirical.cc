@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "attack/breach_harness.h"
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "diversity/ldiversity.h"
 #include "generalize/tds.h"
@@ -23,6 +24,11 @@ using namespace pgpub::bench;
 
 int main() {
   const size_t n = std::min<size_t>(SalRows(), 40000);
+  BenchReport report("breach_empirical");
+  report.SetParam("sal_n", n);
+  report.SetParam("k", 4);
+  report.SetParam("p", 0.3);
+  report.SetParam("num_victims", 250);
   std::printf("generating %zu census rows...\n", n);
   CensusDataset census = GenerateCensus(n, 42).ValueOrDie();
   const Table& microdata = census.table;
@@ -81,10 +87,20 @@ int main() {
                 rate, gen.max_growth, gen.mean_growth,
                 gen.point_mass_disclosures, pg.max_growth, pg.delta_bound,
                 pg.max_h, pg.delta_breaches + pg.rho_breaches);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("corruption_rate", rate);
+    row.Set("gen_max_growth", gen.max_growth);
+    row.Set("gen_mean_growth", gen.mean_growth);
+    row.Set("gen_certain_disclosures", gen.point_mass_disclosures);
+    row.Set("pg_max_growth", pg.max_growth);
+    row.Set("pg_delta_bound", pg.delta_bound);
+    row.Set("pg_max_h", pg.max_h);
+    row.Set("pg_breaches", pg.delta_breaches + pg.rho_breaches);
+    report.AddResult(std::move(row));
   }
   std::printf(
       "\n'certain' = attacks ending with a single possible sensitive value\n"
       "(Lemma 2's certain disclosure). PG's breach count must be 0 at every\n"
       "corruption rate (Theorems 1-3).\n");
-  return 0;
+  return report.WriteAndLog() ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 
 using namespace pgpub;
@@ -16,6 +17,10 @@ using namespace pgpub::bench;
 
 int main() {
   const size_t n = SalRows();
+  BenchReport report("fig2_utility_vs_k");
+  report.SetParam("sal_n", n);
+  report.SetParam("sal_runs", SalRuns());
+  report.SetParam("p", 0.3);
   std::printf("generating %zu census rows (SAL_N to change)...\n", n);
   CensusDataset census = GenerateCensus(n, 20080407).ValueOrDie();
 
@@ -30,10 +35,17 @@ int main() {
       std::printf("%-4d %-12.4f %-12.4f %-12.4f\n", k,
                   point.optimistic_error, point.pg_error,
                   point.pessimistic_error);
+      obs::JsonValue row = obs::JsonValue::Object();
+      row.Set("m", m);
+      row.Set("k", k);
+      row.Set("pg_error", point.pg_error);
+      row.Set("optimistic_error", point.optimistic_error);
+      row.Set("pessimistic_error", point.pessimistic_error);
+      report.AddResult(std::move(row));
     }
   }
   std::printf(
       "\nExpected shape (paper): PG tracks optimistic closely, degrades\n"
       "slowly as k grows, and stays far below pessimistic.\n");
-  return 0;
+  return report.WriteAndLog() ? 0 : 1;
 }

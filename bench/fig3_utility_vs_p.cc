@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 
 using namespace pgpub;
@@ -14,6 +15,10 @@ using namespace pgpub::bench;
 
 int main() {
   const size_t n = SalRows();
+  BenchReport report("fig3_utility_vs_p");
+  report.SetParam("sal_n", n);
+  report.SetParam("sal_runs", SalRuns());
+  report.SetParam("k", 6);
   std::printf("generating %zu census rows (SAL_N to change)...\n", n);
   CensusDataset census = GenerateCensus(n, 20080407).ValueOrDie();
 
@@ -28,10 +33,17 @@ int main() {
       std::printf("%-6.2f %-12.4f %-12.4f %-12.4f\n", p,
                   point.optimistic_error, point.pg_error,
                   point.pessimistic_error);
+      obs::JsonValue row = obs::JsonValue::Object();
+      row.Set("m", m);
+      row.Set("p", p);
+      row.Set("pg_error", point.pg_error);
+      row.Set("optimistic_error", point.optimistic_error);
+      row.Set("pessimistic_error", point.pessimistic_error);
+      report.AddResult(std::move(row));
     }
   }
   std::printf(
       "\nExpected shape (paper): optimistic and pessimistic are flat in p;\n"
       "PG improves as p grows (the standard perturbation trade-off).\n");
-  return 0;
+  return report.WriteAndLog() ? 0 : 1;
 }

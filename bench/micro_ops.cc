@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "attack/linking_attack.h"
+#include "bench/bench_report.h"
 #include "core/pg_publisher.h"
 #include "datagen/census.h"
 #include "generalize/tds.h"
@@ -255,7 +256,51 @@ void BM_CensusGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CensusGeneration)->Arg(100000)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that also retains every run so main() can write the
+/// BENCH_micro_ops.json artifact after the suite finishes.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) runs_.push_back(run);
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
 }  // namespace
 }  // namespace pgpub
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  pgpub::bench::BenchReport report("micro_ops");
+  pgpub::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  uint64_t total_iterations = 0;
+  for (const auto& run : reporter.runs()) {
+    if (run.run_type != pgpub::CollectingReporter::Run::RT_Iteration ||
+        run.error_occurred) {
+      continue;
+    }
+    pgpub::obs::JsonValue row = pgpub::obs::JsonValue::Object();
+    row.Set("name", run.benchmark_name());
+    row.Set("iterations", static_cast<uint64_t>(run.iterations));
+    row.Set("real_time_ns",
+            static_cast<uint64_t>(run.real_accumulated_time * 1e9));
+    row.Set("cpu_time_ns",
+            static_cast<uint64_t>(run.cpu_accumulated_time * 1e9));
+    auto items = run.counters.find("items_per_second");
+    if (items != run.counters.end()) {
+      row.Set("items_per_second", static_cast<double>(items->second));
+    }
+    report.AddResult(std::move(row));
+    total_iterations += static_cast<uint64_t>(run.iterations);
+  }
+  report.SetIterations(total_iterations);
+  return report.WriteAndLog() ? 0 : 1;
+}

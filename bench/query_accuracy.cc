@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "query/count_query.h"
 
@@ -52,6 +53,9 @@ double MedianRelError(std::vector<double>& errors) {
 
 int main() {
   const size_t n = SalRows();
+  BenchReport report("query_accuracy");
+  report.SetParam("sal_n", n);
+  report.SetParam("workload_queries", 60);
   std::printf("generating %zu census rows...\n", n);
   CensusDataset census = GenerateCensus(n, 20080407).ValueOrDie();
   Rng rng(271828);
@@ -88,10 +92,18 @@ int main() {
       pg_err.push_back(std::fabs(pg - truth) / truth);
       sub_err.push_back(std::fabs(sub - truth) / truth);
     }
+    const double pg_med = MedianRelError(pg_err);
+    const double sub_med = MedianRelError(sub_err);
     std::printf("  PG median rel-err %.4f | clean-subset %.4f (over %zu "
                 "queries)\n",
-                MedianRelError(pg_err), MedianRelError(sub_err),
-                pg_err.size());
+                pg_med, sub_med, pg_err.size());
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("p", p);
+    row.Set("k", k);
+    row.Set("pg_median_rel_err", pg_med);
+    row.Set("subset_median_rel_err", sub_med);
+    row.Set("queries", pg_err.size());
+    report.AddResult(std::move(row));
   };
 
   std::printf("\n=== COUNT accuracy vs p (k = 6) ===\n");
@@ -108,5 +120,5 @@ int main() {
       "\nExpected: PG error shrinks as p grows; the clean subset is the\n"
       "no-privacy reference. PG pays the randomized-response variance but\n"
       "needs no trusted curator for the sensitive column.\n");
-  return 0;
+  return report.WriteAndLog() ? 0 : 1;
 }

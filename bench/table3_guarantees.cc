@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "core/guarantees.h"
 
 using namespace pgpub;
@@ -17,14 +18,36 @@ constexpr double kLambda = 0.1;
 constexpr double kRho1 = 0.2;
 constexpr int kUs = 50;
 
-void PrintRow(const char* label, double computed, double paper) {
+bool PrintRow(const char* label, double computed, double paper) {
+  const bool ok = std::abs(computed - paper) <= 0.011;
   std::printf("  %-8s computed=%.4f  paper>=%.2f  %s\n", label, computed,
-              paper, std::abs(computed - paper) <= 0.011 ? "OK" : "MISMATCH");
+              paper, ok ? "OK" : "MISMATCH");
+  return ok;
+}
+
+obs::JsonValue GuaranteeRow(const char* table, const PgParams& params,
+                            double rho2, double paper_rho2, double delta,
+                            double paper_delta, bool ok) {
+  obs::JsonValue row = obs::JsonValue::Object();
+  row.Set("table", table);
+  row.Set("p", params.p);
+  row.Set("k", params.k);
+  row.Set("rho2", rho2);
+  row.Set("paper_rho2", paper_rho2);
+  row.Set("delta", delta);
+  row.Set("paper_delta", paper_delta);
+  row.Set("match", ok);
+  return row;
 }
 
 }  // namespace
 
 int main() {
+  bench::BenchReport report("table3_guarantees");
+  report.SetParam("lambda", kLambda);
+  report.SetParam("rho1", kRho1);
+  report.SetParam("us", kUs);
+
   std::printf("=== Table III(a): guarantees of PG at p = 0.3 ===\n");
   const int ks[] = {2, 4, 6, 8, 10};
   const double paper_rho2_a[] = {0.69, 0.53, 0.45, 0.40, 0.36};
@@ -32,8 +55,12 @@ int main() {
   for (int i = 0; i < 5; ++i) {
     PgParams params{0.3, ks[i], kLambda, kUs};
     std::printf("k = %d\n", ks[i]);
-    PrintRow("rho2", MinRho2(params, kRho1), paper_rho2_a[i]);
-    PrintRow("Delta", MinDelta(params), paper_delta_a[i]);
+    const double rho2 = MinRho2(params, kRho1);
+    const double delta = MinDelta(params);
+    bool ok = PrintRow("rho2", rho2, paper_rho2_a[i]);
+    ok &= PrintRow("Delta", delta, paper_delta_a[i]);
+    report.AddResult(GuaranteeRow("IIIa", params, rho2, paper_rho2_a[i],
+                                  delta, paper_delta_a[i], ok));
   }
 
   std::printf("\n=== Table III(b): guarantees of PG at k = 6 ===\n");
@@ -43,16 +70,29 @@ int main() {
   for (int i = 0; i < 7; ++i) {
     PgParams params{ps[i], 6, kLambda, kUs};
     std::printf("p = %.2f\n", ps[i]);
-    PrintRow("rho2", MinRho2(params, kRho1), paper_rho2_b[i]);
-    PrintRow("Delta", MinDelta(params), paper_delta_b[i]);
+    const double rho2 = MinRho2(params, kRho1);
+    const double delta = MinDelta(params);
+    bool ok = PrintRow("rho2", rho2, paper_rho2_b[i]);
+    ok &= PrintRow("Delta", delta, paper_delta_b[i]);
+    report.AddResult(GuaranteeRow("IIIb", params, rho2, paper_rho2_b[i],
+                                  delta, paper_delta_b[i], ok));
   }
 
   std::printf("\n=== Extension: combined rho2 bound (Thm 2 vs Thm 3 route) "
               "===\n");
   for (int i = 0; i < 5; ++i) {
     PgParams params{0.3, ks[i], kLambda, kUs};
-    std::printf("k = %-2d  theorem2=%.4f  combined=%.4f\n", ks[i],
-                MinRho2(params, kRho1), CombinedMinRho2(params, kRho1));
+    const double thm2 = MinRho2(params, kRho1);
+    const double combined = CombinedMinRho2(params, kRho1);
+    std::printf("k = %-2d  theorem2=%.4f  combined=%.4f\n", ks[i], thm2,
+                combined);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("table", "combined");
+    row.Set("p", params.p);
+    row.Set("k", params.k);
+    row.Set("theorem2_rho2", thm2);
+    row.Set("combined_rho2", combined);
+    report.AddResult(std::move(row));
   }
-  return 0;
+  return report.WriteAndLog() ? 0 : 1;
 }

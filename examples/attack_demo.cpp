@@ -6,22 +6,55 @@
 /// disclosure (Lemma 2); PG's worst-case growth stays under the Theorem 3
 /// bound no matter how many owners are corrupted.
 ///
-/// Usage: attack_demo [num_rows] [num_victims]
+/// Usage: attack_demo [--report=PATH] [num_rows] [num_victims]
+///   --report=PATH  write the PublishReport of the PG release as JSON.
+/// Status output goes through the structured logger (PGPUB_LOG /
+/// PGPUB_LOG_FORMAT; defaults to info/text here).
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "attack/breach_harness.h"
-#include "core/pg_publisher.h"
+#include "core/report_io.h"
+#include "core/robust_publisher.h"
 #include "datagen/census.h"
 #include "diversity/ldiversity.h"
 #include "generalize/tds.h"
+#include "obs/log.h"
 
 using namespace pgpub;
 
 int main(int argc, char** argv) {
-  const size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
-  const size_t victims = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150;
+  std::string report_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--report=PATH] [num_rows] [num_victims]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const size_t n = positional.size() > 0
+                       ? std::strtoull(positional[0], nullptr, 10)
+                       : 20000;
+  const size_t victims = positional.size() > 1
+                             ? std::strtoull(positional[1], nullptr, 10)
+                             : 150;
+
+  // Examples narrate their run by default; an explicit PGPUB_LOG wins.
+  obs::Logger& logger = obs::Logger::Global();
+  if (std::getenv("PGPUB_LOG") == nullptr) {
+    logger.SetLevel(obs::LogLevel::kInfo);
+  }
 
   CensusDataset census = GenerateCensus(n, /*seed=*/4).ValueOrDie();
   const Table& microdata = census.table;
@@ -52,9 +85,31 @@ int main(int argc, char** argv) {
   pg_options.target.delta = 0.25;
   pg_options.target.lambda = 0.1;
   pg_options.seed = 11;
-  PgPublisher publisher(pg_options);
-  PublishedTable published =
-      publisher.Publish(microdata, census.TaxonomyPointers()).ValueOrDie();
+  RobustPublisher publisher(pg_options);
+  PublishReport pg_report;
+  Result<PublishedTable> publish_result =
+      publisher.Publish(microdata, census.TaxonomyPointers(), &pg_report);
+  if (!publish_result.ok()) {
+    PGPUB_LOG_ERROR("attack_demo.publish_failed")
+        .Field("status", publish_result.status().ToString());
+    return 1;
+  }
+  PublishedTable published = std::move(publish_result).ValueOrDie();
+  PGPUB_LOG_INFO("attack_demo.published")
+      .Field("rows", static_cast<uint64_t>(published.num_rows()))
+      .Field("solved_p", published.retention_p())
+      .Field("attempts", static_cast<uint64_t>(pg_report.attempts.size()))
+      .Field("audit_clean", pg_report.audit_clean);
+  if (!report_path.empty()) {
+    const Status written = WritePublishReportJson(pg_report, report_path);
+    if (!written.ok()) {
+      PGPUB_LOG_ERROR("attack_demo.report_failed")
+          .Field("path", report_path)
+          .Field("status", written.ToString());
+      return 1;
+    }
+    PGPUB_LOG_INFO("attack_demo.report_written").Field("path", report_path);
+  }
   std::printf("PG release: %zu tuples, solved p = %.4f\n\n",
               published.num_rows(), published.retention_p());
 

@@ -4,17 +4,45 @@
 /// => k = 2, as in Table II), print every phase, then replay Example 1 —
 /// the corruption-aided linking attack against Ellie with
 /// 𝒞 = {Debbie, Emily}.
+///
+/// Usage: quickstart [--report=PATH]
+///   --report=PATH  write the PublishReport of the run as JSON to PATH.
+/// Status output goes through the structured logger (PGPUB_LOG /
+/// PGPUB_LOG_FORMAT control level and encoding; defaults to info/text
+/// here so the run narrates itself).
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
 
 #include "attack/linking_attack.h"
 #include "core/guarantees.h"
-#include "core/pg_publisher.h"
+#include "core/report_io.h"
+#include "core/robust_publisher.h"
 #include "datagen/hospital.h"
+#include "obs/log.h"
 
 using namespace pgpub;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else {
+      std::fprintf(stderr, "usage: %s [--report=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Examples narrate their run by default; an explicit PGPUB_LOG wins.
+  obs::Logger& logger = obs::Logger::Global();
+  if (std::getenv("PGPUB_LOG") == nullptr) {
+    logger.SetLevel(obs::LogLevel::kInfo);
+  }
+
   HospitalDataset hospital = MakeHospitalDataset().ValueOrDie();
   const Table& microdata = hospital.table;
   const int sens = HospitalColumns::kDisease;
@@ -36,10 +64,31 @@ int main() {
   options.p = 0.25;
   options.seed = 2008;
   options.keep_provenance = true;
-  PgPublisher publisher(options);
-  PublishedTable published =
-      publisher.Publish(microdata, hospital.TaxonomyPointers())
-          .ValueOrDie();
+  RobustPublisher publisher(options);
+  PublishReport report;
+  Result<PublishedTable> publish_result =
+      publisher.Publish(microdata, hospital.TaxonomyPointers(), &report);
+  if (!publish_result.ok()) {
+    PGPUB_LOG_ERROR("quickstart.publish_failed")
+        .Field("status", publish_result.status().ToString());
+    return 1;
+  }
+  PublishedTable published = std::move(publish_result).ValueOrDie();
+  PGPUB_LOG_INFO("quickstart.published")
+      .Field("rows", static_cast<uint64_t>(published.num_rows()))
+      .Field("attempts", static_cast<uint64_t>(report.attempts.size()))
+      .Field("audit_clean", report.audit_clean);
+
+  if (!report_path.empty()) {
+    const Status written = WritePublishReportJson(report, report_path);
+    if (!written.ok()) {
+      PGPUB_LOG_ERROR("quickstart.report_failed")
+          .Field("path", report_path)
+          .Field("status", written.ToString());
+      return 1;
+    }
+    PGPUB_LOG_INFO("quickstart.report_written").Field("path", report_path);
+  }
 
   std::printf("\n=== Published D* (one tuple per QI-group, G column) ===\n");
   std::printf("%-12s %-7s %-12s %-14s %s\n", "Age", "Gender", "Zipcode",

@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace pgpub {
 
@@ -69,6 +70,7 @@ Result<BreachStats> MeasurePgBreaches(const PublishedTable& published,
   stats.rho2_bound = MinRho2(params, options.rho1);
 
   Rng rng(options.seed);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   ASSIGN_OR_RETURN(LinkingAttack attacker,
                    LinkingAttack::Create(&published, &edb));
 
@@ -102,18 +104,24 @@ Result<BreachStats> MeasurePgBreaches(const PublishedTable& published,
       return crucial.status().WithContext(
           "microdata member has no crucial tuple");
     }
+    uint64_t candidate_set = 1;  // the victim itself
     for (size_t i = 0; i < edb.size(); ++i) {
       if (i == victim) continue;
       auto other = published.CrucialTuple(edb.individual(i).qi_codes);
       if (!other.ok() || *other != *crucial) continue;
+      ++candidate_set;
+      metrics.GetCounter("attack.corruption_draws")->Add();
       if (!rng.Bernoulli(options.corruption_rate)) continue;
       const Individual& ind = edb.individual(i);
       adv.corrupted[i] = ind.extraneous()
                              ? Adversary::kExtraneousMark
                              : microdata.value(ind.microdata_row, sens);
     }
+    metrics.GetHistogram("attack.candidate_set")->Observe(candidate_set);
+    metrics.GetCounter("attack.corrupted")->Add(adv.corrupted.size());
 
     ASSIGN_OR_RETURN(AttackResult result, attacker.Attack(victim, adv));
+    metrics.GetCounter("attack.attacks")->Add();
     ++stats.attacks;
     stats.max_h = std::max(stats.max_h, result.h);
     ASSIGN_OR_RETURN(const double growth,
@@ -141,6 +149,7 @@ Result<GeneralizationBreachStats> MeasureGeneralizationBreaches(
   GeneralizationBreachStats stats;
   const int32_t us = microdata.domain(sensitive_attr).size();
   Rng rng(options.seed);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   const size_t n = microdata.num_rows();
   if (n == 0) {
     return Status::InvalidArgument("microdata table is empty");
@@ -157,12 +166,17 @@ Result<GeneralizationBreachStats> MeasureGeneralizationBreaches(
                      MakePrior(options.prior_kind, us, true_value,
                                std::max(options.lambda, 1.0 / us), rng));
 
+    metrics.GetHistogram("attack.candidate_set")->Observe(group_rows.size());
     std::vector<uint32_t> corrupted;
     for (uint32_t r : group_rows) {
-      if (r != victim_row && rng.Bernoulli(options.corruption_rate)) {
+      if (r == victim_row) continue;
+      metrics.GetCounter("attack.corruption_draws")->Add();
+      if (rng.Bernoulli(options.corruption_rate)) {
         corrupted.push_back(r);
       }
     }
+    metrics.GetCounter("attack.corrupted")->Add(corrupted.size());
+    metrics.GetCounter("attack.attacks")->Add();
 
     ASSIGN_OR_RETURN(
         std::vector<double> post,

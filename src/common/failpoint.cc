@@ -21,7 +21,13 @@ uint64_t NameHash(const std::string& name) {
   return h;
 }
 
+std::atomic<void (*)(const char*)> g_failpoint_observer{nullptr};
+
 }  // namespace
+
+void SetFailpointObserver(void (*observer)(const char* name)) {
+  g_failpoint_observer.store(observer, std::memory_order_release);
+}
 
 FailpointRegistry::FailpointRegistry() {
   for (const char* name : failpoints::kAll) {
@@ -156,31 +162,41 @@ void FailpointRegistry::DisableAll() {
 }
 
 bool FailpointRegistry::ShouldFail(const char* name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Point& point = points_[name];  // registers unknown names, disarmed
-  ++point.hits;
   bool fire = false;
-  switch (point.mode) {
-    case Point::Mode::kOff:
-      break;
-    case Point::Mode::kAlways:
-      fire = true;
-      break;
-    case Point::Mode::kEveryNth:
-      fire = point.hits % point.n == 0;
-      break;
-    case Point::Mode::kFirstN:
-      fire = point.triggers < point.n;
-      break;
-    case Point::Mode::kProb: {
-      SplitMix64 sm(point.rng_state);
-      const uint64_t draw = sm.Next();
-      point.rng_state = draw;  // advance the per-point stream
-      fire = static_cast<double>(draw >> 11) * 0x1.0p-53 < point.prob;
-      break;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Point& point = points_[name];  // registers unknown names, disarmed
+    ++point.hits;
+    switch (point.mode) {
+      case Point::Mode::kOff:
+        break;
+      case Point::Mode::kAlways:
+        fire = true;
+        break;
+      case Point::Mode::kEveryNth:
+        fire = point.hits % point.n == 0;
+        break;
+      case Point::Mode::kFirstN:
+        fire = point.triggers < point.n;
+        break;
+      case Point::Mode::kProb: {
+        SplitMix64 sm(point.rng_state);
+        const uint64_t draw = sm.Next();
+        point.rng_state = draw;  // advance the per-point stream
+        fire = static_cast<double>(draw >> 11) * 0x1.0p-53 < point.prob;
+        break;
+      }
+    }
+    if (fire) ++point.triggers;
+  }
+  // Notify outside mu_: the observer may take its own locks (the logger
+  // does), and nothing stops it from calling back into the registry.
+  if (fire) {
+    if (auto* observer = g_failpoint_observer.load(std::memory_order_acquire);
+        observer != nullptr) {
+      observer(name);
     }
   }
-  if (fire) ++point.triggers;
   return fire;
 }
 

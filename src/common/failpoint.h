@@ -42,6 +42,13 @@ inline constexpr const char* kAll[] = {
 
 }  // namespace failpoints
 
+/// Installs a callback invoked (outside any registry lock) each time a
+/// failpoint actually fires, receiving the canonical point name. One
+/// observer at a time; nullptr uninstalls. The observability layer uses
+/// this to surface `failpoint_hit` events without common/ depending on
+/// obs/ — common code never logs on its own.
+void SetFailpointObserver(void (*observer)(const char* name));
+
 /// \brief Process-wide registry of named fault-injection points.
 ///
 /// A failpoint is a named site on a fallible path (see PGPUB_FAILPOINT

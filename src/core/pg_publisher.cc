@@ -5,6 +5,9 @@
 
 #include "common/failpoint.h"
 #include "core/validate.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "generalize/incognito.h"
 #include "generalize/metrics.h"
 #include "generalize/tds.h"
@@ -74,12 +77,28 @@ Result<PublishedTable> PgPublisher::Publish(
   Rng perturb_rng(master.Fork());
   Rng sample_rng(master.Fork());
 
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("publish.runs")->Add();
+  metrics.GetCounter("publish.rows_in")->Add(microdata.num_rows());
+  PGPUB_LOG_INFO("publish.start")
+      .Field("rows", microdata.num_rows())
+      .Field("k", k)
+      .Field("p", p)
+      .Field("generalizer",
+             options_.generalizer == PgOptions::Generalizer::kTds
+                 ? "tds"
+                 : "incognito")
+      .Field("seed", options_.seed);
+
   // ---- Phase 1: perturbation (P1/P2). QI untouched; sensitive retained
   // with probability p, otherwise uniformly regenerated.
-  PGPUB_FAILPOINT(failpoints::kPublishPerturb);
-  const UniformPerturbation channel(p, us);
-  std::vector<int32_t> perturbed =
-      channel.PerturbColumn(microdata.column(sens), perturb_rng);
+  std::vector<int32_t> perturbed;
+  {
+    PGPUB_TRACE_SPAN("publish.perturb");
+    PGPUB_FAILPOINT(failpoints::kPublishPerturb);
+    const UniformPerturbation channel(p, us);
+    perturbed = channel.PerturbColumn(microdata.column(sens), perturb_rng);
+  }
 
   // ---- Phase 2: k-anonymous global-recoding generalization (G1-G3),
   // guided by the *perturbed* sensitive values (the publisher must not let
@@ -102,31 +121,41 @@ Result<PublishedTable> PgPublisher::Publish(
   }
 
   GlobalRecoding recoding;
-  if (options_.generalizer == PgOptions::Generalizer::kTds) {
-    TdsOptions tds_options;
-    tds_options.k = k;
-    TopDownSpecializer tds(microdata, qi, taxonomies,
-                           std::move(class_labels), num_classes,
-                           tds_options);
-    ASSIGN_OR_RETURN(recoding, tds.Run());
-  } else {
-    IncognitoOptions inc_options;
-    inc_options.k = k;
-    ASSIGN_OR_RETURN(recoding,
-                     IncognitoSearch(microdata, qi, taxonomies, inc_options));
-  }
+  QiGroups groups;
+  {
+    PGPUB_TRACE_SPAN("publish.generalize");
+    if (options_.generalizer == PgOptions::Generalizer::kTds) {
+      TdsOptions tds_options;
+      tds_options.k = k;
+      TopDownSpecializer tds(microdata, qi, taxonomies,
+                             std::move(class_labels), num_classes,
+                             tds_options);
+      ASSIGN_OR_RETURN(recoding, tds.Run());
+    } else {
+      IncognitoOptions inc_options;
+      inc_options.k = k;
+      ASSIGN_OR_RETURN(
+          recoding, IncognitoSearch(microdata, qi, taxonomies, inc_options));
+    }
 
-  QiGroups groups = ComputeQiGroups(microdata, recoding);
-  if (!IsKAnonymous(groups, k)) {
-    // A generalizer bug, not bad input — but the release must still fail
-    // closed rather than ship a table violating G2.
-    return Status::Internal(
-        "generalizer returned a non-k-anonymous recoding");
+    groups = ComputeQiGroups(microdata, recoding);
+    if (!IsKAnonymous(groups, k)) {
+      // A generalizer bug, not bad input — but the release must still fail
+      // closed rather than ship a table violating G2.
+      return Status::Internal(
+          "generalizer returned a non-k-anonymous recoding");
+    }
   }
+  metrics.GetCounter("publish.groups")->Add(groups.num_groups());
 
   // ---- Phase 3: stratified sampling (S1-S4).
-  PGPUB_FAILPOINT(failpoints::kPublishSample);
-  std::vector<StratumSample> samples = StratifiedSample(groups, sample_rng);
+  std::vector<StratumSample> samples;
+  {
+    PGPUB_TRACE_SPAN("publish.sample");
+    PGPUB_FAILPOINT(failpoints::kPublishSample);
+    samples = StratifiedSample(groups, sample_rng);
+  }
+  metrics.GetCounter("publish.rows_out")->Add(samples.size());
 
   PGPUB_FAILPOINT(failpoints::kPublishAssemble);
   std::vector<std::vector<int32_t>> qi_gen;
@@ -155,6 +184,9 @@ Result<PublishedTable> PgPublisher::Publish(
     }
     published.set_provenance(std::move(prov));
   }
+  PGPUB_LOG_INFO("publish.done")
+      .Field("rows_out", samples.size())
+      .Field("groups", groups.num_groups());
   return published;
 }
 

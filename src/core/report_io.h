@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/robust_publisher.h"
+#include "obs/json.h"
+
+namespace pgpub {
+
+/// \brief Lossless JSON (de)serialization of PublishReport — the
+/// machine-readable counterpart of PublishReport::Summary().
+///
+/// Schema (schema_version 1):
+///   {
+///     "schema_version": 1,
+///     "attempts": [
+///       {"number": 1, "generalizer": "tds", "seed": <u64>,
+///        "outcome": {"code": "OK", "message": ""},
+///        "audit":   {"code": "OK", "message": ""},
+///        "audited": true, "elapsed_ms": 1.25},
+///       ...
+///     ],
+///     "fallback_used": false,
+///     "audit_clean": true,
+///     "final_status": {"code": "OK", "message": ""},
+///     "total_ms": 3.5
+///   }
+///
+/// Seeds are emitted as bare JSON integers; values above int64 range are
+/// preserved via the uint64 JSON kind, so round-trips are exact.
+
+/// Report -> JSON document.
+obs::JsonValue PublishReportToJson(const PublishReport& report);
+
+/// Report -> pretty-printed JSON text (2-space indent, trailing newline).
+std::string PublishReportToJsonString(const PublishReport& report);
+
+/// JSON text -> report. Rejects missing/mistyped members and unknown
+/// schema versions; accepts the exact output of PublishReportToJson*.
+[[nodiscard]] Result<PublishReport> PublishReportFromJson(
+    std::string_view text);
+
+/// Writes PublishReportToJsonString(report) to `path` (IOError on failure).
+[[nodiscard]] Status WritePublishReportJson(const PublishReport& report,
+                                            const std::string& path);
+
+}  // namespace pgpub

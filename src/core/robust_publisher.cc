@@ -7,6 +7,9 @@
 #include "common/string_util.h"
 #include "core/validate.h"
 #include "core/verify.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pgpub {
 
@@ -102,10 +105,14 @@ Result<PublishedTable> RobustPublisher::Publish(
   PublishReport local;
   PublishReport& rep = report != nullptr ? *report : local;
   rep = PublishReport{};
+  PGPUB_TRACE_SPAN("robust.publish");
   const auto publish_start = std::chrono::steady_clock::now();
   auto finish = [&](Status status) {
     rep.final_status = status;
     rep.total_ms = MsSince(publish_start);
+    PGPUB_LOG_ERROR("publish.failed")
+        .Field("attempts", rep.attempts.size())
+        .Field("status", status.ToString());
     return status;
   };
 
@@ -131,16 +138,29 @@ Result<PublishedTable> RobustPublisher::Publish(
     }
   }
 
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   Status last_error = Status::Internal("no publish attempt ran");
   int attempt_number = 0;
   for (const PgOptions::Generalizer generalizer : rounds) {
-    if (generalizer != options_.generalizer) rep.fallback_used = true;
+    if (generalizer != options_.generalizer) {
+      rep.fallback_used = true;
+      metrics.GetCounter("robust.fallbacks")->Add();
+      PGPUB_LOG_WARN("publish.fallback")
+          .Field("generalizer", GeneralizerName(generalizer))
+          .Field("after_attempts", attempt_number);
+    }
     for (int i = 1; i <= policy_.max_attempts; ++i) {
       ++attempt_number;
       PublishReport::Attempt attempt;
       attempt.number = attempt_number;
       attempt.generalizer = generalizer;
       attempt.seed = AttemptSeed(options_.seed, attempt_number);
+      metrics.GetCounter("robust.attempts")->Add();
+      if (attempt_number > 1) metrics.GetCounter("robust.retries")->Add();
+      PGPUB_LOG_INFO("publish.attempt")
+          .Field("attempt", attempt_number)
+          .Field("generalizer", GeneralizerName(generalizer))
+          .Field("seed", attempt.seed);
       const auto attempt_start = std::chrono::steady_clock::now();
 
       PgOptions attempt_options = options_;
@@ -153,6 +173,13 @@ Result<PublishedTable> RobustPublisher::Publish(
       if (candidate.ok() && policy_.audit_release) {
         attempt.audited = true;
         attempt.audit = AuditRelease(microdata, *candidate);
+        PGPUB_LOG_INFO("publish.audit")
+            .Field("attempt", attempt_number)
+            .Field("clean", attempt.audit.ok())
+            .Field("status", attempt.audit.ToString());
+        if (!attempt.audit.ok()) {
+          metrics.GetCounter("robust.audit_failures")->Add();
+        }
       }
       attempt.elapsed_ms = MsSince(attempt_start);
       const bool audit_ok = !attempt.audited || attempt.audit.ok();
@@ -165,6 +192,10 @@ Result<PublishedTable> RobustPublisher::Publish(
         rep.audit_clean = attempt.audited;
         rep.final_status = Status::OK();
         rep.total_ms = MsSince(publish_start);
+        PGPUB_LOG_INFO("publish.succeeded")
+            .Field("attempts", attempt_number)
+            .Field("fallback_used", rep.fallback_used)
+            .Field("audit_clean", rep.audit_clean);
         return std::move(candidate).ValueOrDie();
       }
       last_error = failure;
@@ -173,6 +204,9 @@ Result<PublishedTable> RobustPublisher::Publish(
       if (IsPermanent(failure)) {
         return finish(failure);
       }
+      PGPUB_LOG_WARN("publish.retry")
+          .Field("attempt", attempt_number)
+          .Field("reason", failure.ToString());
     }
   }
   // Fail closed: every attempt either failed to publish or produced a

@@ -5,6 +5,8 @@
 
 #include "common/failpoint.h"
 #include "generalize/metrics.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace pgpub {
 
@@ -97,10 +99,14 @@ Result<GlobalRecoding> IncognitoSearch(
   double best_ncp = 2.0;
   GlobalRecoding best;
   bool found = false;
+  uint64_t nodes_examined = 0;
+  uint64_t children_pruned = 0;
+  uint64_t minimal_nodes = 0;
 
   while (!frontier.empty()) {
     std::vector<int> node = frontier.front();
     frontier.pop();
+    ++nodes_examined;
     bool has_anonymous_child = false;
     for (size_t i = 0; i < d; ++i) {
       if (node[i] >= taxonomies[i]->height()) continue;
@@ -112,10 +118,14 @@ Result<GlobalRecoding> IncognitoSearch(
           visited[child] = true;
           frontier.push(child);
         }
+      } else {
+        // Non-anonymous child: its entire sub-lattice is cut off here.
+        ++children_pruned;
       }
     }
     if (!has_anonymous_child) {
       // Minimal k-anonymous node: candidate answer.
+      ++minimal_nodes;
       GlobalRecoding rec = RecodingAtDepths(qi_attrs, taxonomies, node);
       double ncp = GlobalNcp(table, rec);
       if (!found || ncp < best_ncp) {
@@ -125,6 +135,15 @@ Result<GlobalRecoding> IncognitoSearch(
       }
     }
   }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("incognito.nodes_examined")->Add(nodes_examined);
+  metrics.GetCounter("incognito.children_pruned")->Add(children_pruned);
+  metrics.GetCounter("incognito.minimal_nodes")->Add(minimal_nodes);
+  PGPUB_LOG_DEBUG("incognito.done")
+      .Field("nodes_examined", nodes_examined)
+      .Field("children_pruned", children_pruned)
+      .Field("minimal_nodes", minimal_nodes)
+      .Field("best_ncp", best_ncp);
   if (!found) {
     return Status::Internal(
         "Incognito explored the lattice without finding a minimal "

@@ -6,6 +6,8 @@
 
 #include "common/failpoint.h"
 #include "common/math_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace pgpub {
 
@@ -520,6 +522,13 @@ Result<GlobalRecoding> TopDownSpecializer::Run() {
           static_cast<int32_t>(best_key & 0xffffffffu), chosen);
     ++num_specializations_;
   }
+
+  obs::MetricsRegistry::Global()
+      .GetCounter("tds.specializations")
+      ->Add(static_cast<uint64_t>(num_specializations_));
+  PGPUB_LOG_DEBUG("tds.done")
+      .Field("specializations", num_specializations_)
+      .Field("groups", groups_.size());
 
   GlobalRecoding out;
   out.qi_attrs = qi_attrs_;

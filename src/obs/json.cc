@@ -1,0 +1,576 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pgpub::obs {
+
+namespace {
+
+/// Recursion guard for both Parse and Dump; deep enough for any artifact
+/// the library emits, shallow enough to fail long before a stack overflow.
+constexpr int kMaxDepth = 64;
+
+std::string KindName(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return "bool";
+    case JsonValue::Kind::kInt:
+    case JsonValue::Kind::kUint:
+      return "integer";
+    case JsonValue::Kind::kDouble:
+      return "double";
+    case JsonValue::Kind::kString:
+      return "string";
+    case JsonValue::Kind::kArray:
+      return "array";
+    case JsonValue::Kind::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+Status KindError(const char* want, JsonValue::Kind got) {
+  return Status::InvalidArgument(std::string("JSON value is ") +
+                                 KindName(got) + ", expected " + want);
+}
+
+void AppendDouble(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; null is the conventional lossy stand-in.
+    out->append("null");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out->append(buf);
+  // Keep a trailing marker so the value re-parses as a double, not an int.
+  if (std::strpbrk(buf, ".eE") == nullptr) out->append(".0");
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+Result<bool> JsonValue::AsBool() const {
+  if (kind_ != Kind::kBool) return KindError("bool", kind_);
+  return bool_;
+}
+
+Result<int64_t> JsonValue::AsInt64() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kUint) {
+    if (uint_ > static_cast<uint64_t>(INT64_MAX)) {
+      return Status::OutOfRange("JSON integer exceeds int64 range");
+    }
+    return static_cast<int64_t>(uint_);
+  }
+  return KindError("integer", kind_);
+}
+
+Result<uint64_t> JsonValue::AsUint64() const {
+  if (kind_ == Kind::kUint) return uint_;
+  if (kind_ == Kind::kInt) {
+    if (int_ < 0) return Status::OutOfRange("JSON integer is negative");
+    return static_cast<uint64_t>(int_);
+  }
+  return KindError("integer", kind_);
+}
+
+Result<double> JsonValue::AsDouble() const {
+  switch (kind_) {
+    case Kind::kDouble:
+      return double_;
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    default:
+      return KindError("number", kind_);
+  }
+}
+
+Result<std::string> JsonValue::AsString() const {
+  if (kind_ != Kind::kString) return KindError("string", kind_);
+  return string_;
+}
+
+void JsonValue::Append(JsonValue v) {
+  if (kind_ != Kind::kArray) {
+    kind_ = Kind::kArray;
+    items_.clear();
+  }
+  items_.push_back(std::move(v));
+}
+
+size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  return 0;
+}
+
+Result<const JsonValue*> JsonValue::At(size_t i) const {
+  if (kind_ != Kind::kArray) return KindError("array", kind_);
+  if (i >= items_.size()) {
+    return Status::OutOfRange("JSON array index out of range");
+  }
+  return &items_[i];
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  if (kind_ != Kind::kObject) {
+    kind_ = Kind::kObject;
+    members_.clear();
+  }
+  for (auto& [name, value] : members_) {
+    if (name == key) {
+      value = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<const JsonValue*> JsonValue::Get(std::string_view key) const {
+  if (kind_ != Kind::kObject) return KindError("object", kind_);
+  const JsonValue* found = Find(key);
+  if (found == nullptr) {
+    return Status::NotFound("JSON object has no member '" +
+                            std::string(key) + "'");
+  }
+  return found;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  // Integers compare by value across kInt/kUint.
+  if (is_integer() && other.is_integer()) {
+    const bool neg = kind_ == Kind::kInt && int_ < 0;
+    const bool other_neg = other.kind_ == Kind::kInt && other.int_ < 0;
+    if (neg != other_neg) return false;
+    if (neg) return int_ == other.int_;
+    const uint64_t a =
+        kind_ == Kind::kUint ? uint_ : static_cast<uint64_t>(int_);
+    const uint64_t b = other.kind_ == Kind::kUint
+                           ? other.uint_
+                           : static_cast<uint64_t>(other.int_);
+    return a == b;
+  }
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return bool_ == other.bool_;
+    case Kind::kInt:
+    case Kind::kUint:
+      return true;  // handled above
+    case Kind::kDouble:
+      // Bitwise-identical doubles round-trip through %.17g; comparing the
+      // representations directly keeps NaN != NaN semantics out of
+      // artifact equality checks.
+      return std::memcmp(&double_, &other.double_, sizeof(double_)) == 0;
+    case Kind::kString:
+      return string_ == other.string_;
+    case Kind::kArray:
+      return items_ == other.items_;
+    case Kind::kObject:
+      return members_ == other.members_;
+  }
+  return false;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  auto newline = [&](int level) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * level, ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      return;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Kind::kInt:
+      out->append(std::to_string(int_));
+      return;
+    case Kind::kUint:
+      out->append(std::to_string(uint_));
+      return;
+    case Kind::kDouble:
+      AppendDouble(out, double_);
+      return;
+    case Kind::kString:
+      out->push_back('"');
+      out->append(JsonEscape(string_));
+      out->push_back('"');
+      return;
+    case Kind::kArray: {
+      out->push_back('[');
+      if (depth < kMaxDepth) {
+        bool first = true;
+        for (const JsonValue& item : items_) {
+          if (!first) out->push_back(',');
+          first = false;
+          newline(depth + 1);
+          item.DumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty()) newline(depth);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      if (depth < kMaxDepth) {
+        bool first = true;
+        for (const auto& [key, value] : members_) {
+          if (!first) out->push_back(',');
+          first = false;
+          newline(depth + 1);
+          out->push_back('"');
+          out->append(JsonEscape(key));
+          out->append(pretty ? "\": " : "\":");
+          value.DumpTo(out, indent, depth + 1);
+        }
+        if (!members_.empty()) newline(depth);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ----------------------------------------------------------------- parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    JsonValue root;
+    RETURN_IF_ERROR(ParseValue(&root, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("expected '" + std::string(word) + "'");
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        RETURN_IF_ERROR(Expect("null"));
+        *out = JsonValue::Null();
+        return Status::OK();
+      case 't':
+        RETURN_IF_ERROR(Expect("true"));
+        *out = JsonValue::Bool(true);
+        return Status::OK();
+      case 'f':
+        RETURN_IF_ERROR(Expect("false"));
+        *out = JsonValue::Bool(false);
+        return Status::OK();
+      case '"': {
+        std::string s;
+        RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::Str(std::move(s));
+        return Status::OK();
+      }
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue item;
+      RETURN_IF_ERROR(ParseValue(&item, depth + 1));
+      out->Append(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      if (out->Find(key) != nullptr) {
+        return Error("duplicate object key '" + key + "'");
+      }
+      out->Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs are passed
+          // through as two 3-byte sequences; the library never emits
+          // them, this is for tolerant reading only).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // fallthrough to digits
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (Consume('.')) {
+      is_double = true;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") return Error("expected a value");
+
+    errno = 0;
+    char* end = nullptr;
+    if (!is_double) {
+      if (token[0] == '-') {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end != nullptr && *end == '\0') {
+          *out = JsonValue::Int(static_cast<int64_t>(v));
+          return Status::OK();
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end != nullptr && *end == '\0') {
+          if (v <= static_cast<unsigned long long>(INT64_MAX)) {
+            *out = JsonValue::Int(static_cast<int64_t>(v));
+          } else {
+            *out = JsonValue::Uint(static_cast<uint64_t>(v));
+          }
+          return Status::OK();
+        }
+      }
+      // Out-of-range integers fall back to double, like every tolerant
+      // reader.
+      errno = 0;
+    }
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || errno == ERANGE) {
+      return Error("malformed number '" + token + "'");
+    }
+    *out = JsonValue::Double(d);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace pgpub::obs

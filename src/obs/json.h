@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pgpub::obs {
+
+/// \brief A minimal, dependency-free JSON document: the wire format of the
+/// observability layer (JSON-lines logs, metrics snapshots, PublishReport
+/// serialization, BENCH_*.json artifacts).
+///
+/// Integers are kept apart from doubles so that 64-bit counters and seeds
+/// round-trip losslessly: non-negative integers that exceed int64 range are
+/// stored as uint64, everything else integral as int64, and doubles are
+/// printed with max_digits10 precision. Object members preserve insertion
+/// order (serialization is deterministic), and member names are unique —
+/// Set() replaces.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Int(int64_t i) {
+    JsonValue v;
+    v.kind_ = Kind::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static JsonValue Uint(uint64_t u) {
+    JsonValue v;
+    v.kind_ = Kind::kUint;
+    v.uint_ = u;
+    return v;
+  }
+  static JsonValue Double(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+  bool is_integer() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; fail with InvalidArgument on a kind mismatch (or,
+  /// for the integer accessors, on range overflow).
+  [[nodiscard]] Result<bool> AsBool() const;
+  [[nodiscard]] Result<int64_t> AsInt64() const;
+  [[nodiscard]] Result<uint64_t> AsUint64() const;
+  /// Any numeric kind, widened to double.
+  [[nodiscard]] Result<double> AsDouble() const;
+  [[nodiscard]] Result<std::string> AsString() const;
+
+  // ---- array interface (valid only when is_array()).
+  void Append(JsonValue v);
+  size_t size() const;
+  /// Element access; InvalidArgument on a non-array, OutOfRange past the end.
+  [[nodiscard]] Result<const JsonValue*> At(size_t i) const;
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  // ---- object interface (valid only when is_object()).
+  /// Inserts or replaces member `key`.
+  void Set(std::string key, JsonValue v);
+  void Set(std::string key, const char* v) { Set(std::move(key), Str(v)); }
+  void Set(std::string key, std::string_view v) {
+    Set(std::move(key), Str(std::string(v)));
+  }
+  void Set(std::string key, bool v) { Set(std::move(key), Bool(v)); }
+  void Set(std::string key, int v) {
+    Set(std::move(key), Int(static_cast<int64_t>(v)));
+  }
+  void Set(std::string key, int64_t v) { Set(std::move(key), Int(v)); }
+  void Set(std::string key, uint64_t v) { Set(std::move(key), Uint(v)); }
+  void Set(std::string key, double v) { Set(std::move(key), Double(v)); }
+
+  /// nullptr when absent (or when this is not an object).
+  const JsonValue* Find(std::string_view key) const;
+  /// Member access that errors instead of returning nullptr.
+  [[nodiscard]] Result<const JsonValue*> Get(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Deep structural equality. Numbers compare across integer kinds when
+  /// the mathematical values match (1 as kInt equals 1 as kUint), but an
+  /// integer never equals a double — round-trips preserve kinds.
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+  /// Serializes. `indent` < 0 yields the compact single-line form used by
+  /// JSON-lines sinks; >= 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  [[nodiscard]] static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+/// Escapes `s` for embedding in a JSON string literal (no surrounding
+/// quotes). Exposed for the text log sink, which quotes string field
+/// values the same way.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace pgpub::obs

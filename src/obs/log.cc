@@ -1,0 +1,258 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/failpoint.h"
+
+namespace pgpub::obs {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string AsciiLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+Result<LogLevel> ParseLogLevel(std::string_view text) {
+  const std::string s = AsciiLower(text);
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off" || s == "none" || s.empty()) return LogLevel::kOff;
+  return Status::InvalidArgument("unknown log level '" + std::string(text) +
+                                 "' (want debug|info|warn|error|off)");
+}
+
+Result<LogFormat> ParseLogFormat(std::string_view text) {
+  const std::string s = AsciiLower(text);
+  if (s == "text" || s.empty()) return LogFormat::kText;
+  if (s == "json") return LogFormat::kJson;
+  return Status::InvalidArgument("unknown log format '" +
+                                 std::string(text) + "' (want text|json)");
+}
+
+const JsonValue* LogRecord::FindField(std::string_view key) const {
+  for (const auto& [name, value] : fields) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------------ sinks
+
+StreamSink::StreamSink() : out_(&std::cerr) {}
+
+std::string StreamSink::Render(const LogRecord& record, LogFormat format) {
+  if (format == LogFormat::kJson) {
+    JsonValue line = JsonValue::Object();
+    line.Set("tick", record.tick);
+    if (record.wall_ms > 0.0) line.Set("ms", record.wall_ms);
+    line.Set("level", LogLevelName(record.level));
+    line.Set("event", record.event);
+    for (const auto& [key, value] : record.fields) {
+      line.Set(key, value);
+    }
+    return line.Dump();
+  }
+  std::string out = "[";
+  out += std::to_string(record.tick);
+  if (record.wall_ms > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %.3fms", record.wall_ms);
+    out += buf;
+  }
+  out += "] ";
+  std::string level(LogLevelName(record.level));
+  for (char& c : level) c = static_cast<char>(c - 'a' + 'A');
+  out += level;
+  out += " ";
+  out += record.event;
+  for (const auto& [key, value] : record.fields) {
+    out += " ";
+    out += key;
+    out += "=";
+    out += value.Dump();  // strings come out quoted, scalars bare
+  }
+  return out;
+}
+
+void StreamSink::Write(const LogRecord& record, LogFormat format) {
+  *out_ << Render(record, format) << "\n";
+}
+
+void CaptureSink::Write(const LogRecord& record, LogFormat /*format*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(record);
+}
+
+std::vector<LogRecord> CaptureSink::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::vector<LogRecord> CaptureSink::EventsNamed(std::string_view event) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogRecord> out;
+  for (const LogRecord& r : records_) {
+    if (r.event == event) out.push_back(r);
+  }
+  return out;
+}
+
+bool CaptureSink::HasEvent(std::string_view event) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const LogRecord& r : records_) {
+    if (r.event == event) return true;
+  }
+  return false;
+}
+
+void CaptureSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+// ----------------------------------------------------------------- logger
+
+Logger::Logger()
+    : sink_(std::make_shared<StreamSink>()), start_ns_(SteadyNowNs()) {}
+
+Logger& Logger::Global() {
+  static Logger* logger = [] {
+    auto* l = new Logger();
+    if (const char* env = std::getenv("PGPUB_LOG");
+        env != nullptr && *env != '\0') {
+      // A typo'd level must not silently disable the logs someone asked
+      // for; fall back to the most verbose level and say so.
+      Result<LogLevel> level = ParseLogLevel(env);
+      l->SetLevel(level.ok() ? *level : LogLevel::kDebug);
+      if (!level.ok()) {
+        std::cerr << "pgpub: " << level.status().ToString() << "\n";
+      }
+    }
+    if (const char* env = std::getenv("PGPUB_LOG_FORMAT");
+        env != nullptr && *env != '\0') {
+      Result<LogFormat> format = ParseLogFormat(env);
+      if (format.ok()) {
+        l->SetFormat(*format);
+      } else {
+        std::cerr << "pgpub: " << format.status().ToString() << "\n";
+      }
+    }
+    if (const char* env = std::getenv("PGPUB_LOG_CLOCK");
+        env != nullptr && *env != '\0') {
+      l->SetWallClock(AsciiLower(env) == "wall");
+    }
+    return l;
+  }();
+  return *logger;
+}
+
+std::shared_ptr<LogSink> Logger::SetSink(std::shared_ptr<LogSink> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<LogSink> previous = std::move(sink_);
+  sink_ = sink != nullptr ? std::move(sink) : std::make_shared<StreamSink>();
+  return previous;
+}
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 std::vector<std::pair<std::string, JsonValue>> fields) {
+  if (!Enabled(level)) return;
+  LogRecord record;
+  record.level = level;
+  record.event = std::string(event);
+  record.fields = std::move(fields);
+  std::shared_ptr<LogSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    record.tick = ++tick_;
+    if (wall_clock_) {
+      record.wall_ms =
+          static_cast<double>(SteadyNowNs() - start_ns_) / 1e6;
+    }
+    sink = sink_;
+  }
+  // Write outside the logger lock: a slow sink must not serialize the
+  // whole process, and sinks guard their own state.
+  sink->Write(record, format_);
+}
+
+// --------------------------------------------------------------- capture
+
+ScopedLogCapture::ScopedLogCapture(LogLevel level)
+    : sink_(std::make_shared<CaptureSink>()),
+      saved_level_(Logger::Global().level()),
+      saved_format_(Logger::Global().format()),
+      saved_wall_(Logger::Global().wall_clock()) {
+  Logger& logger = Logger::Global();
+  saved_sink_ = logger.SetSink(sink_);
+  logger.SetLevel(level);
+  logger.SetWallClock(false);
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  Logger& logger = Logger::Global();
+  logger.SetSink(saved_sink_);
+  logger.SetLevel(saved_level_);
+  logger.SetFormat(saved_format_);
+  logger.SetWallClock(saved_wall_);
+}
+
+// -------------------------------------------------- failpoint observation
+//
+// The failpoint registry lives below this layer (common/ cannot depend on
+// obs/), so it exposes a neutral observer hook; installing the logging
+// observer here means every triggered failpoint becomes a structured
+// `failpoint_hit` event in any binary that links the observability layer.
+
+namespace {
+
+void LogFailpointHit(const char* name) {
+  const std::string_view full(name);
+  const size_t dot = full.find('.');
+  PGPUB_LOG_WARN("failpoint_hit")
+      .Field("point", full)
+      .Field("phase", dot == std::string_view::npos
+                          ? full
+                          : full.substr(dot + 1));
+}
+
+[[maybe_unused]] const bool kFailpointObserverInstalled = [] {
+  SetFailpointObserver(&LogFailpointHit);
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace pgpub::obs

@@ -1,0 +1,243 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+
+namespace pgpub::obs {
+
+/// Severity levels, ordered. A logger at level L emits records with
+/// severity >= L; kOff silences everything (the default — the library
+/// never writes to stderr unless asked via PGPUB_LOG).
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+std::string_view LogLevelName(LogLevel level);
+/// Accepts "debug", "info", "warn"/"warning", "error", "off"/"none"
+/// (case-insensitive).
+[[nodiscard]] Result<LogLevel> ParseLogLevel(std::string_view text);
+
+enum class LogFormat {
+  kText,  ///< `[tick] LEVEL event key=value ...`
+  kJson,  ///< one JSON object per line
+};
+/// Accepts "text" or "json" (case-insensitive).
+[[nodiscard]] Result<LogFormat> ParseLogFormat(std::string_view text);
+
+/// One structured log event. Field values are JsonValue scalars so the
+/// JSON sink needs no conversion and the text sink renders them uniformly.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string event;
+  /// Logical clock: a per-logger sequence number, always assigned —
+  /// deterministic across identical runs (lint rule L4: no wall clocks on
+  /// reproducible paths).
+  uint64_t tick = 0;
+  /// Milliseconds since the logger was created. Populated only in
+  /// wall-clock mode (PGPUB_LOG_CLOCK=wall); 0 in logical mode.
+  double wall_ms = 0.0;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* FindField(std::string_view key) const;
+};
+
+/// Where formatted records go. Implementations must tolerate concurrent
+/// Write calls (the Logger serializes them, but sinks may be shared).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record, LogFormat format) = 0;
+};
+
+/// Renders records to an ostream (default: std::cerr).
+class StreamSink : public LogSink {
+ public:
+  StreamSink();  // stderr
+  explicit StreamSink(std::ostream* out) : out_(out) {}
+  void Write(const LogRecord& record, LogFormat format) override;
+
+  /// The exact line a record renders to, minus the trailing newline.
+  /// Exposed for golden tests.
+  static std::string Render(const LogRecord& record, LogFormat format);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Retains records in memory; the assertion surface for tests.
+class CaptureSink : public LogSink {
+ public:
+  void Write(const LogRecord& record, LogFormat format) override;
+
+  std::vector<LogRecord> records() const;
+  /// Records whose event name equals `event`.
+  std::vector<LogRecord> EventsNamed(std::string_view event) const;
+  bool HasEvent(std::string_view event) const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+};
+
+/// \brief Leveled structured logger: every emission is an event name plus
+/// key=value fields, rendered as text or JSON-lines.
+///
+/// Env configuration (read once, on first Global() access):
+///   PGPUB_LOG         debug|info|warn|error|off   (default off)
+///   PGPUB_LOG_FORMAT  text|json                   (default text)
+///   PGPUB_LOG_CLOCK   logical|wall                (default logical)
+///
+/// The default logical clock stamps records with a sequence number only,
+/// so two runs of the same pipeline produce byte-identical logs (rule L4);
+/// wall mode adds milliseconds-since-start from the steady clock.
+class Logger {
+ public:
+  /// The process-wide logger, env-configured on first use.
+  static Logger& Global();
+
+  /// A fresh logger: level off, text format, logical clock, stderr sink.
+  Logger();
+
+  bool Enabled(LogLevel level) const {
+    const LogLevel min = min_level_.load(std::memory_order_relaxed);
+    return level >= min && min != LogLevel::kOff;
+  }
+  LogLevel level() const { return min_level_.load(std::memory_order_relaxed); }
+  void SetLevel(LogLevel level) {
+    min_level_.store(level, std::memory_order_relaxed);
+  }
+  LogFormat format() const { return format_.load(std::memory_order_relaxed); }
+  void SetFormat(LogFormat format) {
+    format_.store(format, std::memory_order_relaxed);
+  }
+  bool wall_clock() const {
+    return wall_clock_.load(std::memory_order_relaxed);
+  }
+  void SetWallClock(bool wall) {
+    wall_clock_.store(wall, std::memory_order_relaxed);
+  }
+
+  /// Replaces the output sink and returns the previous one (nullptr
+  /// restores the stderr sink). The sink is shared: callers may retain
+  /// their reference to inspect it.
+  std::shared_ptr<LogSink> SetSink(std::shared_ptr<LogSink> sink);
+
+  /// Emits one record (if `level` passes the filter).
+  void Log(LogLevel level, std::string_view event,
+           std::vector<std::pair<std::string, JsonValue>> fields);
+
+  /// Fluent emission: collects fields, emits on destruction. When the
+  /// logger is disabled at `level`, every Field call is a no-op.
+  ///
+  ///   logger.Event(LogLevel::kInfo, "publish.attempt")
+  ///       .Field("attempt", 2).Field("generalizer", "tds");
+  class EventBuilder {
+   public:
+    EventBuilder(Logger* logger, LogLevel level, std::string_view event)
+        : logger_(logger), level_(level), event_(event) {}
+    EventBuilder(const EventBuilder&) = delete;
+    EventBuilder& operator=(const EventBuilder&) = delete;
+    ~EventBuilder() {
+      if (logger_ != nullptr) {
+        logger_->Log(level_, event_, std::move(fields_));
+      }
+    }
+
+    EventBuilder& Field(std::string_view key, JsonValue value) {
+      if (logger_ != nullptr) {
+        fields_.emplace_back(std::string(key), std::move(value));
+      }
+      return *this;
+    }
+    EventBuilder& Field(std::string_view key, std::string_view v) {
+      return Field(key, JsonValue::Str(std::string(v)));
+    }
+    EventBuilder& Field(std::string_view key, const char* v) {
+      return Field(key, JsonValue::Str(v));
+    }
+    EventBuilder& Field(std::string_view key, const std::string& v) {
+      return Field(key, JsonValue::Str(v));
+    }
+    EventBuilder& Field(std::string_view key, bool v) {
+      return Field(key, JsonValue::Bool(v));
+    }
+    EventBuilder& Field(std::string_view key, int v) {
+      return Field(key, JsonValue::Int(v));
+    }
+    EventBuilder& Field(std::string_view key, int64_t v) {
+      return Field(key, JsonValue::Int(v));
+    }
+    EventBuilder& Field(std::string_view key, uint64_t v) {
+      return Field(key, JsonValue::Uint(v));
+    }
+    EventBuilder& Field(std::string_view key, double v) {
+      return Field(key, JsonValue::Double(v));
+    }
+
+   private:
+    Logger* logger_;  ///< nullptr when filtered out: builder is inert.
+    LogLevel level_ = LogLevel::kInfo;
+    std::string event_;
+    std::vector<std::pair<std::string, JsonValue>> fields_;
+  };
+
+  EventBuilder Event(LogLevel level, std::string_view event) {
+    return EventBuilder(Enabled(level) ? this : nullptr, level, event);
+  }
+
+ private:
+  std::atomic<LogLevel> min_level_{LogLevel::kOff};
+  std::atomic<LogFormat> format_{LogFormat::kText};
+  std::atomic<bool> wall_clock_{false};
+
+  mutable std::mutex mu_;  ///< guards sink_, tick_, start_.
+  std::shared_ptr<LogSink> sink_;
+  uint64_t tick_ = 0;
+  /// steady-clock origin for wall mode, captured at construction.
+  uint64_t start_ns_ = 0;
+};
+
+/// Convenience macros over the global logger. The event builder pattern
+/// keeps field evaluation behind the level check.
+#define PGPUB_LOG_DEBUG(event) \
+  ::pgpub::obs::Logger::Global().Event(::pgpub::obs::LogLevel::kDebug, event)
+#define PGPUB_LOG_INFO(event) \
+  ::pgpub::obs::Logger::Global().Event(::pgpub::obs::LogLevel::kInfo, event)
+#define PGPUB_LOG_WARN(event) \
+  ::pgpub::obs::Logger::Global().Event(::pgpub::obs::LogLevel::kWarn, event)
+#define PGPUB_LOG_ERROR(event) \
+  ::pgpub::obs::Logger::Global().Event(::pgpub::obs::LogLevel::kError, event)
+
+/// Test helper: swaps the global logger to a CaptureSink at `level`
+/// (logical clock), restoring the previous configuration on destruction.
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(LogLevel level = LogLevel::kDebug);
+  ~ScopedLogCapture();
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  CaptureSink& sink() { return *sink_; }
+
+ private:
+  std::shared_ptr<CaptureSink> sink_;
+  std::shared_ptr<LogSink> saved_sink_;
+  LogLevel saved_level_;
+  LogFormat saved_format_;
+  bool saved_wall_;
+};
+
+}  // namespace pgpub::obs

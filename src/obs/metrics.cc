@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace pgpub::obs {
+
+int Histogram::BucketIndex(uint64_t value) {
+  // 0 -> 0; otherwise 2^(i-1) <= value < 2^i means bit_width(value) == i.
+  return static_cast<int>(std::bit_width(value));
+}
+
+uint64_t Histogram::BucketLowerBound(int i) {
+  return i == 0 ? 0 : uint64_t{1} << (i - 1);
+}
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~uint64_t{0} ? 0 : v;
+}
+
+uint64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  // std::map iteration is already name-sorted.
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.min = histogram->min();
+    h.max = histogram->max();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t n = histogram->bucket_count(i);
+      if (n > 0) h.buckets.emplace_back(Histogram::BucketLowerBound(i), n);
+    }
+    snap.histograms.emplace_back(name, std::move(h));
+  }
+  return snap;
+}
+
+JsonValue MetricsRegistry::Snapshot::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  JsonValue counters_json = JsonValue::Object();
+  for (const auto& [name, value] : counters) {
+    counters_json.Set(name, value);
+  }
+  out.Set("counters", std::move(counters_json));
+  JsonValue gauges_json = JsonValue::Object();
+  for (const auto& [name, value] : gauges) {
+    gauges_json.Set(name, value);
+  }
+  out.Set("gauges", std::move(gauges_json));
+  JsonValue histograms_json = JsonValue::Object();
+  for (const auto& [name, h] : histograms) {
+    JsonValue hj = JsonValue::Object();
+    hj.Set("count", h.count);
+    hj.Set("sum", h.sum);
+    hj.Set("min", h.min);
+    hj.Set("max", h.max);
+    JsonValue buckets = JsonValue::Object();
+    for (const auto& [lo, n] : h.buckets) {
+      buckets.Set(std::to_string(lo), n);
+    }
+    hj.Set("buckets", std::move(buckets));
+    histograms_json.Set(name, std::move(hj));
+  }
+  out.Set("histograms", std::move(histograms_json));
+  return out;
+}
+
+}  // namespace pgpub::obs

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace pgpub::obs {
+
+/// Monotonically increasing 64-bit counter. Cheap enough for inner loops:
+/// one relaxed atomic add.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(ToBits(v), std::memory_order_relaxed); }
+  double value() const {
+    return FromBits(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() { Set(0.0); }
+
+ private:
+  static uint64_t ToBits(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double FromBits(uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Histogram over non-negative integer observations with fixed log2
+/// buckets: bucket 0 holds the value 0, bucket i (i >= 1) holds
+/// [2^(i-1), 2^i). 65 buckets cover the full uint64 range, so there is
+/// no configuration and two histograms are always mergeable.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  /// Index of the bucket that holds `value`.
+  static int BucketIndex(uint64_t value);
+  /// Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
+  static uint64_t BucketLowerBound(int i);
+
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const;  ///< 0 when empty.
+  uint64_t max() const;  ///< 0 when empty.
+  uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  // min/max kept via CAS loops; sentinel ~0 means "empty" for min.
+  std::atomic<uint64_t> min_{~uint64_t{0}};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// \brief Process-wide registry of named metrics.
+///
+/// Get*() returns a stable pointer — instruments are created on first use
+/// and never destroyed, so call sites may cache the pointer across the
+/// process lifetime. Snapshot() reads everything at once, sorted by name,
+/// for deterministic serialization. Reset() zeroes values but keeps the
+/// instruments (cached pointers stay valid), which is what tests and
+/// per-bench-run scoping need.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Zeroes every instrument (pointers remain valid).
+  void Reset();
+
+  struct HistogramSnapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    /// (bucket lower bound, count) for non-empty buckets only.
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  };
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;  // sorted by name
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+    /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {"count","sum","min","max","buckets":{"<lo>":n,...}}}}.
+    JsonValue ToJson() const;
+  };
+
+  Snapshot TakeSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps; instruments are atomic.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace pgpub::obs

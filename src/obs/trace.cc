@@ -1,0 +1,31 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace pgpub::obs {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(std::string_view name)
+    : name_(name), start_ns_(SteadyNowNs()) {}
+
+uint64_t ScopedTimer::ElapsedNs() const {
+  return SteadyNowNs() - start_ns_;
+}
+
+ScopedTimer::~ScopedTimer() {
+  const uint64_t elapsed = ElapsedNs();
+  MetricsRegistry::Global().GetHistogram("span." + name_)->Observe(elapsed);
+  PGPUB_LOG_DEBUG("span").Field("name", name_).Field("ns", elapsed);
+}
+
+}  // namespace pgpub::obs

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace pgpub::obs {
+
+/// \brief RAII phase timer: measures the enclosing scope on the steady
+/// clock and, at scope exit, (a) records the elapsed nanoseconds into the
+/// global histogram `span.<name>` and (b) emits a debug-level `span` event
+/// with the name and duration.
+///
+/// The histogram name is the stable identity ("span.publish.perturb"
+/// aggregates across runs); the log event carries the per-instance timing.
+/// Timings are wall-clock and therefore nondeterministic, but the *set* of
+/// spans a pipeline emits is not — tests assert on span names, never
+/// durations.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Nanoseconds since construction, for callers that want the reading
+  /// before destruction (monotone: never decreases between calls).
+  uint64_t ElapsedNs() const;
+
+ private:
+  std::string name_;
+  uint64_t start_ns_;
+};
+
+}  // namespace pgpub::obs
+
+#define PGPUB_OBS_CONCAT_INNER(a, b) a##b
+#define PGPUB_OBS_CONCAT(a, b) PGPUB_OBS_CONCAT_INNER(a, b)
+
+/// Times the rest of the enclosing scope as span `name` (see ScopedTimer).
+#define PGPUB_TRACE_SPAN(name) \
+  ::pgpub::obs::ScopedTimer PGPUB_OBS_CONCAT(pgpub_span_, __LINE__)(name)

@@ -14,6 +14,7 @@
 #include "hierarchy/recoding.h"
 #include "hierarchy/recoding_io.h"
 #include "hierarchy/taxonomy_io.h"
+#include "obs/log.h"
 #include "republish/minvariance.h"
 #include "table/csv_io.h"
 
@@ -63,6 +64,25 @@ TEST_F(FailpointTest, AlwaysAndOffModes) {
   ASSERT_TRUE(reg().Enable(failpoints::kPublishPerturb, "off").ok());
   EXPECT_FALSE(reg().AnyEnabled());
   EXPECT_FALSE(reg().ShouldFail(failpoints::kPublishPerturb));
+}
+
+TEST_F(FailpointTest, FiringEmitsStructuredFailpointHitEvent) {
+  obs::ScopedLogCapture capture(obs::LogLevel::kWarn);
+  ASSERT_TRUE(reg().Enable(failpoints::kPublishPerturb, "always").ok());
+  EXPECT_TRUE(reg().ShouldFail(failpoints::kPublishPerturb));
+  const auto events = capture.sink().EventsNamed("failpoint_hit");
+  ASSERT_EQ(events.size(), 1u);
+  const obs::JsonValue* point = events[0].FindField("point");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->AsString().ValueOrDie(), failpoints::kPublishPerturb);
+  const obs::JsonValue* phase = events[0].FindField("phase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->AsString().ValueOrDie(), "perturb");
+
+  // A check that does not fire stays silent.
+  ASSERT_TRUE(reg().Enable(failpoints::kPublishPerturb, "off").ok());
+  EXPECT_FALSE(reg().ShouldFail(failpoints::kPublishPerturb));
+  EXPECT_EQ(capture.sink().EventsNamed("failpoint_hit").size(), 1u);
 }
 
 TEST_F(FailpointTest, EveryNthFiresOnMultiples) {
@@ -294,6 +314,7 @@ TEST_F(ChaosSweepTest, ProbabilisticSweepNeverReleasesUnauditedTable) {
 // ------------------------------------------------- robust publish semantics
 
 TEST_F(ChaosSweepTest, TransientFaultIsRetriedWithFreshSeed) {
+  obs::ScopedLogCapture capture(obs::LogLevel::kWarn);
   ASSERT_TRUE(reg().Enable(failpoints::kPublishPerturb, "times(1)").ok());
   PgOptions options;
   options.k = 5;
@@ -312,9 +333,16 @@ TEST_F(ChaosSweepTest, TransientFaultIsRetriedWithFreshSeed) {
   EXPECT_FALSE(report.fallback_used);
   EXPECT_TRUE(report.audit_clean);
   EXPECT_TRUE(report.final_status.ok());
+  // The retry narrates itself: the injected fault and the warn-level
+  // retry decision both surface as structured events.
+  EXPECT_TRUE(capture.sink().HasEvent("failpoint_hit"));
+  const auto retries = capture.sink().EventsNamed("publish.retry");
+  ASSERT_EQ(retries.size(), 1u);
+  EXPECT_EQ(retries[0].FindField("attempt")->AsInt64().ValueOrDie(), 1);
 }
 
 TEST_F(ChaosSweepTest, GeneralizerFallbackEngagesWhenTdsIsDown) {
+  obs::ScopedLogCapture capture(obs::LogLevel::kWarn);
   ASSERT_TRUE(
       reg().Enable(failpoints::kPublishGeneralizeTds, "always").ok());
   PgOptions options;
@@ -332,6 +360,11 @@ TEST_F(ChaosSweepTest, GeneralizerFallbackEngagesWhenTdsIsDown) {
   EXPECT_EQ(report.attempts[2].generalizer,
             PgOptions::Generalizer::kIncognito);
   EXPECT_TRUE(report.audit_clean);
+  const auto fallbacks = capture.sink().EventsNamed("publish.fallback");
+  ASSERT_EQ(fallbacks.size(), 1u);
+  EXPECT_EQ(
+      fallbacks[0].FindField("generalizer")->AsString().ValueOrDie(),
+      "incognito");
   reg().DisableAll();
   EXPECT_TRUE(VerifyPublication(clinic_.table, *result).ok());
 }

@@ -1,0 +1,342 @@
+/// \file obs_test.cc
+/// The observability layer: JsonValue round-trips, logger golden renders,
+/// level filtering, metrics registry semantics, histogram bucket edges,
+/// span timers, and the deterministic span set of a full
+/// RobustPublisher::Publish run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/robust_publisher.h"
+#include "datagen/hospital.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pgpub {
+namespace {
+
+using obs::CaptureSink;
+using obs::Histogram;
+using obs::JsonValue;
+using obs::Logger;
+using obs::LogFormat;
+using obs::LogLevel;
+using obs::LogRecord;
+using obs::MetricsRegistry;
+using obs::ScopedLogCapture;
+using obs::ScopedTimer;
+using obs::StreamSink;
+
+// ------------------------------------------------------------------- JSON
+
+TEST(JsonTest, ScalarDumpForms) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Int(-42).Dump(), "-42");
+  EXPECT_EQ(JsonValue::Uint(~uint64_t{0}).Dump(), "18446744073709551615");
+  EXPECT_EQ(JsonValue::Str("a\"b\\c\n").Dump(), "\"a\\\"b\\\\c\\n\"");
+  // Doubles always carry a floating marker so kinds survive a round trip.
+  const std::string d = JsonValue::Double(2.0).Dump();
+  EXPECT_NE(d.find('.'), std::string::npos) << d;
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndSetReplaces) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("z", 1);
+  obj.Set("a", 2);
+  obj.Set("z", 3);  // replace in place, order kept
+  EXPECT_EQ(obj.Dump(), "{\"z\":3,\"a\":2}");
+}
+
+TEST(JsonTest, RoundTripPreservesKindsAndValues) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("seed", uint64_t{18446744073709551615ull});
+  doc.Set("delta", -7);
+  doc.Set("p", 0.25);
+  doc.Set("tiny", 0.1);  // not exactly representable: precision must hold
+  doc.Set("ok", true);
+  doc.Set("note", "line\nbreak \"quoted\"");
+  doc.Set("missing", JsonValue::Null());
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Int(1));
+  arr.Append(JsonValue::Str("two"));
+  JsonValue nested = JsonValue::Object();
+  nested.Set("k", 2);
+  arr.Append(std::move(nested));
+  doc.Set("items", std::move(arr));
+
+  for (int indent : {-1, 2}) {
+    const auto parsed = JsonValue::Parse(doc.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_TRUE(*parsed == doc) << "indent=" << indent;
+  }
+}
+
+TEST(JsonTest, IntegerKindsCompareByValueButNotAgainstDoubles) {
+  EXPECT_TRUE(JsonValue::Int(7) == JsonValue::Uint(7));
+  EXPECT_FALSE(JsonValue::Int(7) == JsonValue::Double(7.0));
+}
+
+TEST(JsonTest, ParseRejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,\"a\":2}").ok());  // dup key
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += "[";
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());  // depth cap
+}
+
+// ----------------------------------------------------------------- logger
+
+LogRecord MakeRecord() {
+  LogRecord r;
+  r.level = LogLevel::kInfo;
+  r.event = "publish.start";
+  r.tick = 3;
+  r.fields.emplace_back("rows", JsonValue::Uint(8));
+  r.fields.emplace_back("generalizer", JsonValue::Str("tds"));
+  r.fields.emplace_back("p", JsonValue::Double(0.25));
+  return r;
+}
+
+TEST(LoggerTest, TextRenderGolden) {
+  EXPECT_EQ(StreamSink::Render(MakeRecord(), LogFormat::kText),
+            "[3] INFO publish.start rows=8 generalizer=\"tds\" p=0.25");
+}
+
+TEST(LoggerTest, JsonRenderGoldenAndParseable) {
+  const std::string line = StreamSink::Render(MakeRecord(), LogFormat::kJson);
+  EXPECT_EQ(line,
+            "{\"tick\":3,\"level\":\"info\",\"event\":\"publish.start\","
+            "\"rows\":8,\"generalizer\":\"tds\",\"p\":0.25}");
+  const auto parsed = JsonValue::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("event")->AsString().ValueOrDie(), "publish.start");
+}
+
+TEST(LoggerTest, LevelFilterDropsRecordsBelowThreshold) {
+  ScopedLogCapture capture(LogLevel::kWarn);
+  PGPUB_LOG_DEBUG("too.quiet");
+  PGPUB_LOG_INFO("still.quiet");
+  PGPUB_LOG_WARN("heard").Field("n", 1);
+  PGPUB_LOG_ERROR("also.heard");
+  const auto records = capture.sink().records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].event, "heard");
+  EXPECT_EQ(records[1].event, "also.heard");
+}
+
+TEST(LoggerTest, LogicalTicksAreStrictlyIncreasing) {
+  ScopedLogCapture capture(LogLevel::kDebug);
+  PGPUB_LOG_INFO("a");
+  PGPUB_LOG_INFO("b");
+  PGPUB_LOG_INFO("c");
+  const auto records = capture.sink().records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_LT(records[0].tick, records[1].tick);
+  EXPECT_LT(records[1].tick, records[2].tick);
+  // Logical mode: no wall-clock component leaks into the record.
+  EXPECT_EQ(records[0].wall_ms, 0.0);
+}
+
+TEST(LoggerTest, ParseLevelAndFormatSpellings) {
+  EXPECT_EQ(*obs::ParseLogLevel("WARNING"), LogLevel::kWarn);
+  EXPECT_EQ(*obs::ParseLogLevel("none"), LogLevel::kOff);
+  EXPECT_FALSE(obs::ParseLogLevel("loud").ok());
+  EXPECT_EQ(*obs::ParseLogFormat("JSON"), LogFormat::kJson);
+  EXPECT_FALSE(obs::ParseLogFormat("yaml").ok());
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("test.count");
+  c->Add();
+  c->Add(4);
+  EXPECT_EQ(c->value(), 5u);
+  EXPECT_EQ(registry.GetCounter("test.count"), c);  // stable pointer
+  obs::Gauge* g = registry.GetGauge("test.level");
+  g->Set(0.75);
+  EXPECT_DOUBLE_EQ(g->value(), 0.75);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);  // zeroed, pointer still valid
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 holds exactly 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 63) - 1), 63);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 63), 64);
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), 64);
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    const uint64_t lo = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(lo, uint64_t{1} << (i - 1));
+    EXPECT_EQ(Histogram::BucketIndex(lo), i) << "lower bound lands in bucket";
+    EXPECT_EQ(Histogram::BucketIndex(lo - 1), i - 1)
+        << "predecessor lands one bucket down";
+  }
+}
+
+TEST(MetricsTest, HistogramAggregates) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0u);  // empty
+  EXPECT_EQ(h.max(), 0u);
+  for (uint64_t v : {0u, 1u, 3u, 100u}) h.Observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 104u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // the 0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // the 1
+  EXPECT_EQ(h.bucket_count(2), 1u);  // the 3
+  EXPECT_EQ(h.bucket_count(7), 1u);  // 100 in [64,128)
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndSerializes) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last")->Add(2);
+  registry.GetCounter("a.first")->Add(1);
+  registry.GetGauge("g.mid")->Set(1.5);
+  registry.GetHistogram("h.times")->Observe(5);
+
+  const MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "z.last");
+
+  const JsonValue json = snap.ToJson();
+  EXPECT_EQ(json.Find("counters")->Find("z.last")->AsUint64().ValueOrDie(),
+            2u);
+  EXPECT_DOUBLE_EQ(
+      json.Find("gauges")->Find("g.mid")->AsDouble().ValueOrDie(), 1.5);
+  const JsonValue* h = json.Find("histograms")->Find("h.times");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Find("count")->AsUint64().ValueOrDie(), 1u);
+  EXPECT_EQ(h->Find("sum")->AsUint64().ValueOrDie(), 5u);
+  // Non-empty buckets only: one entry, keyed by its lower bound.
+  EXPECT_EQ(h->Find("buckets")->members().size(), 1u);
+  EXPECT_EQ(h->Find("buckets")->Find("4")->AsUint64().ValueOrDie(), 1u);
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(TraceTest, ScopedTimerIsMonotoneAndFeedsHistogramAndLog) {
+  ScopedLogCapture capture(LogLevel::kDebug);
+  obs::Histogram* h =
+      MetricsRegistry::Global().GetHistogram("span.obs_test.span");
+  h->Reset();
+  {
+    ScopedTimer timer("obs_test.span");
+    const uint64_t first = timer.ElapsedNs();
+    const uint64_t second = timer.ElapsedNs();
+    EXPECT_GE(second, first);
+  }
+  EXPECT_EQ(h->count(), 1u);
+  const auto spans = capture.sink().EventsNamed("span");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].FindField("name")->AsString().ValueOrDie(),
+            "obs_test.span");
+  EXPECT_TRUE(spans[0].FindField("ns")->is_integer());
+}
+
+// ------------------------------------------- pipeline span set, end to end
+
+std::vector<std::string> SpanNames(const CaptureSink& sink) {
+  std::vector<std::string> names;
+  for (const LogRecord& r : sink.EventsNamed("span")) {
+    names.push_back(r.FindField("name")->AsString().ValueOrDie());
+  }
+  return names;
+}
+
+std::vector<std::string> EventNames(const CaptureSink& sink) {
+  std::vector<std::string> names;
+  for (const LogRecord& r : sink.records()) names.push_back(r.event);
+  return names;
+}
+
+TEST(PipelineTraceTest, RobustPublishEmitsEveryPhaseSpanDeterministically) {
+  HospitalDataset hospital = MakeHospitalDataset().ValueOrDie();
+  PgOptions options;
+  options.s = 0.5;
+  options.p = 0.25;
+  options.seed = 2008;
+  RobustPublisher publisher(options);
+
+  auto run = [&]() {
+    ScopedLogCapture capture(LogLevel::kDebug);
+    PublishReport report;
+    auto published = publisher.Publish(
+        hospital.table, hospital.TaxonomyPointers(), &report);
+    EXPECT_TRUE(published.ok()) << published.status().ToString();
+    EXPECT_TRUE(report.audit_clean);
+    return std::make_pair(SpanNames(capture.sink()),
+                          EventNames(capture.sink()));
+  };
+
+  const auto [spans, events] = run();
+  // All three PG phases plus the wrapping robust span are traced.
+  for (const char* want :
+       {"publish.perturb", "publish.generalize", "publish.sample",
+        "robust.publish"}) {
+    EXPECT_NE(std::find(spans.begin(), spans.end(), want), spans.end())
+        << "missing span " << want;
+  }
+  // The retry machinery narrates itself at info level.
+  for (const char* want : {"publish.attempt", "publish.start",
+                           "publish.done", "publish.audit",
+                           "publish.succeeded"}) {
+    EXPECT_NE(std::find(events.begin(), events.end(), want), events.end())
+        << "missing event " << want;
+  }
+
+  // Identical inputs => identical event sequence (logical clock, fixed
+  // seed): the observability layer does not break determinism.
+  const auto [spans2, events2] = run();
+  EXPECT_EQ(spans, spans2);
+  EXPECT_EQ(events, events2);
+}
+
+TEST(PipelineTraceTest, CapturedRunRendersAsParseableJsonLines) {
+  HospitalDataset hospital = MakeHospitalDataset().ValueOrDie();
+  PgOptions options;
+  options.s = 0.5;
+  options.p = 0.25;
+  options.seed = 2008;
+  RobustPublisher publisher(options);
+
+  ScopedLogCapture capture(LogLevel::kDebug);
+  PublishReport report;
+  auto published = publisher.Publish(hospital.table,
+                                     hospital.TaxonomyPointers(), &report);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  const auto records = capture.sink().records();
+  ASSERT_FALSE(records.empty());
+  for (const LogRecord& r : records) {
+    const std::string line = StreamSink::Render(r, LogFormat::kJson);
+    const auto parsed = JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line << ": " << parsed.status().ToString();
+    EXPECT_TRUE(parsed->Find("event")->is_string());
+    EXPECT_TRUE(parsed->Find("tick")->is_integer());
+  }
+}
+
+}  // namespace
+}  // namespace pgpub

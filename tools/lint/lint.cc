@@ -10,6 +10,7 @@ const char* const kRuleUncheckedResult = "unchecked-result";
 const char* const kRuleCheckOnInputPath = "check-on-input-path";
 const char* const kRuleNondeterminism = "nondeterminism";
 const char* const kRuleFloatEquality = "float-equality";
+const char* const kRuleDirectIo = "direct-io";
 
 std::string CanonicalRuleName(const std::string& name_or_id) {
   static const std::map<std::string, std::string> kMap = {
@@ -18,11 +19,14 @@ std::string CanonicalRuleName(const std::string& name_or_id) {
       {"L3", kRuleCheckOnInputPath},    {"l3", kRuleCheckOnInputPath},
       {"L4", kRuleNondeterminism},      {"l4", kRuleNondeterminism},
       {"L5", kRuleFloatEquality},       {"l5", kRuleFloatEquality},
+      {"L6", kRuleDirectIo},            {"l6", kRuleDirectIo},
+      {"io", kRuleDirectIo},
       {kRuleDiscardedStatus, kRuleDiscardedStatus},
       {kRuleUncheckedResult, kRuleUncheckedResult},
       {kRuleCheckOnInputPath, kRuleCheckOnInputPath},
       {kRuleNondeterminism, kRuleNondeterminism},
       {kRuleFloatEquality, kRuleFloatEquality},
+      {kRuleDirectIo, kRuleDirectIo},
   };
   auto it = kMap.find(name_or_id);
   return it == kMap.end() ? std::string() : it->second;
@@ -115,8 +119,8 @@ void Report(std::vector<Finding>* out, const std::string& file,
             const Suppressions& sup, int line, const char* rule,
             std::string message) {
   if (sup.Allows(line, rule)) return;
-  // Short ids work in allow() too.
-  for (const char* id : {"L1", "L2", "L3", "L4", "L5"}) {
+  // Short ids (and the "io" shorthand) work in allow() too.
+  for (const char* id : {"L1", "L2", "L3", "L4", "L5", "L6", "io"}) {
     if (CanonicalRuleName(id) == rule && sup.Allows(line, id)) return;
   }
   out->push_back(Finding{file, line, rule, std::move(message)});
@@ -451,6 +455,39 @@ void RunFloatEquality(const std::string& file, const LexedFile& lexed,
   }
 }
 
+// -------------------------------------------------------------------- L6
+
+bool DirectIoExempt(const std::string& file, const LintOptions& options) {
+  for (const std::string& entry : options.direct_io_exempt) {
+    if (!entry.empty() && entry.back() == '/') {
+      if (file.rfind(entry, 0) == 0) return true;
+    } else if (file == entry) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RunDirectIo(const std::string& file, const LexedFile& lexed,
+                 const LintOptions& options, std::vector<Finding>* out) {
+  if (DirectIoExempt(file, options)) return;
+  const Tokens& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "cout" && t.text != "cerr" && t.text != "clog") continue;
+    // Member access `foo.cout` is some unrelated name, not the stream.
+    if (i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+      continue;
+    }
+    Report(out, file, lexed.suppressions, t.line, kRuleDirectIo,
+           "direct write to std::" + t.text +
+               " in library code — emit a structured event through "
+               "pgpub::obs::Logger (src/obs/log.h) so runs stay "
+               "machine-readable");
+  }
+}
+
 bool RuleEnabled(const LintOptions& options, const char* rule) {
   return options.enabled_rules.empty() ||
          options.enabled_rules.count(rule) > 0;
@@ -473,6 +510,9 @@ std::vector<Finding> LintFile(const std::string& rel_path,
     }
     if (RuleEnabled(options, kRuleCheckOnInputPath)) {
       RunCheckOnInputPath(rel_path, lexed, options, &findings);
+    }
+    if (RuleEnabled(options, kRuleDirectIo)) {
+      RunDirectIo(rel_path, lexed, options, &findings);
     }
   }
   if (RuleEnabled(options, kRuleNondeterminism)) {

@@ -16,8 +16,8 @@ struct Finding {
   std::string message;
 };
 
-/// The five project invariants, by canonical name. Suppression comments
-/// accept either the canonical name or the short id (L1..L5):
+/// The six project invariants, by canonical name. Suppression comments
+/// accept either the canonical name or the short id (L1..L6):
 ///
 ///   L1 discarded-status     — a call to a Status/Result-returning function
 ///                             whose return value is discarded.
@@ -34,14 +34,22 @@ struct Finding {
 ///                             time(), ...). Breaks bit-for-bit
 ///                             reproducibility of the experiments.
 ///   L5 float-equality       — exact ==/!= on doubles outside math_util.
+///   L6 direct-io            — std::cout/std::cerr writes in src/ outside
+///                             the observability layer (src/obs/) and the
+///                             CHECK macro plumbing (common/logging.h).
+///                             Library code must report through the
+///                             structured logger so runs stay
+///                             machine-readable. Suppression also accepts
+///                             the shorthand allow(io).
 extern const char* const kRuleDiscardedStatus;
 extern const char* const kRuleUncheckedResult;
 extern const char* const kRuleCheckOnInputPath;
 extern const char* const kRuleNondeterminism;
 extern const char* const kRuleFloatEquality;
+extern const char* const kRuleDirectIo;
 
-/// Maps "L1".."L5" or a canonical name to the canonical name; returns an
-/// empty string for unknown rules.
+/// Maps "L1".."L6" (or "io", or a canonical name) to the canonical name;
+/// returns an empty string for unknown rules.
 std::string CanonicalRuleName(const std::string& name_or_id);
 
 /// Where a file sits in the tree; decides which rules apply.
@@ -71,7 +79,14 @@ struct LintOptions {
   std::set<std::string> float_eq_exempt = {"src/common/math_util.h",
                                            "src/common/math_util.cc"};
 
-  /// Rules to run (canonical names). Empty = all five.
+  /// Paths exempt from L6. An entry ending in '/' matches as a directory
+  /// prefix; anything else matches the relative path exactly. The logger
+  /// sinks themselves and the CHECK-failure printer legitimately write to
+  /// the raw streams.
+  std::set<std::string> direct_io_exempt = {"src/obs/",
+                                            "src/common/logging.h"};
+
+  /// Rules to run (canonical names). Empty = all six.
   std::set<std::string> enabled_rules;
 };
 

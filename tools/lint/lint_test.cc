@@ -101,6 +101,9 @@ TEST(RuleNameTest, ShortIdsMapToCanonicalNames) {
   EXPECT_EQ(CanonicalRuleName("L4"), kRuleNondeterminism);
   EXPECT_EQ(CanonicalRuleName("L5"), kRuleFloatEquality);
   EXPECT_EQ(CanonicalRuleName("float-equality"), kRuleFloatEquality);
+  EXPECT_EQ(CanonicalRuleName("L6"), kRuleDirectIo);
+  EXPECT_EQ(CanonicalRuleName("io"), kRuleDirectIo);
+  EXPECT_EQ(CanonicalRuleName("direct-io"), kRuleDirectIo);
   EXPECT_EQ(CanonicalRuleName("bogus"), "");
 }
 
@@ -379,6 +382,65 @@ TEST(FloatEqualityTest, Suppressible) {
       "  // Sentinel compare: x is set to exactly -1.0, never computed.\n"
       "  // pgpub-lint: allow(float-equality)\n"
       "  return x == -1.0;\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+// ----------------------------------------------------------- L6 direct-io
+
+TEST(DirectIoTest, FlagsCoutAndCerrInLibraryCode) {
+  const auto findings = RunLint(
+      "void f(int n) {\n"
+      "  std::cout << n << \"\\n\";\n"
+      "  std::cerr << \"warn\\n\";\n"
+      "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleDirectIo, 2));
+  EXPECT_TRUE(HasFinding(findings, kRuleDirectIo, 3));
+}
+
+TEST(DirectIoTest, HarnessCodeMayPrint) {
+  const auto findings = RunLint(
+      "int main() {\n"
+      "  std::cout << \"table 3\\n\";\n"
+      "}\n",
+      FileCategory::kHarness);
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(DirectIoTest, ObsLayerAndLoggingHeaderAreExempt) {
+  const std::string source =
+      "void Emit() { std::cerr << \"event\\n\"; }\n";
+  EXPECT_TRUE(LintSource("src/obs/log.cc", FileCategory::kLibrary, source,
+                         LintOptions())
+                  .empty());
+  EXPECT_TRUE(LintSource("src/common/logging.h", FileCategory::kLibrary,
+                         source, LintOptions())
+                  .empty());
+  EXPECT_FALSE(LintSource("src/core/pg_publisher.cc", FileCategory::kLibrary,
+                          source, LintOptions())
+                   .empty());
+}
+
+TEST(DirectIoTest, MemberNamedCoutIsNotTheStream) {
+  const auto findings = RunLint(
+      "void f(Widget& w) {\n"
+      "  w.cout << 1;\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(DirectIoTest, SuppressibleWithIoShorthand) {
+  const auto findings = RunLint(
+      "void f() {\n"
+      "  std::cerr << \"boot banner\\n\";  // pgpub-lint: allow(io)\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(DirectIoTest, SuppressibleWithShortId) {
+  const auto findings = RunLint(
+      "void f() {\n"
+      "  std::cout << \"x\\n\";  // pgpub-lint: allow(L6)\n"
       "}\n");
   EXPECT_TRUE(findings.empty()) << findings[0].message;
 }

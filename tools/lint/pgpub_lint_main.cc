@@ -1,5 +1,5 @@
 // pgpub_lint — project-specific static analysis for the PG publication
-// codebase. Lexer-based (no compiler front end): enforces the five
+// codebase. Lexer-based (no compiler front end): enforces the six
 // invariants documented in lint.h over src/, bench/ and examples/.
 //
 // Usage:
@@ -89,7 +89,7 @@ int Usage(const char* argv0) {
                " [paths...]\n"
                "rules: L1 discarded-status, L2 unchecked-result, L3"
                " check-on-input-path,\n       L4 nondeterminism, L5"
-               " float-equality\n";
+               " float-equality, L6 direct-io\n";
   return 2;
 }
 
