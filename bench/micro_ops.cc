@@ -12,6 +12,7 @@
 #include "datagen/census.h"
 #include "generalize/tds.h"
 #include "mining/category.h"
+#include "common/parallel/thread_pool.h"
 #include "perturb/randomized_response.h"
 #include "generalize/anatomy.h"
 #include "mining/naive_bayes.h"
@@ -45,6 +46,32 @@ void BM_Perturbation(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
 }
 BENCHMARK(BM_Perturbation)->Arg(10000)->Arg(100000);
+
+/// Stream-keyed perturbation (the pipeline's production path since the
+/// parallel engine landed): arg0 = rows, arg1 = threads (1 = serial
+/// inline). Bit-identical output at every thread count, so the deltas
+/// here are pure scheduling cost/win.
+void BM_PerturbationStreams(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const CensusDataset& census = SharedCensus(n);
+  UniformPerturbation channel(0.3, 50);
+  PoolLease lease(threads);
+  for (auto _ : state) {
+    auto out = channel
+                   .PerturbColumnStreams(
+                       census.table.column(CensusColumns::kIncome), 42,
+                       lease.get())
+                   .ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PerturbationStreams)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8});
 
 void BM_QiGrouping(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

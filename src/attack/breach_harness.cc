@@ -69,7 +69,6 @@ Result<BreachStats> MeasurePgBreaches(const PublishedTable& published,
   stats.delta_bound = MinDelta(params);
   stats.rho2_bound = MinRho2(params, options.rho1);
 
-  Rng rng(options.seed);
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   ASSIGN_OR_RETURN(LinkingAttack attacker,
                    LinkingAttack::Create(&published, &edb));
@@ -85,8 +84,20 @@ Result<BreachStats> MeasurePgBreaches(const PublishedTable& published,
         "external database contains no microdata members to attack");
   }
 
-  double growth_sum = 0.0;
-  for (size_t v = 0; v < options.num_victims; ++v) {
+  // Trial v draws everything — victim choice, prior, corruption coin
+  // flips — from its own counter-based stream, so its outcome is a pure
+  // function of (options.seed, v). The fan-out below may therefore run
+  // trials in any order on any thread; the serial fold afterwards
+  // reproduces the exact accumulation order (and float sums) of a serial
+  // run.
+  struct TrialOutcome {
+    double h = 0.0;
+    double growth = 0.0;
+    double posterior = 0.0;
+  };
+  std::vector<TrialOutcome> outcomes(options.num_victims);
+  auto run_trial = [&](size_t v) -> Status {
+    Rng rng = Rng::ForStream(options.seed, v);
     const size_t victim = members[rng.UniformU64(members.size())];
     const Individual& victim_ind = edb.individual(victim);
     const int32_t true_value =
@@ -122,20 +133,33 @@ Result<BreachStats> MeasurePgBreaches(const PublishedTable& published,
 
     ASSIGN_OR_RETURN(AttackResult result, attacker.Attack(victim, adv));
     metrics.GetCounter("attack.attacks")->Add();
-    ++stats.attacks;
-    stats.max_h = std::max(stats.max_h, result.h);
-    ASSIGN_OR_RETURN(const double growth,
-                     result.MaxGrowth(adv.victim_prior));
-    growth_sum += growth;
-    stats.max_growth = std::max(stats.max_growth, growth);
-    if (growth > stats.delta_bound + 1e-9) ++stats.delta_breaches;
+    TrialOutcome& out = outcomes[v];
+    out.h = result.h;
+    ASSIGN_OR_RETURN(out.growth, result.MaxGrowth(adv.victim_prior));
     // Optimal adversary: exact knapsack over predicates with prior <=
     // rho1 (the greedy heuristic is a lower bound of this).
-    ASSIGN_OR_RETURN(const double post,
+    ASSIGN_OR_RETURN(out.posterior,
                      result.MaxPosteriorGivenPriorBoundExact(
                          adv.victim_prior, options.rho1));
-    stats.max_posterior_rho1 = std::max(stats.max_posterior_rho1, post);
-    if (post > stats.rho2_bound + 1e-9) ++stats.rho_breaches;
+    return Status::OK();
+  };
+  RETURN_IF_ERROR(ParallelFor(
+      options.pool, IndexRange(0, options.num_victims), /*grain=*/1,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t v = begin; v < end; ++v) RETURN_IF_ERROR(run_trial(v));
+        return Status::OK();
+      }));
+
+  // Serial trial-order fold — the accumulation the serial loop performed.
+  double growth_sum = 0.0;
+  for (const TrialOutcome& out : outcomes) {
+    ++stats.attacks;
+    stats.max_h = std::max(stats.max_h, out.h);
+    growth_sum += out.growth;
+    stats.max_growth = std::max(stats.max_growth, out.growth);
+    if (out.growth > stats.delta_bound + 1e-9) ++stats.delta_breaches;
+    stats.max_posterior_rho1 = std::max(stats.max_posterior_rho1, out.posterior);
+    if (out.posterior > stats.rho2_bound + 1e-9) ++stats.rho_breaches;
   }
   stats.mean_growth =
       stats.attacks == 0 ? 0.0 : growth_sum / static_cast<double>(stats.attacks);
@@ -148,15 +172,20 @@ Result<GeneralizationBreachStats> MeasureGeneralizationBreaches(
   RETURN_IF_ERROR(ValidateHarnessOptions(options));
   GeneralizationBreachStats stats;
   const int32_t us = microdata.domain(sensitive_attr).size();
-  Rng rng(options.seed);
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   const size_t n = microdata.num_rows();
   if (n == 0) {
     return Status::InvalidArgument("microdata table is empty");
   }
 
-  double growth_sum = 0.0;
-  for (size_t v = 0; v < options.num_victims; ++v) {
+  // Stream-per-trial + ordered fold, exactly as in MeasurePgBreaches.
+  struct TrialOutcome {
+    double growth = 0.0;
+    bool point_mass = false;
+  };
+  std::vector<TrialOutcome> outcomes(options.num_victims);
+  auto run_trial = [&](size_t v) -> Status {
+    Rng rng = Rng::ForStream(options.seed, v);
     const uint32_t victim_row = static_cast<uint32_t>(rng.UniformU64(n));
     const int32_t true_value = microdata.value(victim_row, sensitive_attr);
     const auto& group_rows =
@@ -183,16 +212,29 @@ Result<GeneralizationBreachStats> MeasureGeneralizationBreaches(
         GeneralizationAttackPosterior(microdata, group_rows, sensitive_attr,
                                       victim_row, corrupted, prior));
 
-    ++stats.attacks;
     double growth = 0.0;
     int support = 0;
     for (int32_t x = 0; x < us; ++x) {
       growth += std::max(0.0, post[x] - prior.pdf[x]);
       if (post[x] > 1e-12) ++support;
     }
-    growth_sum += growth;
-    stats.max_growth = std::max(stats.max_growth, growth);
-    if (support == 1) ++stats.point_mass_disclosures;
+    outcomes[v].growth = growth;
+    outcomes[v].point_mass = support == 1;
+    return Status::OK();
+  };
+  RETURN_IF_ERROR(ParallelFor(
+      options.pool, IndexRange(0, options.num_victims), /*grain=*/1,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t v = begin; v < end; ++v) RETURN_IF_ERROR(run_trial(v));
+        return Status::OK();
+      }));
+
+  double growth_sum = 0.0;
+  for (const TrialOutcome& out : outcomes) {
+    ++stats.attacks;
+    growth_sum += out.growth;
+    stats.max_growth = std::max(stats.max_growth, out.growth);
+    if (out.point_mass) ++stats.point_mass_disclosures;
   }
   stats.mean_growth = stats.attacks == 0
                           ? 0.0

@@ -23,6 +23,10 @@ inline constexpr const char* kTaxonomyLoad = "taxonomy.load";
 inline constexpr const char* kRecodingLoad = "recoding.load";
 inline constexpr const char* kPublishValidate = "publish.validate";
 inline constexpr const char* kPublishPerturb = "publish.perturb";
+/// Fires inside ParallelFor perturbation chunks — i.e. on pool worker
+/// threads when the publisher runs parallel — so chaos tests can prove
+/// that a failure raised *on a worker* still fails the release closed.
+inline constexpr const char* kPerturbWorker = "perturb.worker_fail";
 inline constexpr const char* kPublishGeneralizeTds = "publish.generalize.tds";
 inline constexpr const char* kPublishGeneralizeIncognito =
     "publish.generalize.incognito";
@@ -35,6 +39,7 @@ inline constexpr const char* kAll[] = {
     kCsvReadFile,      kTableLoadCsv,
     kTaxonomyLoad,     kRecodingLoad,
     kPublishValidate,  kPublishPerturb,
+    kPerturbWorker,
     kPublishGeneralizeTds, kPublishGeneralizeIncognito,
     kPublishSample,    kPublishAssemble,
     kPublishAudit,     kRepublishNext,

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pgpub {
+
+/// Half-open index range [begin, end) handed to ParallelFor.
+struct IndexRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  IndexRange() = default;
+  IndexRange(size_t b, size_t e) : begin(b), end(e) {}
+
+  size_t size() const { return end > begin ? end - begin : 0; }
+};
+
+/// \brief Fixed-size worker pool — the only sanctioned way to run library
+/// code on more than one thread (lint rule L7 flags raw std::thread use
+/// elsewhere).
+///
+/// The pool is deliberately dumb: it owns N threads and a FIFO task queue,
+/// nothing else. All scheduling policy lives in ParallelFor /
+/// ParallelReduce below, whose contracts are what the differential tests
+/// in tests/parallel_equivalence_test.cc pin down: for the same inputs the
+/// result is bit-identical whether work runs on 1, 2 or 64 threads.
+///
+/// Thread safety: Start/Stop/Submit may be called concurrently; Start and
+/// Stop are idempotent. The destructor stops the pool.
+class ThreadPool {
+ public:
+  /// The thread count requested by the environment: `PGPUB_THREADS` when
+  /// set to a positive integer, else std::thread::hardware_concurrency()
+  /// (at least 1). Re-reads the environment on every call.
+  static int DefaultNumThreads();
+
+  /// Lazily constructed process-wide pool with DefaultNumThreads()
+  /// workers, or nullptr when that default is 1 (serial configuration —
+  /// callers fall back to inline execution). The default is latched on
+  /// first call.
+  static ThreadPool* Shared();
+
+  /// A pool with `num_threads` workers (clamped to >= 1). Does not start
+  /// the threads; Start() is called lazily on first use.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Spawns the workers. Idempotent; safe after Stop() (restarts).
+  void Start();
+
+  /// Drains nothing: tasks already queued still run, then workers join.
+  /// Idempotent.
+  void Stop();
+
+  /// Enqueues a task. Starts the pool if needed.
+  void Submit(std::function<void()> task);
+
+  /// True when the calling thread is currently inside a ParallelFor chunk
+  /// (on any pool, or on the serial inline path). Used to reject nested
+  /// data parallelism deterministically.
+  static bool InParallelRegion();
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stopping_ = false;
+  // Task paired with its enqueue timestamp (steady ns) so the dequeueing
+  // worker can record queue-wait latency.
+  std::deque<std::pair<std::function<void()>, uint64_t>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Deterministic data-parallel loop over [range.begin, range.end).
+///
+/// The range is cut into fixed chunks of `grain` indices (the last chunk
+/// may be short); chunk i covers
+///   [range.begin + i*grain, min(range.begin + (i+1)*grain, range.end)).
+/// `fn(chunk_begin, chunk_end)` runs exactly once per chunk, on an
+/// unspecified thread. The decomposition depends only on (range, grain) —
+/// never on the thread count — so any fn that writes index-addressed
+/// outputs and draws randomness via Rng::ForStream produces bit-identical
+/// results at every thread count.
+///
+/// Error contract (also deterministic): every chunk runs; if any chunks
+/// return non-OK, the error of the *lowest-indexed* failing chunk is
+/// returned. An exception escaping fn is captured as Status::Internal —
+/// it never crosses the pool threads.
+///
+/// The calling thread participates in the loop, so a pool busy with other
+/// work delays but never deadlocks the call. `pool == nullptr` or a
+/// single-chunk range runs inline on the caller (the legacy serial path —
+/// same chunking, same error contract).
+///
+/// Nested calls are rejected with FailedPrecondition regardless of thread
+/// count: a ParallelFor from inside a chunk would deadlock a busy pool,
+/// and allowing it only in serial mode would make behaviour depend on
+/// PGPUB_THREADS.
+[[nodiscard]] Status ParallelFor(
+    ThreadPool* pool, IndexRange range, size_t grain,
+    const std::function<Status(size_t, size_t)>& fn);
+
+/// \brief Deterministic parallel map-reduce.
+///
+/// `map_chunk(chunk_begin, chunk_end) -> Result<T>` runs once per chunk
+/// via ParallelFor; the partial results are then combined *serially in
+/// chunk order* as a left fold starting from `init`:
+///   acc = combine(acc, part_0); acc = combine(acc, part_1); ...
+/// Because the fold order is the chunk order, non-associative combines
+/// (floating-point sums, max-with-ties) give the same answer at every
+/// thread count.
+template <typename T, typename MapFn, typename CombineFn>
+[[nodiscard]] Result<T> ParallelReduce(ThreadPool* pool, IndexRange range,
+                                       size_t grain, T init,
+                                       const MapFn& map_chunk,
+                                       const CombineFn& combine) {
+  if (grain == 0) {
+    return Status::InvalidArgument("ParallelReduce grain must be >= 1");
+  }
+  const size_t n = range.size();
+  const size_t num_chunks = n == 0 ? 0 : (n + grain - 1) / grain;
+  std::vector<T> parts(num_chunks);
+  RETURN_IF_ERROR(ParallelFor(
+      pool, range, grain, [&](size_t chunk_begin, size_t chunk_end) -> Status {
+        const size_t chunk = (chunk_begin - range.begin) / grain;
+        ASSIGN_OR_RETURN(parts[chunk], map_chunk(chunk_begin, chunk_end));
+        return Status::OK();
+      }));
+  T acc = std::move(init);
+  for (T& part : parts) acc = combine(std::move(acc), std::move(part));
+  return acc;
+}
+
+/// \brief Resolves a `num_threads` option to a pool.
+///
+/// `num_threads` semantics (shared by PgOptions and BreachHarnessOptions):
+/// 0 = use the environment default (PGPUB_THREADS / hardware), 1 = serial,
+/// n > 1 = exactly n workers. The lease owns a dedicated pool only when a
+/// non-default count was requested; otherwise it borrows the shared pool.
+/// get() is nullptr for serial — exactly what ParallelFor expects.
+class PoolLease {
+ public:
+  explicit PoolLease(int num_threads);
+
+  ThreadPool* get() const { return pool_; }
+  /// The resolved worker count (1 for the serial path).
+  int num_threads() const { return resolved_; }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;
+  int resolved_ = 1;
+};
+
+}  // namespace pgpub

@@ -117,6 +117,19 @@ class Rng {
   /// Derives an independent child seed (stable given call order).
   uint64_t Fork() { return Next64(); }
 
+  /// Counter-based stream derivation: the generator for stream `index` of
+  /// `seed`. The returned state is a pure function of (seed, index) — it
+  /// does not depend on how many draws any other stream made, nor on which
+  /// thread asks — which is what makes per-tuple randomness invariant
+  /// under ParallelFor scheduling (DESIGN.md §9). Index and seed are each
+  /// whitened through SplitMix64 before mixing so that consecutive indices
+  /// land on unrelated xoshiro states.
+  static Rng ForStream(uint64_t seed, uint64_t index) {
+    SplitMix64 ix(index);
+    SplitMix64 mixed(seed ^ ix.Next());
+    return Rng(mixed.Next());
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

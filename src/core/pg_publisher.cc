@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/failpoint.h"
+#include "common/parallel/thread_pool.h"
 #include "core/validate.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -74,8 +75,18 @@ Result<PublishedTable> PgPublisher::Publish(
   ASSIGN_OR_RETURN(double p, EffectiveRetention(options_, k, us));
 
   Rng master(options_.seed);
-  Rng perturb_rng(master.Fork());
+  // Fork order is part of the wire format of a seed: perturbation first,
+  // sampling second, exactly as the pre-parallel publisher did. The
+  // perturbation fork is consumed as a stream *base* seed (per-tuple
+  // streams derive from it), not as a sequential generator.
+  const uint64_t perturb_seed = master.Fork();
   Rng sample_rng(master.Fork());
+
+  // Worker pool for the parallel phases. Serial configurations get a null
+  // pool, which makes every ParallelFor below run inline on this thread —
+  // the legacy code path, byte-for-byte.
+  const PoolLease pool_lease(options_.num_threads);
+  ThreadPool* const pool = pool_lease.get();
 
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetCounter("publish.runs")->Add();
@@ -88,16 +99,21 @@ Result<PublishedTable> PgPublisher::Publish(
              options_.generalizer == PgOptions::Generalizer::kTds
                  ? "tds"
                  : "incognito")
-      .Field("seed", options_.seed);
+      .Field("seed", options_.seed)
+      .Field("threads", pool_lease.num_threads());
 
   // ---- Phase 1: perturbation (P1/P2). QI untouched; sensitive retained
-  // with probability p, otherwise uniformly regenerated.
+  // with probability p, otherwise uniformly regenerated. Tuple i is
+  // perturbed by stream i of perturb_seed, so the column is independent
+  // of chunking and thread count.
   std::vector<int32_t> perturbed;
   {
     PGPUB_TRACE_SPAN("publish.perturb");
     PGPUB_FAILPOINT(failpoints::kPublishPerturb);
     const UniformPerturbation channel(p, us);
-    perturbed = channel.PerturbColumn(microdata.column(sens), perturb_rng);
+    ASSIGN_OR_RETURN(perturbed, channel.PerturbColumnStreams(
+                                    microdata.column(sens), perturb_seed,
+                                    pool));
   }
 
   // ---- Phase 2: k-anonymous global-recoding generalization (G1-G3),
@@ -127,6 +143,7 @@ Result<PublishedTable> PgPublisher::Publish(
     if (options_.generalizer == PgOptions::Generalizer::kTds) {
       TdsOptions tds_options;
       tds_options.k = k;
+      tds_options.pool = pool;
       TopDownSpecializer tds(microdata, qi, taxonomies,
                              std::move(class_labels), num_classes,
                              tds_options);
@@ -134,6 +151,7 @@ Result<PublishedTable> PgPublisher::Publish(
     } else {
       IncognitoOptions inc_options;
       inc_options.k = k;
+      inc_options.pool = pool;
       ASSIGN_OR_RETURN(
           recoding, IncognitoSearch(microdata, qi, taxonomies, inc_options));
     }

@@ -50,6 +50,14 @@ struct PgOptions {
 
   /// Record per-tuple provenance (evaluation/attack-simulation only).
   bool keep_provenance = false;
+
+  /// Worker threads for the parallel phases (perturbation, generalization
+  /// scoring, breach trials downstream). 0 = environment default
+  /// (`PGPUB_THREADS`, else hardware_concurrency); 1 = the legacy serial
+  /// path; n > 1 = exactly n workers. The published table and every
+  /// guarantee number are bit-identical for all values — this knob trades
+  /// wall-clock only (see DESIGN.md §9).
+  int num_threads = 0;
 };
 
 /// \brief End-to-end perturbed generalization (Section IV): Phase 1

@@ -18,6 +18,10 @@ Status ValidatePgOptions(const PgOptions& options,
     return Status::InvalidArgument("k must be >= 0, got " +
                                    std::to_string(options.k));
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0, got " +
+                                   std::to_string(options.num_threads));
+  }
   if (options.k == 0 &&
       !(std::isfinite(options.s) && options.s > 0.0 && options.s <= 1.0)) {
     return Status::InvalidArgument(

@@ -1,7 +1,6 @@
 #include "generalize/incognito.h"
 
 #include <map>
-#include <queue>
 
 #include "common/failpoint.h"
 #include "generalize/metrics.h"
@@ -70,30 +69,33 @@ Result<GlobalRecoding> IncognitoSearch(
     }
   }
 
-  // Memoized k-anonymity per lattice node.
+  // Memoized k-anonymity per lattice node. The anonymity of a node is a
+  // pure function of (table, node), so a level's unknown nodes can be
+  // checked in parallel and merged into the memo afterwards without
+  // changing any answer.
   std::map<std::vector<int>, bool> anon_memo;
-  auto is_anonymous = [&](const std::vector<int>& depths) -> bool {
-    auto it = anon_memo.find(depths);
-    if (it != anon_memo.end()) return it->second;
-    GlobalRecoding rec =
-        RecodingAtDepths(qi_attrs, taxonomies, depths);
+  auto check_anonymous = [&](const std::vector<int>& depths) -> bool {
+    GlobalRecoding rec = RecodingAtDepths(qi_attrs, taxonomies, depths);
     QiGroups groups = ComputeQiGroups(table, rec);
-    bool ok = IsKAnonymous(groups, options.k);
-    anon_memo.emplace(depths, ok);
-    return ok;
+    return IsKAnonymous(groups, options.k);
   };
 
   // BFS from the root (all depths 0 = most general). A node is *minimal*
   // k-anonymous when it is k-anonymous and none of its children (one attr
-  // one level deeper) is.
+  // one level deeper) is. Every edge goes from level L (= depth sum) to
+  // level L+1, so the FIFO BFS of the serial implementation is exactly a
+  // level-order sweep — which is how the parallel version runs it: check
+  // all of a level's unseen children at once, then walk the level in the
+  // original order.
   std::vector<int> root(d, 0);
-  if (!is_anonymous(root)) {
+  anon_memo[root] = check_anonymous(root);
+  if (!anon_memo[root]) {
     return Status::Internal(
         "fully generalized table is not k-anonymous despite n >= k");
   }
   std::map<std::vector<int>, bool> visited;
-  std::queue<std::vector<int>> frontier;
-  frontier.push(root);
+  std::vector<std::vector<int>> level;
+  level.push_back(root);
   visited[root] = true;
 
   double best_ncp = 2.0;
@@ -103,37 +105,73 @@ Result<GlobalRecoding> IncognitoSearch(
   uint64_t children_pruned = 0;
   uint64_t minimal_nodes = 0;
 
-  while (!frontier.empty()) {
-    std::vector<int> node = frontier.front();
-    frontier.pop();
-    ++nodes_examined;
-    bool has_anonymous_child = false;
-    for (size_t i = 0; i < d; ++i) {
-      if (node[i] >= taxonomies[i]->height()) continue;
-      std::vector<int> child = node;
-      child[i]++;
-      if (is_anonymous(child)) {
-        has_anonymous_child = true;
-        if (!visited[child]) {
-          visited[child] = true;
-          frontier.push(child);
+  while (!level.empty()) {
+    // Phase A: collect this level's children whose anonymity is unknown,
+    // in first-encounter order (dedup within the batch via the memo
+    // placeholder trick is avoided — a std::map keyed scratch keeps it
+    // simple and deterministic).
+    std::vector<std::vector<int>> unknown;
+    std::map<std::vector<int>, size_t> unknown_index;
+    for (const std::vector<int>& node : level) {
+      for (size_t i = 0; i < d; ++i) {
+        if (node[i] >= taxonomies[i]->height()) continue;
+        std::vector<int> child = node;
+        child[i]++;
+        if (anon_memo.count(child) || unknown_index.count(child)) continue;
+        unknown_index.emplace(child, unknown.size());
+        unknown.push_back(std::move(child));
+      }
+    }
+
+    // Phase B: check the batch, fanned out over the pool when one is
+    // given. Results land in per-node slots; the memo itself is only
+    // touched serially.
+    std::vector<char> batch_anon(unknown.size(), 0);
+    RETURN_IF_ERROR(ParallelFor(
+        options.pool, IndexRange(0, unknown.size()), /*grain=*/1,
+        [&](size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            batch_anon[i] = check_anonymous(unknown[i]) ? 1 : 0;
+          }
+          return Status::OK();
+        }));
+    for (size_t i = 0; i < unknown.size(); ++i) {
+      anon_memo.emplace(unknown[i], batch_anon[i] != 0);
+    }
+
+    // Phase C: the original BFS body, now with every lookup memoized.
+    std::vector<std::vector<int>> next_level;
+    for (const std::vector<int>& node : level) {
+      ++nodes_examined;
+      bool has_anonymous_child = false;
+      for (size_t i = 0; i < d; ++i) {
+        if (node[i] >= taxonomies[i]->height()) continue;
+        std::vector<int> child = node;
+        child[i]++;
+        if (anon_memo.at(child)) {
+          has_anonymous_child = true;
+          if (!visited[child]) {
+            visited[child] = true;
+            next_level.push_back(std::move(child));
+          }
+        } else {
+          // Non-anonymous child: its entire sub-lattice is cut off here.
+          ++children_pruned;
         }
-      } else {
-        // Non-anonymous child: its entire sub-lattice is cut off here.
-        ++children_pruned;
+      }
+      if (!has_anonymous_child) {
+        // Minimal k-anonymous node: candidate answer.
+        ++minimal_nodes;
+        GlobalRecoding rec = RecodingAtDepths(qi_attrs, taxonomies, node);
+        double ncp = GlobalNcp(table, rec);
+        if (!found || ncp < best_ncp) {
+          best_ncp = ncp;
+          best = std::move(rec);
+          found = true;
+        }
       }
     }
-    if (!has_anonymous_child) {
-      // Minimal k-anonymous node: candidate answer.
-      ++minimal_nodes;
-      GlobalRecoding rec = RecodingAtDepths(qi_attrs, taxonomies, node);
-      double ncp = GlobalNcp(table, rec);
-      if (!found || ncp < best_ncp) {
-        best_ncp = ncp;
-        best = std::move(rec);
-        found = true;
-      }
-    }
+    level = std::move(next_level);
   }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetCounter("incognito.nodes_examined")->Add(nodes_examined);

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/parallel/thread_pool.h"
 #include "common/result.h"
 #include "generalize/qi_groups.h"
 #include "hierarchy/recoding.h"
@@ -16,6 +17,10 @@ struct IncognitoOptions {
   /// Safety bound on lattice nodes examined; InvalidArgument when the
   /// lattice is larger (use TDS for wide schemas).
   int max_lattice_nodes = 250000;
+  /// Optional worker pool for the per-level k-anonymity checks (nullptr =
+  /// serial). Levels are swept in the same BFS order either way, so the
+  /// chosen node is bit-identical at every thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Full-domain generalization search in the spirit of Incognito

@@ -496,15 +496,31 @@ Result<GlobalRecoding> TopDownSpecializer::Run() {
 
   while (num_specializations_ < options_.max_specializations) {
     global_min_cache_ = GlobalMinGroupSize();
-    // Re-evaluate dirty candidates; pick the best valid one.
+    // Re-evaluate dirty candidates, fanning the scoring out over the pool
+    // when one is given. Each Evaluate touches only its own Candidate and
+    // its own segment_groups_ bucket (distinct (attr, lo) per candidate);
+    // the shared structures it reads — groups_, recodings_, table_,
+    // class_labels_, global_min_cache_ — are frozen during the pass.
+    std::vector<std::pair<uint64_t, Candidate*>> dirty;
+    for (auto& [key, cand] : candidates_) {
+      if (cand.dirty) dirty.emplace_back(key, &cand);
+    }
+    RETURN_IF_ERROR(ParallelFor(
+        options_.pool, IndexRange(0, dirty.size()), /*grain=*/1,
+        [&](size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            Evaluate(static_cast<int>(dirty[i].first >> 32),
+                     static_cast<int32_t>(dirty[i].first & 0xffffffffu),
+                     dirty[i].second);
+          }
+          return Status::OK();
+        }));
+    // Pick the best valid candidate (serial — the tie-break is the
+    // determinism anchor).
     uint64_t best_key = 0;
     double best_score = -1.0;
     bool found = false;
     for (auto& [key, cand] : candidates_) {
-      if (cand.dirty) {
-        Evaluate(static_cast<int>(key >> 32),
-                 static_cast<int32_t>(key & 0xffffffffu), &cand);
-      }
       if (!cand.valid) continue;
       // Exact compare is intentional: equal cached scores (same bits) tie-
       // break on key so specialization order is deterministic across runs.

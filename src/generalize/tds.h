@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/parallel/thread_pool.h"
 #include "common/result.h"
 #include "generalize/qi_groups.h"
 #include "hierarchy/recoding.h"
@@ -36,6 +37,13 @@ struct TdsOptions {
   /// false: the classic Fung et al. InfoGain/(AnonyLoss+1) greedy, kept
   /// for the `ablation_design` bench.
   bool balance_aware = true;
+
+  /// Optional worker pool for candidate-split scoring (nullptr = serial).
+  /// Each dirty candidate is re-scored independently and the winner is
+  /// still selected serially with the key tie-break, so the chosen
+  /// specialization sequence — and therefore the recoding — is
+  /// bit-identical at every thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Top-Down Specialization (Fung, Wang & Yu, ICDE'05) producing a

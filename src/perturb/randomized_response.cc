@@ -2,9 +2,39 @@
 
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace pgpub {
+
+namespace {
+
+/// Chunk size for parallel column perturbation: large enough that the
+/// per-chunk dispatch cost (~1 queue op) is noise next to ~4k stream
+/// setups + draws, small enough to load-balance a 100k-row table over
+/// many workers.
+constexpr size_t kPerturbGrain = 4096;
+
+/// Shared body of the two PerturbColumnStreams overloads: fills
+/// out[i] = perturb_at(column[i], i) chunk-wise via ParallelFor.
+template <typename PerturbAtFn>
+Result<std::vector<int32_t>> PerturbColumnStreamsImpl(
+    const std::vector<int32_t>& column, ThreadPool* pool,
+    const PerturbAtFn& perturb_at) {
+  std::vector<int32_t> out(column.size());
+  RETURN_IF_ERROR(ParallelFor(
+      pool, IndexRange(0, column.size()), kPerturbGrain,
+      [&](size_t begin, size_t end) -> Status {
+        PGPUB_FAILPOINT(failpoints::kPerturbWorker);
+        for (size_t i = begin; i < end; ++i) {
+          out[i] = perturb_at(column[i], static_cast<uint64_t>(i));
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+}  // namespace
 
 UniformPerturbation::UniformPerturbation(double p, int32_t domain_size)
     : p_(p), domain_size_(domain_size) {
@@ -35,6 +65,14 @@ std::vector<int32_t> UniformPerturbation::PerturbColumn(
   out.reserve(column.size());
   for (int32_t v : column) out.push_back(Perturb(v, rng));
   return out;
+}
+
+Result<std::vector<int32_t>> UniformPerturbation::PerturbColumnStreams(
+    const std::vector<int32_t>& column, uint64_t seed,
+    ThreadPool* pool) const {
+  return PerturbColumnStreamsImpl(
+      column, pool,
+      [&](int32_t v, uint64_t i) { return PerturbAt(v, seed, i); });
 }
 
 Result<PerturbationMatrix> PerturbationMatrix::Create(
@@ -93,6 +131,14 @@ std::vector<int32_t> PerturbationMatrix::PerturbColumn(
   out.reserve(column.size());
   for (int32_t v : column) out.push_back(Perturb(v, rng));
   return out;
+}
+
+Result<std::vector<int32_t>> PerturbationMatrix::PerturbColumnStreams(
+    const std::vector<int32_t>& column, uint64_t seed,
+    ThreadPool* pool) const {
+  return PerturbColumnStreamsImpl(
+      column, pool,
+      [&](int32_t v, uint64_t i) { return PerturbAt(v, seed, i); });
 }
 
 }  // namespace pgpub

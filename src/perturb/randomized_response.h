@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel/thread_pool.h"
 #include "common/random.h"
 #include "common/result.h"
 
@@ -35,8 +36,27 @@ class UniformPerturbation {
   int32_t Perturb(int32_t value, Rng& rng) const;
 
   /// Perturbs a whole column (out-of-place).
+  ///
+  /// Draws from one sequential stream, so the result for tuple i depends
+  /// on every tuple before it — any reordering changes the output. Kept
+  /// for statistical tooling; the publisher uses PerturbColumnStreams.
   std::vector<int32_t> PerturbColumn(const std::vector<int32_t>& column,
                                      Rng& rng) const;
+
+  /// Perturbs one value as stream `index` of `seed` — a pure function of
+  /// (seed, index, value), independent of call order and thread count.
+  int32_t PerturbAt(int32_t value, uint64_t seed, uint64_t index) const {
+    Rng rng = Rng::ForStream(seed, index);
+    return Perturb(value, rng);
+  }
+
+  /// Perturbs a whole column with out[i] = PerturbAt(column[i], seed, i),
+  /// optionally fanned out over `pool` (nullptr = serial). The output is
+  /// bit-identical at every thread count. Fails only on fault injection
+  /// (perturb.worker_fail) or a nested parallel region.
+  [[nodiscard]] Result<std::vector<int32_t>> PerturbColumnStreams(
+      const std::vector<int32_t>& column, uint64_t seed,
+      ThreadPool* pool = nullptr) const;
 
  private:
   double p_;
@@ -62,8 +82,22 @@ class PerturbationMatrix {
   /// Perturbs one value (alias sampling, O(1) per draw).
   int32_t Perturb(int32_t value, Rng& rng) const;
 
+  /// Sequential-stream column perturbation (see the UniformPerturbation
+  /// overload for the ordering caveat).
   std::vector<int32_t> PerturbColumn(const std::vector<int32_t>& column,
                                      Rng& rng) const;
+
+  /// Stream-keyed single-value perturbation (order/thread invariant).
+  int32_t PerturbAt(int32_t value, uint64_t seed, uint64_t index) const {
+    Rng rng = Rng::ForStream(seed, index);
+    return Perturb(value, rng);
+  }
+
+  /// Stream-keyed column perturbation, optionally parallel over `pool`;
+  /// bit-identical at every thread count.
+  [[nodiscard]] Result<std::vector<int32_t>> PerturbColumnStreams(
+      const std::vector<int32_t>& column, uint64_t seed,
+      ThreadPool* pool = nullptr) const;
 
  private:
   std::vector<std::vector<double>> rows_;

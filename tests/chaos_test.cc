@@ -407,5 +407,86 @@ TEST_F(ChaosSweepTest, PermanentErrorIsNotRetried) {
   EXPECT_TRUE(report.attempts.empty());  // rejected before any attempt
 }
 
+// ------------------------------------------- faults inside worker threads
+
+// `perturb.worker_fail` sits *inside* the ParallelFor chunk body, so when
+// the pipeline runs multi-threaded the fault originates on a pool worker.
+// The contract: the error crosses the thread boundary as a plain Status,
+// RobustPublisher fails closed exactly as for a caller-thread fault, and
+// the structured event still carries the worker's phase tag.
+
+TEST_F(ChaosSweepTest, WorkerFaultFailsClosedAtEveryThreadCount) {
+  for (int threads : {1, 2}) {
+    SCOPED_TRACE(threads);
+    ASSERT_TRUE(reg().Enable(failpoints::kPerturbWorker, "always").ok());
+    PgOptions options;
+    options.k = 5;
+    options.p = 0.4;
+    options.seed = 1234;
+    options.num_threads = threads;
+    RobustPublishOptions policy;
+    policy.max_attempts = 1;
+    RobustPublisher publisher(options, policy);
+    PublishReport report;
+    Result<PublishedTable> result =
+        publisher.Publish(clinic_.table, clinic_.TaxonomyPointers(), &report);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsInternal()) << result.status().ToString();
+    EXPECT_NE(result.status().message().find(failpoints::kPerturbWorker),
+              std::string::npos)
+        << result.status().ToString();
+    EXPECT_FALSE(report.final_status.ok());
+    EXPECT_FALSE(report.audit_clean);
+    reg().DisableAll();
+  }
+}
+
+TEST_F(ChaosSweepTest, WorkerFaultEventCarriesWorkerPhaseTag) {
+  // Large enough for several perturbation chunks, so with a 2-thread pool
+  // the failpoint genuinely fires on pool workers, not just the caller.
+  CensusDataset big = GenerateClinic(10000, 8).ValueOrDie();
+  obs::ScopedLogCapture capture(obs::LogLevel::kWarn);
+  ASSERT_TRUE(reg().Enable(failpoints::kPerturbWorker, "always").ok());
+  PgOptions options;
+  options.k = 5;
+  options.p = 0.4;
+  options.seed = 4321;
+  options.num_threads = 2;
+  RobustPublishOptions policy;
+  policy.max_attempts = 1;
+  RobustPublisher publisher(options, policy);
+  Result<PublishedTable> result =
+      publisher.Publish(big.table, big.TaxonomyPointers());
+  ASSERT_FALSE(result.ok());
+  const auto events = capture.sink().EventsNamed("failpoint_hit");
+  ASSERT_GE(events.size(), 1u);
+  for (const auto& event : events) {
+    const obs::JsonValue* point = event.FindField("point");
+    ASSERT_NE(point, nullptr);
+    EXPECT_EQ(point->AsString().ValueOrDie(), failpoints::kPerturbWorker);
+    const obs::JsonValue* phase = event.FindField("phase");
+    ASSERT_NE(phase, nullptr);
+    EXPECT_EQ(phase->AsString().ValueOrDie(), "worker_fail");
+  }
+}
+
+TEST_F(ChaosSweepTest, TransientWorkerFaultIsRetriedToSuccess) {
+  ASSERT_TRUE(reg().Enable(failpoints::kPerturbWorker, "times(1)").ok());
+  PgOptions options;
+  options.k = 5;
+  options.p = 0.4;
+  options.seed = 99;
+  options.num_threads = 2;
+  RobustPublisher publisher(options, RobustPublishOptions{});
+  PublishReport report;
+  Result<PublishedTable> result =
+      publisher.Publish(clinic_.table, clinic_.TaxonomyPointers(), &report);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_TRUE(report.attempts[0].outcome.IsInternal());
+  EXPECT_TRUE(report.attempts[1].outcome.ok());
+  EXPECT_TRUE(report.audit_clean);
+}
+
 }  // namespace
 }  // namespace pgpub

@@ -1,0 +1,260 @@
+/// The differential proof behind DESIGN.md §9: for every dataset × seed ×
+/// generalizer, the published table, the PublishReport JSON, and every
+/// guarantee number are byte-identical whether the pipeline runs with
+/// num_threads 1 (legacy serial path), 2, or 8. Timing fields are the one
+/// sanctioned difference and are zeroed before comparison.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/breach_harness.h"
+#include "attack/external_db.h"
+#include "common/parallel/thread_pool.h"
+#include "core/report_io.h"
+#include "core/robust_publisher.h"
+#include "datagen/census.h"
+#include "datagen/clinic.h"
+#include "datagen/hospital.h"
+#include "generalize/qi_groups.h"
+
+namespace pgpub {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// One full RobustPublisher run at a given thread count.
+struct RunOutput {
+  PublishedTable table;
+  std::string report_json;  ///< Timing-normalized.
+};
+
+/// Zeroes the wall-clock fields — the only legitimate run-to-run
+/// difference — so the rest of the report must match byte-for-byte.
+void NormalizeTimings(PublishReport* report) {
+  report->total_ms = 0.0;
+  for (PublishReport::Attempt& attempt : report->attempts) {
+    attempt.elapsed_ms = 0.0;
+  }
+}
+
+RunOutput PublishAt(const Table& microdata,
+                    const std::vector<const Taxonomy*>& taxonomies,
+                    PgOptions options, int num_threads) {
+  options.num_threads = num_threads;
+  RobustPublisher publisher(options);
+  PublishReport report;
+  Result<PublishedTable> published =
+      publisher.Publish(microdata, taxonomies, &report);
+  EXPECT_TRUE(published.ok()) << published.status().message();
+  NormalizeTimings(&report);
+  return RunOutput{std::move(*published), PublishReportToJsonString(report)};
+}
+
+/// Byte-level equality of everything a release publishes.
+void ExpectIdenticalRelease(const RunOutput& base, const RunOutput& other,
+                            int num_threads) {
+  const PublishedTable& a = base.table;
+  const PublishedTable& b = other.table;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << "threads=" << num_threads;
+  ASSERT_EQ(a.num_qi_attrs(), b.num_qi_attrs());
+  EXPECT_EQ(a.retention_p(), b.retention_p());  // solved p must agree too
+  EXPECT_EQ(a.k(), b.k());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.sensitive(r), b.sensitive(r))
+        << "row " << r << " threads=" << num_threads;
+    EXPECT_EQ(a.group_size(r), b.group_size(r)) << "row " << r;
+    for (int i = 0; i < a.num_qi_attrs(); ++i) {
+      EXPECT_EQ(a.qi_gen(r, i), b.qi_gen(r, i))
+          << "row " << r << " attr " << i << " threads=" << num_threads;
+    }
+  }
+  EXPECT_EQ(base.report_json, other.report_json) << "threads=" << num_threads;
+}
+
+void CheckPublishEquivalence(const Table& microdata,
+                             const std::vector<const Taxonomy*>& taxonomies,
+                             const PgOptions& options) {
+  const RunOutput serial = PublishAt(microdata, taxonomies, options, 1);
+  for (int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    const RunOutput parallel =
+        PublishAt(microdata, taxonomies, options, threads);
+    ExpectIdenticalRelease(serial, parallel, threads);
+  }
+}
+
+TEST(ParallelEquivalenceTest, CensusTdsAcrossSeedsAndThreadCounts) {
+  CensusDataset census = GenerateCensus(3000, 11).ValueOrDie();
+  for (uint64_t seed : {42u, 1337u}) {
+    PgOptions options;
+    options.k = 8;
+    options.p = 0.3;
+    options.seed = seed;
+    CheckPublishEquivalence(census.table, census.TaxonomyPointers(), options);
+  }
+}
+
+TEST(ParallelEquivalenceTest, ClinicTdsAcrossSeedsAndThreadCounts) {
+  CensusDataset clinic = GenerateClinic(1200, 12).ValueOrDie();
+  for (uint64_t seed : {42u, 7u}) {
+    PgOptions options;
+    options.k = 5;
+    options.p = 0.4;
+    options.seed = seed;
+    CheckPublishEquivalence(clinic.table, clinic.TaxonomyPointers(), options);
+  }
+}
+
+TEST(ParallelEquivalenceTest, HospitalRunningExampleAcrossThreadCounts) {
+  HospitalDataset hospital = MakeHospitalDataset().ValueOrDie();
+  PgOptions options;
+  options.s = 0.5;
+  options.p = 0.25;
+  options.seed = 42;
+  CheckPublishEquivalence(hospital.table, hospital.TaxonomyPointers(),
+                          options);
+}
+
+TEST(ParallelEquivalenceTest, CensusIncognitoAcrossThreadCounts) {
+  // Narrow 3-attribute schema so the full-domain lattice stays small —
+  // the same construction as the publisher Incognito test.
+  CensusDataset census = GenerateCensus(3000, 13).ValueOrDie();
+  Schema schema;
+  schema.AddAttribute(
+      {"Age", AttributeType::kNumeric, AttributeRole::kQuasiIdentifier});
+  schema.AddAttribute({"Gender", AttributeType::kCategorical,
+                       AttributeRole::kQuasiIdentifier});
+  schema.AddAttribute(
+      {"Income", AttributeType::kNumeric, AttributeRole::kSensitive});
+  std::vector<AttributeDomain> domains = {
+      census.table.domain(CensusColumns::kAge),
+      census.table.domain(CensusColumns::kGender),
+      census.table.domain(CensusColumns::kIncome)};
+  std::vector<std::vector<int32_t>> cols = {
+      census.table.column(CensusColumns::kAge),
+      census.table.column(CensusColumns::kGender),
+      census.table.column(CensusColumns::kIncome)};
+  Table narrow = Table::Create(schema, domains, std::move(cols)).ValueOrDie();
+  const std::vector<const Taxonomy*> taxonomies = {
+      &census.taxonomies[CensusColumns::kAge],
+      &census.taxonomies[CensusColumns::kGender]};
+
+  for (uint64_t seed : {42u, 2008u}) {
+    PgOptions options;
+    options.k = 10;
+    options.p = 0.3;
+    options.seed = seed;
+    options.generalizer = PgOptions::Generalizer::kIncognito;
+    CheckPublishEquivalence(narrow, taxonomies, options);
+  }
+}
+
+TEST(ParallelEquivalenceTest, SolvedRetentionPathAcrossThreadCounts) {
+  // The p-solving path (privacy target instead of a fixed p) must also be
+  // schedule-invariant end to end.
+  CensusDataset census = GenerateCensus(2000, 14).ValueOrDie();
+  PgOptions options;
+  options.k = 6;
+  options.target.kind = PrivacyTarget::Kind::kRho;
+  options.target.rho1 = 0.2;
+  options.target.rho2 = 0.45;
+  options.target.lambda = 0.1;
+  options.seed = 42;
+  CheckPublishEquivalence(census.table, census.TaxonomyPointers(), options);
+}
+
+TEST(ParallelEquivalenceTest, BreachStatsBitIdenticalAcrossThreadCounts) {
+  CensusDataset census = GenerateCensus(3000, 11).ValueOrDie();
+  PgOptions options;
+  options.k = 8;
+  options.p = 0.3;
+  options.seed = 42;
+  PgPublisher publisher(options);
+  PublishedTable published =
+      publisher.Publish(census.table, census.TaxonomyPointers()).ValueOrDie();
+  Rng edb_rng(77);
+  ExternalDatabase edb =
+      ExternalDatabase::FromMicrodata(census.table, 300, edb_rng);
+
+  BreachHarnessOptions harness;
+  harness.num_victims = 40;
+  harness.corruption_rate = 0.8;
+  harness.seed = 42;
+  const BreachStats serial =
+      MeasurePgBreaches(published, edb, census.table, harness).ValueOrDie();
+
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    BreachHarnessOptions pooled = harness;
+    pooled.pool = &pool;
+    const BreachStats parallel =
+        MeasurePgBreaches(published, edb, census.table, pooled).ValueOrDie();
+    EXPECT_EQ(serial.attacks, parallel.attacks) << "threads=" << threads;
+    // Exact double equality: the trial-order fold makes even the float
+    // accumulators bit-identical.
+    EXPECT_EQ(serial.max_growth, parallel.max_growth);
+    EXPECT_EQ(serial.mean_growth, parallel.mean_growth);
+    EXPECT_EQ(serial.max_posterior_rho1, parallel.max_posterior_rho1);
+    EXPECT_EQ(serial.max_h, parallel.max_h);
+    EXPECT_EQ(serial.h_top, parallel.h_top);
+    EXPECT_EQ(serial.delta_bound, parallel.delta_bound);
+    EXPECT_EQ(serial.rho2_bound, parallel.rho2_bound);
+    EXPECT_EQ(serial.delta_breaches, parallel.delta_breaches);
+    EXPECT_EQ(serial.rho_breaches, parallel.rho_breaches);
+  }
+}
+
+TEST(ParallelEquivalenceTest,
+     GeneralizationBreachStatsBitIdenticalAcrossThreadCounts) {
+  CensusDataset census = GenerateCensus(2000, 21).ValueOrDie();
+  PgOptions options;
+  options.k = 6;
+  options.p = 0.35;
+  options.seed = 9;
+  PgPublisher publisher(options);
+  PublishedTable published =
+      publisher.Publish(census.table, census.TaxonomyPointers()).ValueOrDie();
+  QiGroups groups = ComputeQiGroups(census.table, published.recoding());
+  const int sens = CensusColumns::kIncome;
+
+  BreachHarnessOptions harness;
+  harness.num_victims = 40;
+  harness.corruption_rate = 0.6;
+  harness.seed = 42;
+  const GeneralizationBreachStats serial =
+      MeasureGeneralizationBreaches(census.table, groups, sens, harness)
+          .ValueOrDie();
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    BreachHarnessOptions pooled = harness;
+    pooled.pool = &pool;
+    const GeneralizationBreachStats parallel =
+        MeasureGeneralizationBreaches(census.table, groups, sens, pooled)
+            .ValueOrDie();
+    EXPECT_EQ(serial.attacks, parallel.attacks) << "threads=" << threads;
+    EXPECT_EQ(serial.max_growth, parallel.max_growth);
+    EXPECT_EQ(serial.mean_growth, parallel.mean_growth);
+    EXPECT_EQ(serial.point_mass_disclosures, parallel.point_mass_disclosures);
+  }
+}
+
+TEST(ParallelEquivalenceTest, EnvThreadsMatchesExplicitThreads) {
+  // num_threads = 0 resolves via PGPUB_THREADS / hardware; whatever it
+  // resolves to, the release must equal the explicit serial one.
+  CensusDataset census = GenerateCensus(1500, 31).ValueOrDie();
+  PgOptions options;
+  options.k = 5;
+  options.p = 0.3;
+  options.seed = 42;
+  const RunOutput serial =
+      PublishAt(census.table, census.TaxonomyPointers(), options, 1);
+  const RunOutput defaulted =
+      PublishAt(census.table, census.TaxonomyPointers(), options, 0);
+  ExpectIdenticalRelease(serial, defaulted, 0);
+}
+
+}  // namespace
+}  // namespace pgpub

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel/thread_pool.h"
 #include "common/random.h"
 #include "perturb/randomized_response.h"
 #include "perturb/reconstruction.h"
@@ -225,6 +226,84 @@ TEST(IterativeBayesTest, AlwaysReturnsValidDistribution) {
     total += v;
   }
   EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// ------------------------------------------- Stream-keyed perturbation
+//
+// Regression pins for the seed-reuse fix: tuple i is perturbed by
+// Rng::ForStream(seed, i), a pure function of (seed, i). Before the fix a
+// single sequential generator was threaded through the column, so a
+// tuple's draw depended on every tuple before it. These goldens freeze
+// the seed-42 wire format; they must never change silently.
+
+TEST(StreamPerturbationTest, GoldenSeed42RngStreams) {
+  // Raw first draws of the derived streams (integer, compiler-stable).
+  EXPECT_EQ(Rng::ForStream(42, 0).Next64(), 1612282365895558498ull);
+  EXPECT_EQ(Rng::ForStream(42, 1).Next64(), 17059824962477445315ull);
+  EXPECT_EQ(Rng::ForStream(42, 123456789).Next64(), 11065604480197306863ull);
+}
+
+TEST(StreamPerturbationTest, GoldenSeed42UniformColumn) {
+  std::vector<int32_t> col;
+  for (int i = 0; i < 16; ++i) col.push_back(i % 5);
+  UniformPerturbation ch(0.3, 5);
+  const std::vector<int32_t> got =
+      ch.PerturbColumnStreams(col, 42, nullptr).ValueOrDie();
+  const std::vector<int32_t> want = {0, 4, 4, 3, 4, 4, 4, 2,
+                                     4, 4, 1, 0, 4, 3, 4, 2};
+  EXPECT_EQ(got, want);
+}
+
+TEST(StreamPerturbationTest, GoldenSeed42MatrixColumn) {
+  PerturbationMatrix pm = PerturbationMatrix::Uniform(0.4, 6);
+  std::vector<int32_t> col;
+  for (int i = 0; i < 12; ++i) col.push_back(i % 6);
+  const std::vector<int32_t> got =
+      pm.PerturbColumnStreams(col, 42, nullptr).ValueOrDie();
+  const std::vector<int32_t> want = {0, 1, 2, 1, 1, 5, 0, 0, 2, 3, 3, 5};
+  EXPECT_EQ(got, want);
+}
+
+TEST(StreamPerturbationTest, PerturbAtMatchesColumnEntry) {
+  // PerturbAt(value, seed, i) is the scalar form of column entry i.
+  std::vector<int32_t> col;
+  for (int i = 0; i < 64; ++i) col.push_back((i * 7) % 9);
+  UniformPerturbation ch(0.55, 9);
+  const std::vector<int32_t> column =
+      ch.PerturbColumnStreams(col, 42, nullptr).ValueOrDie();
+  for (size_t i = 0; i < col.size(); ++i) {
+    EXPECT_EQ(ch.PerturbAt(col[i], 42, i), column[i]) << "index " << i;
+  }
+}
+
+TEST(StreamPerturbationTest, ColumnIsInvariantToPoolSize) {
+  std::vector<int32_t> col;
+  for (int i = 0; i < 20000; ++i) col.push_back(i % 11);
+  UniformPerturbation ch(0.3, 11);
+  const std::vector<int32_t> serial =
+      ch.PerturbColumnStreams(col, 42, nullptr).ValueOrDie();
+  for (int threads : {2, 3, 8}) {
+    ThreadPool pool(threads);
+    const std::vector<int32_t> parallel =
+        ch.PerturbColumnStreams(col, 42, &pool).ValueOrDie();
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(StreamPerturbationTest, StreamsDecoupleNeighboringTuples) {
+  // The latent bug being guarded against: with a shared sequential RNG,
+  // changing tuple 0's value shifts the draws consumed by tuple 1. With
+  // streams, tuple i's output depends only on (value_i, seed, i).
+  UniformPerturbation ch(0.3, 5);
+  std::vector<int32_t> a = {0, 3, 3, 3, 3, 3, 3, 3};
+  std::vector<int32_t> b = {4, 3, 3, 3, 3, 3, 3, 3};  // only tuple 0 differs
+  const std::vector<int32_t> pa =
+      ch.PerturbColumnStreams(a, 42, nullptr).ValueOrDie();
+  const std::vector<int32_t> pb =
+      ch.PerturbColumnStreams(b, 42, nullptr).ValueOrDie();
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_EQ(pa[i], pb[i]) << "index " << i;
+  }
 }
 
 }  // namespace

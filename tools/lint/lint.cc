@@ -11,6 +11,7 @@ const char* const kRuleCheckOnInputPath = "check-on-input-path";
 const char* const kRuleNondeterminism = "nondeterminism";
 const char* const kRuleFloatEquality = "float-equality";
 const char* const kRuleDirectIo = "direct-io";
+const char* const kRuleRawThread = "raw-thread";
 
 std::string CanonicalRuleName(const std::string& name_or_id) {
   static const std::map<std::string, std::string> kMap = {
@@ -20,13 +21,16 @@ std::string CanonicalRuleName(const std::string& name_or_id) {
       {"L4", kRuleNondeterminism},      {"l4", kRuleNondeterminism},
       {"L5", kRuleFloatEquality},       {"l5", kRuleFloatEquality},
       {"L6", kRuleDirectIo},            {"l6", kRuleDirectIo},
+      {"L7", kRuleRawThread},           {"l7", kRuleRawThread},
       {"io", kRuleDirectIo},
+      {"thread", kRuleRawThread},
       {kRuleDiscardedStatus, kRuleDiscardedStatus},
       {kRuleUncheckedResult, kRuleUncheckedResult},
       {kRuleCheckOnInputPath, kRuleCheckOnInputPath},
       {kRuleNondeterminism, kRuleNondeterminism},
       {kRuleFloatEquality, kRuleFloatEquality},
       {kRuleDirectIo, kRuleDirectIo},
+      {kRuleRawThread, kRuleRawThread},
   };
   auto it = kMap.find(name_or_id);
   return it == kMap.end() ? std::string() : it->second;
@@ -119,8 +123,9 @@ void Report(std::vector<Finding>* out, const std::string& file,
             const Suppressions& sup, int line, const char* rule,
             std::string message) {
   if (sup.Allows(line, rule)) return;
-  // Short ids (and the "io" shorthand) work in allow() too.
-  for (const char* id : {"L1", "L2", "L3", "L4", "L5", "L6", "io"}) {
+  // Short ids (and the "io"/"thread" shorthands) work in allow() too.
+  for (const char* id :
+       {"L1", "L2", "L3", "L4", "L5", "L6", "L7", "io", "thread"}) {
     if (CanonicalRuleName(id) == rule && sup.Allows(line, id)) return;
   }
   out->push_back(Finding{file, line, rule, std::move(message)});
@@ -457,8 +462,11 @@ void RunFloatEquality(const std::string& file, const LexedFile& lexed,
 
 // -------------------------------------------------------------------- L6
 
-bool DirectIoExempt(const std::string& file, const LintOptions& options) {
-  for (const std::string& entry : options.direct_io_exempt) {
+/// Entries ending in '/' match as directory prefixes; anything else must
+/// equal the relative path exactly.
+bool PathExempt(const std::string& file,
+                const std::set<std::string>& exemptions) {
+  for (const std::string& entry : exemptions) {
     if (!entry.empty() && entry.back() == '/') {
       if (file.rfind(entry, 0) == 0) return true;
     } else if (file == entry) {
@@ -470,7 +478,7 @@ bool DirectIoExempt(const std::string& file, const LintOptions& options) {
 
 void RunDirectIo(const std::string& file, const LexedFile& lexed,
                  const LintOptions& options, std::vector<Finding>* out) {
-  if (DirectIoExempt(file, options)) return;
+  if (PathExempt(file, options.direct_io_exempt)) return;
   const Tokens& toks = lexed.tokens;
   for (size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
@@ -485,6 +493,41 @@ void RunDirectIo(const std::string& file, const LexedFile& lexed,
                " in library code — emit a structured event through "
                "pgpub::obs::Logger (src/obs/log.h) so runs stay "
                "machine-readable");
+  }
+}
+
+// -------------------------------------------------------------------- L7
+
+void RunRawThread(const std::string& file, const LexedFile& lexed,
+                  const LintOptions& options, std::vector<Finding>* out) {
+  if (PathExempt(file, options.raw_thread_exempt)) return;
+  const Tokens& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    const bool is_thread_type =
+        t.text == "thread" || t.text == "jthread";
+    const bool is_async = t.text == "async";
+    if (!is_thread_type && !is_async) continue;
+    // Only the std:: names; a field or local called `thread` is fine.
+    if (i < 2 || !IsPunct(toks[i - 1], "::") || !IsIdent(toks[i - 2], "std")) {
+      continue;
+    }
+    if (is_thread_type) {
+      // `std::thread::hardware_concurrency()` and friends are queries on
+      // the type, not thread spawns.
+      if (i + 1 < toks.size() && IsPunct(toks[i + 1], "::")) continue;
+      Report(out, file, lexed.suppressions, t.line, kRuleRawThread,
+             "raw std::" + t.text +
+                 " outside src/common/parallel/ — spawn work through "
+                 "ThreadPool/ParallelFor so execution stays deterministic "
+                 "and errors propagate as Status");
+    } else if (IsCallLike(toks, i)) {
+      Report(out, file, lexed.suppressions, t.line, kRuleRawThread,
+             "std::async outside src/common/parallel/ — use "
+             "ThreadPool/ParallelFor; detached futures escape the "
+             "deterministic scheduling and Status error contract");
+    }
   }
 }
 
@@ -517,6 +560,9 @@ std::vector<Finding> LintFile(const std::string& rel_path,
   }
   if (RuleEnabled(options, kRuleNondeterminism)) {
     RunNondeterminism(rel_path, lexed, options, &findings);
+  }
+  if (RuleEnabled(options, kRuleRawThread)) {
+    RunRawThread(rel_path, lexed, options, &findings);
   }
   if (RuleEnabled(options, kRuleFloatEquality)) {
     RunFloatEquality(rel_path, lexed, options, &findings);

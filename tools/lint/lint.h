@@ -16,8 +16,8 @@ struct Finding {
   std::string message;
 };
 
-/// The six project invariants, by canonical name. Suppression comments
-/// accept either the canonical name or the short id (L1..L6):
+/// The seven project invariants, by canonical name. Suppression comments
+/// accept either the canonical name or the short id (L1..L7):
 ///
 ///   L1 discarded-status     — a call to a Status/Result-returning function
 ///                             whose return value is discarded.
@@ -41,15 +41,26 @@ struct Finding {
 ///                             structured logger so runs stay
 ///                             machine-readable. Suppression also accepts
 ///                             the shorthand allow(io).
+///   L7 raw-thread           — std::thread / std::jthread / std::async
+///                             outside src/common/parallel/. Ad-hoc
+///                             threading bypasses the deterministic
+///                             ParallelFor contract (fixed chunking,
+///                             ordered error selection, nested-region
+///                             rejection) that the differential tests
+///                             rely on; all parallelism must go through
+///                             the pool. `std::thread::hardware_concurrency`
+///                             (a query, not a spawn) stays legal.
+///                             Suppression also accepts allow(thread).
 extern const char* const kRuleDiscardedStatus;
 extern const char* const kRuleUncheckedResult;
 extern const char* const kRuleCheckOnInputPath;
 extern const char* const kRuleNondeterminism;
 extern const char* const kRuleFloatEquality;
 extern const char* const kRuleDirectIo;
+extern const char* const kRuleRawThread;
 
-/// Maps "L1".."L6" (or "io", or a canonical name) to the canonical name;
-/// returns an empty string for unknown rules.
+/// Maps "L1".."L7" (or "io"/"thread", or a canonical name) to the
+/// canonical name; returns an empty string for unknown rules.
 std::string CanonicalRuleName(const std::string& name_or_id);
 
 /// Where a file sits in the tree; decides which rules apply.
@@ -86,7 +97,11 @@ struct LintOptions {
   std::set<std::string> direct_io_exempt = {"src/obs/",
                                             "src/common/logging.h"};
 
-  /// Rules to run (canonical names). Empty = all six.
+  /// Paths exempt from L7 (same matching as direct_io_exempt): the pool
+  /// implementation is the one place allowed to spawn raw threads.
+  std::set<std::string> raw_thread_exempt = {"src/common/parallel/"};
+
+  /// Rules to run (canonical names). Empty = all seven.
   std::set<std::string> enabled_rules;
 };
 

@@ -104,6 +104,9 @@ TEST(RuleNameTest, ShortIdsMapToCanonicalNames) {
   EXPECT_EQ(CanonicalRuleName("L6"), kRuleDirectIo);
   EXPECT_EQ(CanonicalRuleName("io"), kRuleDirectIo);
   EXPECT_EQ(CanonicalRuleName("direct-io"), kRuleDirectIo);
+  EXPECT_EQ(CanonicalRuleName("L7"), kRuleRawThread);
+  EXPECT_EQ(CanonicalRuleName("thread"), kRuleRawThread);
+  EXPECT_EQ(CanonicalRuleName("raw-thread"), kRuleRawThread);
   EXPECT_EQ(CanonicalRuleName("bogus"), "");
 }
 
@@ -468,6 +471,58 @@ TEST(FindingsTest, SortedByLine) {
           "}\n");
   ASSERT_EQ(findings.size(), 2u);
   EXPECT_LT(findings[0].line, findings[1].line);
+}
+
+// ----------------------------------------------------------- L7 raw-thread
+
+TEST(RawThreadTest, FlagsThreadConstructionAndAsync) {
+  const auto findings = RunLint(
+      "void f() {\n"
+      "  std::thread t([] {});\n"
+      "  std::jthread j([] {});\n"
+      "  auto fut = std::async([] { return 1; });\n"
+      "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleRawThread, 2));
+  EXPECT_TRUE(HasFinding(findings, kRuleRawThread, 3));
+  EXPECT_TRUE(HasFinding(findings, kRuleRawThread, 4));
+}
+
+TEST(RawThreadTest, HardwareConcurrencyQueryIsLegal) {
+  const auto findings = RunLint(
+      "int n() { return std::thread::hardware_concurrency(); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(RawThreadTest, UnqualifiedThreadNameIsNotTheStdType) {
+  // A member or local merely *named* thread/async is unrelated.
+  const auto findings = RunLint(
+      "struct W { int thread; };\n"
+      "void g(W w) { w.thread = 3; my::async(1); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(RawThreadTest, PoolImplementationDirectoryIsExempt) {
+  const auto findings = LintSource(
+      "src/common/parallel/thread_pool.cc", FileCategory::kLibrary,
+      "void f() { std::thread t([] {}); }\n", LintOptions());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(RawThreadTest, AppliesToHarnessCodeToo) {
+  const auto findings = LintSource(
+      "bench/fixture.cc", FileCategory::kHarness,
+      "void f() { std::thread t([] {}); }\n", LintOptions());
+  EXPECT_TRUE(HasFinding(findings, kRuleRawThread, 1));
+}
+
+TEST(RawThreadTest, SuppressibleWithAllowThreadAndShortId) {
+  const auto findings = RunLint(
+      "void f() {\n"
+      "  std::thread a([] {});  // pgpub-lint: allow(thread)\n"
+      "  std::thread b([] {});  // pgpub-lint: allow(L7)\n"
+      "  std::thread c([] {});  // pgpub-lint: allow(raw-thread)\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty());
 }
 
 }  // namespace

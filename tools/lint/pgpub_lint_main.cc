@@ -89,7 +89,7 @@ int Usage(const char* argv0) {
                " [paths...]\n"
                "rules: L1 discarded-status, L2 unchecked-result, L3"
                " check-on-input-path,\n       L4 nondeterminism, L5"
-               " float-equality, L6 direct-io\n";
+               " float-equality, L6 direct-io,\n       L7 raw-thread\n";
   return 2;
 }
 
