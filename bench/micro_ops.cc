@@ -94,6 +94,29 @@ void BM_QiGrouping(benchmark::State& state) {
 }
 BENCHMARK(BM_QiGrouping)->Arg(10000)->Arg(100000);
 
+/// Stratified sampling materializes one SelectRows per QI group; for the
+/// small per-group subsets that dominate that phase the cost used to be
+/// the deep copy of the schema and every attribute dictionary, not the
+/// rows. TableMeta sharing (table/table.h) makes a subset O(rows
+/// selected); arg0 = subset size.
+void BM_SelectRows(benchmark::State& state) {
+  const CensusDataset& census = SharedCensus(100000);
+  const size_t subset = static_cast<size_t>(state.range(0));
+  std::vector<size_t> rows(subset);
+  size_t next = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < subset; ++i) {
+      rows[i] = (next + i * 37) % census.table.num_rows();
+    }
+    next = (next + 1) % census.table.num_rows();
+    Table out = census.table.SelectRows(rows);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(subset));
+}
+BENCHMARK(BM_SelectRows)->Arg(8)->Arg(1024);
+
 void BM_TdsGeneralization(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const CensusDataset& census = SharedCensus(n);

@@ -17,13 +17,7 @@
 #include <utility>
 #include <vector>
 
-#include "attack/breach_harness.h"
-#include "core/report_io.h"
-#include "core/robust_publisher.h"
-#include "datagen/census.h"
-#include "diversity/ldiversity.h"
-#include "generalize/tds.h"
-#include "obs/log.h"
+#include "pgpub.h"
 
 using namespace pgpub;
 

@@ -11,10 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/pg_publisher.h"
-#include "datagen/census.h"
-#include "mining/evaluate.h"
-#include "sample/stratified.h"
+#include "pgpub.h"
 
 using namespace pgpub;
 

@@ -13,7 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "core/guarantees.h"
+#include "pgpub.h"
 
 using namespace pgpub;
 

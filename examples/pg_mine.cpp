@@ -15,12 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "common/string_util.h"
-#include "hierarchy/recoding_io.h"
-#include "mining/dataset_io.h"
-#include "mining/evaluate.h"
-#include "mining/naive_bayes.h"
-#include "table/csv_io.h"
+#include "pgpub.h"
 
 using namespace pgpub;
 

@@ -20,11 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "common/string_util.h"
-#include "core/robust_publisher.h"
-#include "hierarchy/recoding_io.h"
-#include "mining/dataset_io.h"
-#include "table/csv_io.h"
+#include "pgpub.h"
 
 using namespace pgpub;
 

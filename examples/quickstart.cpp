@@ -16,12 +16,7 @@
 #include <string>
 #include <utility>
 
-#include "attack/linking_attack.h"
-#include "core/guarantees.h"
-#include "core/report_io.h"
-#include "core/robust_publisher.h"
-#include "datagen/hospital.h"
-#include "obs/log.h"
+#include "pgpub.h"
 
 using namespace pgpub;
 

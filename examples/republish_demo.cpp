@@ -15,8 +15,7 @@
 #include <map>
 #include <vector>
 
-#include "common/random.h"
-#include "republish/minvariance.h"
+#include "pgpub.h"
 
 using namespace pgpub;
 

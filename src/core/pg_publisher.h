@@ -11,6 +11,8 @@
 
 namespace pgpub {
 
+class PublishHooks;  // core/publish_hooks.h — serving-layer cache injection.
+
 /// Declarative privacy target: instead of fixing p, ask the publisher to
 /// pick the largest p (best utility) that establishes the guarantee.
 struct PrivacyTarget {
@@ -58,6 +60,25 @@ struct PgOptions {
   /// guarantee number are bit-identical for all values — this knob trades
   /// wall-clock only (see DESIGN.md §9).
   int num_threads = 0;
+
+  /// The one home of every option-bundle rule (the checks used to be
+  /// scattered across pg_publisher.cc, robust_publisher.cc and
+  /// core/validate.cc): k >= 0, s in (0,1] when k is derived from it,
+  /// p in [0,1] or negative with a well-formed solvable target,
+  /// num_threads >= 0, and structurally valid class_category_starts.
+  /// Every entry point (PgPublisher, RobustPublisher, PublicationEngine)
+  /// funnels through this, so callers see one error taxonomy. Checks that
+  /// additionally need the sensitive domain size live in
+  /// ValidatePgOptions (core/validate.h), which calls this first.
+  [[nodiscard]] Status Validate() const;
+
+  /// Partial validators behind Validate() — shared with EffectiveK /
+  /// EffectiveRetention so a rule is never restated.
+  [[nodiscard]] Status ValidateCardinality() const;   ///< k / s rules.
+  [[nodiscard]] Status ValidateRetentionSpec() const; ///< p / target rules.
+  /// Structural class-category rules; bounds are additionally checked
+  /// against |U^s| when `sensitive_domain_size` >= 0.
+  [[nodiscard]] Status ValidateClassCategories(int sensitive_domain_size) const;
 };
 
 /// \brief End-to-end perturbed generalization (Section IV): Phase 1
@@ -69,9 +90,17 @@ class PgPublisher {
 
   /// Publishes `microdata`. `taxonomies` is parallel to the schema's QI
   /// attributes; null entries request data-driven binary splits (TDS only).
+  ///
+  /// `hooks` (optional) is the serving-layer injection point
+  /// (core/publish_hooks.h): it can mark inputs as prevalidated, share a
+  /// long-lived pool lease, and memoize the solved-p fixpoint and the
+  /// Phase-2 recoding. A null hooks pointer is the one-shot path,
+  /// byte-for-byte; a cache hit must be byte-equivalent to the computation
+  /// it skips, so the published table is identical either way.
   [[nodiscard]] Result<PublishedTable> Publish(
       const Table& microdata,
-      const std::vector<const Taxonomy*>& taxonomies) const;
+      const std::vector<const Taxonomy*>& taxonomies,
+      PublishHooks* hooks = nullptr) const;
 
   /// The effective k for a given options bundle: options.k, or ceil(1/s).
   [[nodiscard]] static Result<int> EffectiveK(const PgOptions& options);

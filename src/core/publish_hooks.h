@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/parallel/thread_pool.h"
+#include "core/pg_publisher.h"
+#include "hierarchy/recoding.h"
+
+namespace pgpub {
+
+/// What Phase 2 is about to compute — everything the result depends on
+/// besides the dataset and taxonomy family themselves (those are fixed per
+/// hooks instance; see PublishHooks). For TDS the class labels feed the
+/// information-gain score, so they are part of the identity; Incognito
+/// ignores them and leaves `class_labels` null, which lets requests that
+/// differ only in perturbation share one lattice search.
+struct RecodingQuery {
+  PgOptions::Generalizer generalizer = PgOptions::Generalizer::kTds;
+  int k = 0;
+  /// Null for Incognito; for TDS, one label in [0, num_classes) per row.
+  const std::vector<int32_t>* class_labels = nullptr;
+  int num_classes = 0;
+};
+
+/// Identity of a solved-p fixpoint: the declared target plus the (k, |U^s|)
+/// pair the solver runs against. `p >= 0` requests never consult the cache.
+struct RetentionQuery {
+  PrivacyTarget target;
+  int k = 0;
+  int sensitive_domain_size = 0;
+};
+
+/// \brief Injection points PgPublisher/RobustPublisher offer a multi-request
+/// serving layer (src/engine). One hooks instance is bound to ONE
+/// (dataset, taxonomy family) pair — the implementation content-addresses
+/// its entries with fingerprints of that pair, which is why the queries
+/// above carry only the per-request identity.
+///
+/// Every default below is a no-op, so `PublishHooks base;` behaves exactly
+/// like passing no hooks at all. Contract for cache implementations: a
+/// Lookup hit MUST return a value byte-identical to what the skipped
+/// computation would have produced for this query — the differential suite
+/// in tests/engine_test.cc holds implementations to that.
+class PublishHooks {
+ public:
+  virtual ~PublishHooks() = default;
+
+  /// True when the dataset, taxonomies, and request options were already
+  /// screened by the caller (ValidatePublishInputs-equivalent), letting the
+  /// pipeline skip its O(rows) per-call input validation.
+  virtual bool inputs_prevalidated() const { return false; }
+
+  /// Long-lived pool lease shared across requests; null means "resolve a
+  /// lease per call from PgOptions::num_threads" (the one-shot behaviour).
+  virtual const PoolLease* pool_lease() const { return nullptr; }
+
+  [[nodiscard]] virtual std::optional<double> LookupRetention(
+      const RetentionQuery& query) {
+    (void)query;
+    return std::nullopt;
+  }
+  virtual void StoreRetention(const RetentionQuery& query, double p) {
+    (void)query;
+    (void)p;
+  }
+
+  [[nodiscard]] virtual std::optional<GlobalRecoding> LookupRecoding(
+      const RecodingQuery& query) {
+    (void)query;
+    return std::nullopt;
+  }
+  virtual void StoreRecoding(const RecodingQuery& query,
+                             const GlobalRecoding& recoding) {
+    (void)query;
+    (void)recoding;
+  }
+};
+
+}  // namespace pgpub

@@ -98,6 +98,13 @@ obs::JsonValue PublishReportToJson(const PublishReport& report) {
   out.Set("audit_clean", report.audit_clean);
   out.Set("final_status", StatusToJson(report.final_status));
   out.Set("total_ms", report.total_ms);
+  JsonValue cache = JsonValue::Object();
+  cache.Set("enabled", report.cache.enabled);
+  cache.Set("hits", report.cache.hits);
+  cache.Set("misses", report.cache.misses);
+  cache.Set("evictions", report.cache.evictions);
+  cache.Set("hit_rate", report.cache.HitRate());
+  out.Set("cache", std::move(cache));
   return out;
 }
 
@@ -135,6 +142,18 @@ Result<PublishReport> PublishReportFromJson(std::string_view text) {
   RETURN_IF_ERROR(StatusFromJson(*final_v, &report.final_status));
   ASSIGN_OR_RETURN(const JsonValue* total_v, doc.Get("total_ms"));
   ASSIGN_OR_RETURN(report.total_ms, total_v->AsDouble());
+  // Optional (added after schema_version 1 shipped): absent means the
+  // default no-cache activity, so pre-engine documents still parse.
+  if (const JsonValue* cache_v = doc.Find("cache"); cache_v != nullptr) {
+    ASSIGN_OR_RETURN(const JsonValue* enabled_v, cache_v->Get("enabled"));
+    ASSIGN_OR_RETURN(report.cache.enabled, enabled_v->AsBool());
+    ASSIGN_OR_RETURN(const JsonValue* hits_v, cache_v->Get("hits"));
+    ASSIGN_OR_RETURN(report.cache.hits, hits_v->AsUint64());
+    ASSIGN_OR_RETURN(const JsonValue* misses_v, cache_v->Get("misses"));
+    ASSIGN_OR_RETURN(report.cache.misses, misses_v->AsUint64());
+    ASSIGN_OR_RETURN(const JsonValue* evict_v, cache_v->Get("evictions"));
+    ASSIGN_OR_RETURN(report.cache.evictions, evict_v->AsUint64());
+  }
   return report;
 }
 

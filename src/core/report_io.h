@@ -25,8 +25,13 @@ namespace pgpub {
 ///     "fallback_used": false,
 ///     "audit_clean": true,
 ///     "final_status": {"code": "OK", "message": ""},
-///     "total_ms": 3.5
+///     "total_ms": 3.5,
+///     "cache": {"enabled": false, "hits": 0, "misses": 0, "evictions": 0,
+///               "hit_rate": 0.0}
 ///   }
+///
+/// "cache" reports engine-cache provenance (PublishReport::CacheActivity);
+/// documents predating it parse with the all-zero default.
 ///
 /// Seeds are emitted as bare JSON integers; values above int64 range are
 /// preserved via the uint64 JSON kind, so round-trips are exact.

@@ -5,6 +5,7 @@
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "core/publish_hooks.h"
 #include "core/validate.h"
 #include "core/verify.h"
 #include "obs/log.h"
@@ -33,6 +34,20 @@ bool IsPermanent(const Status& status) {
 }
 
 }  // namespace
+
+Status RobustPublishOptions::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1, got " +
+                                   std::to_string(max_attempts));
+  }
+  return Status::OK();
+}
+
+double PublishReport::CacheActivity::HitRate() const {
+  const uint64_t lookups = hits + misses;
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(lookups);
+}
 
 std::string PublishReport::Summary() const {
   std::string out = StrFormat(
@@ -101,7 +116,7 @@ Status RobustPublisher::AuditRelease(const Table& microdata,
 
 Result<PublishedTable> RobustPublisher::Publish(
     const Table& microdata, const std::vector<const Taxonomy*>& taxonomies,
-    PublishReport* report) const {
+    PublishReport* report, PublishHooks* hooks) const {
   PublishReport local;
   PublishReport& rep = report != nullptr ? *report : local;
   rep = PublishReport{};
@@ -116,15 +131,18 @@ Result<PublishedTable> RobustPublisher::Publish(
     return status;
   };
 
-  if (policy_.max_attempts < 1) {
-    return finish(Status::InvalidArgument("max_attempts must be >= 1"));
+  if (Status st = policy_.Validate(); !st.ok()) {
+    return finish(st);
   }
 
   // Malformed input is permanent: retrying cannot repair a broken
-  // taxonomy or an unsatisfiable target.
-  if (Status st = ValidatePublishInputs(microdata, taxonomies, options_);
-      !st.ok()) {
-    return finish(st);
+  // taxonomy or an unsatisfiable target. A serving layer that already
+  // screened this (dataset, taxonomies, options) triple skips the pass.
+  if (hooks == nullptr || !hooks->inputs_prevalidated()) {
+    if (Status st = ValidatePublishInputs(microdata, taxonomies, options_);
+        !st.ok()) {
+      return finish(st);
+    }
   }
 
   std::vector<PgOptions::Generalizer> rounds = {options_.generalizer};
@@ -167,7 +185,7 @@ Result<PublishedTable> RobustPublisher::Publish(
       attempt_options.generalizer = generalizer;
       attempt_options.seed = attempt.seed;
       Result<PublishedTable> candidate =
-          PgPublisher(attempt_options).Publish(microdata, taxonomies);
+          PgPublisher(attempt_options).Publish(microdata, taxonomies, hooks);
       attempt.outcome = candidate.status();
 
       if (candidate.ok() && policy_.audit_release) {

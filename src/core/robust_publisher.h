@@ -27,6 +27,10 @@ struct RobustPublishOptions {
   /// release and never return a table that fails either (fail-closed).
   /// Disabling this is for benchmarking the raw pipeline only.
   bool audit_release = true;
+
+  /// Policy-bundle rules (max_attempts >= 1), checked once per entry
+  /// point — the same consolidation contract as PgOptions::Validate.
+  [[nodiscard]] Status Validate() const;
 };
 
 /// \brief Structured account of one RobustPublisher::Publish call —
@@ -42,11 +46,26 @@ struct PublishReport {
     double elapsed_ms = 0.0;
   };
 
+  /// Cross-run cache provenance, filled in by a caching serving layer
+  /// (src/engine) after the publish: how many engine-cache lookups this
+  /// request hit vs missed, and how many entries it evicted. All-zero with
+  /// `enabled == false` for one-shot publishes. Provenance only — the
+  /// published bytes are identical whichever way a lookup went.
+  struct CacheActivity {
+    bool enabled = false;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    /// hits / (hits + misses); 0 when no lookup ran.
+    double HitRate() const;
+  };
+
   std::vector<Attempt> attempts;
   bool fallback_used = false;    ///< A non-configured generalizer won.
   bool audit_clean = false;      ///< Final release passed the full audit.
   Status final_status;           ///< Mirrors the Publish return status.
   double total_ms = 0.0;
+  CacheActivity cache;           ///< See CacheActivity.
 
   /// Human-readable multi-line rendering for logs and CLI output.
   std::string Summary() const;
@@ -77,11 +96,13 @@ class RobustPublisher {
   /// Publishes `microdata` under the fail-closed policy. On success the
   /// returned table passed the full audit; on failure no table escapes.
   /// `report`, when non-null, receives the attempt-by-attempt account
-  /// regardless of the outcome.
+  /// regardless of the outcome. `hooks` (optional) is forwarded to every
+  /// PgPublisher attempt — see PgPublisher::Publish; when it reports the
+  /// inputs prevalidated, the O(rows) input screen here is skipped too.
   [[nodiscard]] Result<PublishedTable> Publish(
       const Table& microdata,
       const std::vector<const Taxonomy*>& taxonomies,
-      PublishReport* report = nullptr) const;
+      PublishReport* report = nullptr, PublishHooks* hooks = nullptr) const;
 
   /// The master seed attempt `number` (1-based) derives its RNG from.
   /// Attempt 1 uses the options seed unchanged, so a RobustPublisher with

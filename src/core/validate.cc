@@ -1,6 +1,5 @@
 #include "core/validate.h"
 
-#include <cmath>
 #include <string>
 
 #include "common/failpoint.h"
@@ -14,63 +13,11 @@ Status ValidatePgOptions(const PgOptions& options,
         "sensitive domain must hold at least 2 values, got " +
         std::to_string(sensitive_domain_size));
   }
-  if (options.k < 0) {
-    return Status::InvalidArgument("k must be >= 0, got " +
-                                   std::to_string(options.k));
-  }
-  if (options.num_threads < 0) {
-    return Status::InvalidArgument("num_threads must be >= 0, got " +
-                                   std::to_string(options.num_threads));
-  }
-  if (options.k == 0 &&
-      !(std::isfinite(options.s) && options.s > 0.0 && options.s <= 1.0)) {
-    return Status::InvalidArgument(
-        "sampling parameter s must be in (0,1] when k is not given");
-  }
-  if (options.p >= 0.0) {
-    if (!(std::isfinite(options.p) && options.p <= 1.0)) {
-      return Status::InvalidArgument("retention p must be in [0,1]");
-    }
-  } else {
-    // p is to be solved from the declared target.
-    const PrivacyTarget& target = options.target;
-    if (target.kind == PrivacyTarget::Kind::kNone) {
-      return Status::InvalidArgument(
-          "no retention probability given and no privacy target to solve "
-          "it from");
-    }
-    if (!(std::isfinite(target.lambda) && target.lambda > 0.0 &&
-          target.lambda <= 1.0)) {
-      return Status::InvalidArgument("adversary skew lambda must be in "
-                                     "(0,1]");
-    }
-    if (target.kind == PrivacyTarget::Kind::kRho &&
-        !(std::isfinite(target.rho1) && std::isfinite(target.rho2) &&
-          target.rho1 > 0.0 && target.rho1 < target.rho2 &&
-          target.rho2 <= 1.0)) {
-      return Status::InvalidArgument(
-          "need 0 < rho1 < rho2 <= 1 for a rho1-to-rho2 guarantee");
-    }
-    if (target.kind == PrivacyTarget::Kind::kDelta &&
-        !(std::isfinite(target.delta) && target.delta > 0.0 &&
-          target.delta <= 1.0)) {
-      return Status::InvalidArgument(
-          "need 0 < delta <= 1 for a Delta-growth guarantee");
-    }
-  }
-  const auto& starts = options.class_category_starts;
-  if (!starts.empty()) {
-    if (starts[0] != 0) {
-      return Status::InvalidArgument("class_category_starts must begin at 0");
-    }
-    for (size_t i = 1; i < starts.size(); ++i) {
-      if (starts[i] <= starts[i - 1] || starts[i] >= sensitive_domain_size) {
-        return Status::InvalidArgument(
-            "class_category_starts must be ascending and within |U^s|");
-      }
-    }
-  }
-  return Status::OK();
+  // The option-bundle rules themselves live in one place —
+  // PgOptions::Validate (core/pg_publisher.h). This wrapper adds only the
+  // checks that need the sensitive domain size.
+  RETURN_IF_ERROR(options.Validate());
+  return options.ValidateClassCategories(sensitive_domain_size);
 }
 
 Status ValidateTaxonomy(const Taxonomy& taxonomy, int32_t domain_size) {

@@ -42,7 +42,9 @@ int32_t RegionOf(int32_t birthplace) {
   return birthplace < 45 ? birthplace / 5 : 9 + (birthplace - 45) / 4;
 }
 
-Schema MakeSchema() {
+}  // namespace
+
+Schema MakeCensusSchema() {
   Schema schema;
   auto qi = [](const char* name, AttributeType type) {
     return Attribute{name, type, AttributeRole::kQuasiIdentifier};
@@ -60,7 +62,7 @@ Schema MakeSchema() {
   return schema;
 }
 
-std::vector<AttributeDomain> MakeDomains() {
+std::vector<AttributeDomain> MakeCensusDomains() {
   std::vector<AttributeDomain> domains;
   domains.push_back(AttributeDomain::Numeric(kAgeMin, kAgeMax));
   domains.push_back(AttributeDomain::Categorical({"Male", "Female"}));
@@ -74,7 +76,7 @@ std::vector<AttributeDomain> MakeDomains() {
   return domains;
 }
 
-std::vector<Taxonomy> MakeTaxonomies() {
+std::vector<Taxonomy> MakeCensusTaxonomies() {
   // Ordered attributes get balanced binary hierarchies: each
   // specialization step halves one interval, which lets TDS refine in the
   // smallest valid increments (a wide multiway fanout is blocked as soon
@@ -115,7 +117,9 @@ std::vector<Taxonomy> MakeTaxonomies() {
   return taxonomies;
 }
 
-}  // namespace
+std::vector<bool> MakeCensusNominalFlags() {
+  return {false, true, false, true, false, true, true, true};
+}
 
 std::vector<const Taxonomy*> CensusDataset::TaxonomyPointers() const {
   std::vector<const Taxonomy*> out;
@@ -124,100 +128,107 @@ std::vector<const Taxonomy*> CensusDataset::TaxonomyPointers() const {
   return out;
 }
 
+void DrawCensusRow(Rng& rng, int32_t* row) {
+  // Age: average of two uniforms over the range — a mild mid-life bulge.
+  const double age_frac = 0.5 * (rng.UniformDouble() + rng.UniformDouble());
+  const int32_t age =
+      kAgeMin + static_cast<int32_t>(age_frac * (kAgeDomain - 1) + 0.5);
+
+  // Gender.
+  const int32_t gender = rng.Bernoulli(0.5) ? 1 : 0;
+
+  // Education: normal around high school / early college.
+  const int32_t education = static_cast<int32_t>(Clamp(
+      std::round(9.0 + 3.5 * rng.Gaussian()), 0, kEducationDomain - 1));
+
+  // Occupation: tier follows education with noise; fine code uniform
+  // within the tier.
+  const int32_t tier = static_cast<int32_t>(Clamp(
+      std::round(education * 9.0 / 16.0 + 1.6 * rng.Gaussian()), 0, 9));
+  const int32_t occupation =
+      tier * 5 + static_cast<int32_t>(rng.UniformU64(5));
+
+  // Birthplace: mildly skewed across 57 codes.
+  int32_t birthplace = static_cast<int32_t>(rng.UniformU64(57));
+  if (rng.Bernoulli(0.35)) {
+    birthplace = static_cast<int32_t>(rng.UniformU64(10));  // home states
+  }
+
+  // Race: skewed categorical, no income effect.
+  const int32_t race = rng.Bernoulli(0.7)
+                           ? static_cast<int32_t>(rng.UniformU64(3))
+                           : static_cast<int32_t>(rng.UniformU64(9));
+
+  // Workclass: tier-dependent self-employment odds.
+  int32_t workclass;
+  const double wroll = rng.UniformDouble();
+  if (wroll < 0.18) {
+    workclass = static_cast<int32_t>(rng.UniformU64(3));  // government
+  } else if (wroll < 0.18 + 0.62) {
+    workclass = 3 + static_cast<int32_t>(rng.UniformU64(3));  // private
+  } else if (wroll < 0.18 + 0.62 + 0.12 + 0.02 * tier) {
+    workclass = 6 + static_cast<int32_t>(rng.UniformU64(2));  // self
+  } else {
+    workclass = 8;  // other / unpaid
+  }
+
+  // Marital: age-dependent.
+  int32_t marital;
+  const double mroll = rng.UniformDouble();
+  const double never_prob = age < 28 ? 0.7 : (age < 40 ? 0.3 : 0.12);
+  if (mroll < never_prob) {
+    marital = static_cast<int32_t>(rng.UniformU64(2));
+  } else if (mroll < never_prob + 0.55) {
+    marital = 2 + static_cast<int32_t>(rng.UniformU64(2));
+  } else {
+    marital = 4 + static_cast<int32_t>(rng.UniformU64(2));
+  }
+
+  // Latent earning potential -> Income bucket. Occupation tier carries
+  // most of the signal (coefficient 4.6 over tiers 0..9); the other
+  // attributes contribute small corrections.
+  const double age_curve =
+      6.0 - (static_cast<double>(age - 48) * (age - 48)) / 160.0;
+  const double latent = 4.0 * tier + 0.6 * education + age_curve +
+                        kWorkclassEffect[workclass] +
+                        (gender == 0 ? 1.6 : 0.0) + kMaritalEffect[marital] +
+                        kRegionEffect[RegionOf(birthplace)] - 10.0 +
+                        2.2 * rng.Gaussian();
+  const int32_t income = static_cast<int32_t>(
+      Clamp(std::round(latent), 0, kIncomeDomain - 1));
+
+  row[CensusColumns::kAge] = age - kAgeMin;
+  row[CensusColumns::kGender] = gender;
+  row[CensusColumns::kEducation] = education;
+  row[CensusColumns::kBirthplace] = birthplace;
+  row[CensusColumns::kOccupation] = occupation;
+  row[CensusColumns::kRace] = race;
+  row[CensusColumns::kWorkclass] = workclass;
+  row[CensusColumns::kMarital] = marital;
+  row[CensusColumns::kIncome] = income;
+}
+
 Result<CensusDataset> GenerateCensus(size_t num_rows, uint64_t seed) {
   if (num_rows == 0) return Status::InvalidArgument("num_rows must be > 0");
 
+  // One sequential generator across rows — the historical draw order, kept
+  // so existing seeds keep producing the same datasets. GenerateSal is the
+  // per-row-stream (parallel) variant.
   Rng rng(seed);
   std::vector<std::vector<int32_t>> cols(9);
   for (auto& c : cols) c.reserve(num_rows);
 
   for (size_t i = 0; i < num_rows; ++i) {
-    // Age: average of two uniforms over the range — a mild mid-life bulge.
-    const double age_frac =
-        0.5 * (rng.UniformDouble() + rng.UniformDouble());
-    const int32_t age =
-        kAgeMin + static_cast<int32_t>(age_frac * (kAgeDomain - 1) + 0.5);
-
-    // Gender.
-    const int32_t gender = rng.Bernoulli(0.5) ? 1 : 0;
-
-    // Education: normal around high school / early college.
-    const int32_t education = static_cast<int32_t>(Clamp(
-        std::round(9.0 + 3.5 * rng.Gaussian()), 0, kEducationDomain - 1));
-
-    // Occupation: tier follows education with noise; fine code uniform
-    // within the tier.
-    const int32_t tier = static_cast<int32_t>(Clamp(
-        std::round(education * 9.0 / 16.0 + 1.6 * rng.Gaussian()), 0, 9));
-    const int32_t occupation =
-        tier * 5 + static_cast<int32_t>(rng.UniformU64(5));
-
-    // Birthplace: mildly skewed across 57 codes.
-    int32_t birthplace = static_cast<int32_t>(rng.UniformU64(57));
-    if (rng.Bernoulli(0.35)) {
-      birthplace = static_cast<int32_t>(rng.UniformU64(10));  // home states
-    }
-
-    // Race: skewed categorical, no income effect.
-    const int32_t race =
-        rng.Bernoulli(0.7) ? static_cast<int32_t>(rng.UniformU64(3))
-                           : static_cast<int32_t>(rng.UniformU64(9));
-
-    // Workclass: tier-dependent self-employment odds.
-    int32_t workclass;
-    const double wroll = rng.UniformDouble();
-    if (wroll < 0.18) {
-      workclass = static_cast<int32_t>(rng.UniformU64(3));  // government
-    } else if (wroll < 0.18 + 0.62) {
-      workclass = 3 + static_cast<int32_t>(rng.UniformU64(3));  // private
-    } else if (wroll < 0.18 + 0.62 + 0.12 + 0.02 * tier) {
-      workclass = 6 + static_cast<int32_t>(rng.UniformU64(2));  // self
-    } else {
-      workclass = 8;  // other / unpaid
-    }
-
-    // Marital: age-dependent.
-    int32_t marital;
-    const double mroll = rng.UniformDouble();
-    const double never_prob = age < 28 ? 0.7 : (age < 40 ? 0.3 : 0.12);
-    if (mroll < never_prob) {
-      marital = static_cast<int32_t>(rng.UniformU64(2));
-    } else if (mroll < never_prob + 0.55) {
-      marital = 2 + static_cast<int32_t>(rng.UniformU64(2));
-    } else {
-      marital = 4 + static_cast<int32_t>(rng.UniformU64(2));
-    }
-
-    // Latent earning potential -> Income bucket. Occupation tier carries
-    // most of the signal (coefficient 4.6 over tiers 0..9); the other
-    // attributes contribute small corrections.
-    const double age_curve =
-        6.0 - (static_cast<double>(age - 48) * (age - 48)) / 160.0;
-    const double latent = 4.0 * tier + 0.6 * education + age_curve +
-                          kWorkclassEffect[workclass] +
-                          (gender == 0 ? 1.6 : 0.0) +
-                          kMaritalEffect[marital] +
-                          kRegionEffect[RegionOf(birthplace)] - 10.0 +
-                          2.2 * rng.Gaussian();
-    const int32_t income = static_cast<int32_t>(
-        Clamp(std::round(latent), 0, kIncomeDomain - 1));
-
-    cols[CensusColumns::kAge].push_back(age - kAgeMin);
-    cols[CensusColumns::kGender].push_back(gender);
-    cols[CensusColumns::kEducation].push_back(education);
-    cols[CensusColumns::kBirthplace].push_back(birthplace);
-    cols[CensusColumns::kOccupation].push_back(occupation);
-    cols[CensusColumns::kRace].push_back(race);
-    cols[CensusColumns::kWorkclass].push_back(workclass);
-    cols[CensusColumns::kMarital].push_back(marital);
-    cols[CensusColumns::kIncome].push_back(income);
+    int32_t row[9];
+    DrawCensusRow(rng, row);
+    for (int a = 0; a < 9; ++a) cols[a].push_back(row[a]);
   }
 
-  ASSIGN_OR_RETURN(Table table, Table::Create(MakeSchema(), MakeDomains(),
-                                              std::move(cols)));
-  CensusDataset ds{std::move(table), MakeTaxonomies(),
-                   /*nominal=*/{false, true, false, true, false, true, true,
-                                true}};
+  ASSIGN_OR_RETURN(Table table,
+                   Table::Create(MakeCensusSchema(), MakeCensusDomains(),
+                                 std::move(cols)));
+  CensusDataset ds{std::move(table), MakeCensusTaxonomies(),
+                   MakeCensusNominalFlags()};
   return ds;
 }
 

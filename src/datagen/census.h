@@ -49,4 +49,19 @@ struct CensusColumns {
 /// Generates `num_rows` census records deterministically from `seed`.
 [[nodiscard]] Result<CensusDataset> GenerateCensus(size_t num_rows, uint64_t seed);
 
+class Rng;  // common/random.h
+
+/// Building blocks of the census shape, shared with the SAL-scale
+/// generator (datagen/sal.h): schema, domains, taxonomy family, nominal
+/// flags, and the per-record draw both generators run.
+Schema MakeCensusSchema();
+std::vector<AttributeDomain> MakeCensusDomains();
+std::vector<Taxonomy> MakeCensusTaxonomies();
+std::vector<bool> MakeCensusNominalFlags();
+
+/// Draws one record into `row` (9 codes, schema order). All randomness
+/// comes from `rng`, so handing each row its own Rng::ForStream generator
+/// makes generation order- and thread-invariant (see GenerateSal).
+void DrawCensusRow(Rng& rng, int32_t* row);
+
 }  // namespace pgpub

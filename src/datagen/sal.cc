@@ -1,0 +1,48 @@
+#include "datagen/sal.h"
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel/thread_pool.h"
+#include "common/random.h"
+
+namespace pgpub {
+
+Result<CensusDataset> GenerateSal(const SalOptions& options) {
+  if (options.num_rows == 0) {
+    return Status::InvalidArgument("num_rows must be > 0");
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0, got " +
+                                   std::to_string(options.num_threads));
+  }
+
+  std::vector<std::vector<int32_t>> cols(9);
+  for (auto& c : cols) c.resize(options.num_rows);
+
+  // Index-addressed writes + one Rng stream per row: the standard recipe
+  // (DESIGN.md §9) that makes the output invariant under scheduling.
+  const PoolLease lease(options.num_threads);
+  RETURN_IF_ERROR(ParallelFor(
+      lease.get(), IndexRange(0, options.num_rows), /*grain=*/8192,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          Rng rng = Rng::ForStream(options.seed, r);
+          std::array<int32_t, 9> row;
+          DrawCensusRow(rng, row.data());
+          for (int a = 0; a < 9; ++a) cols[a][r] = row[a];
+        }
+        return Status::OK();
+      }));
+
+  ASSIGN_OR_RETURN(Table table,
+                   Table::Create(MakeCensusSchema(), MakeCensusDomains(),
+                                 std::move(cols)));
+  CensusDataset ds{std::move(table), MakeCensusTaxonomies(),
+                   MakeCensusNominalFlags()};
+  return ds;
+}
+
+}  // namespace pgpub

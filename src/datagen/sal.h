@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/census.h"
+
+namespace pgpub {
+
+/// Options for GenerateSal.
+struct SalOptions {
+  /// Section VII evaluates on ~700k SAL rows; that is the default scale.
+  size_t num_rows = 700000;
+  uint64_t seed = 2008;
+  /// Worker threads for generation (0 = environment default, 1 = serial,
+  /// n = exact). The rows produced are identical at every thread count.
+  int num_threads = 0;
+};
+
+/// \brief SAL-scale census generator: the same 9-attribute shape as
+/// GenerateCensus (Income sensitive, |Uˢ| = 50), but sized for the paper's
+/// Section VII workload and generated in parallel.
+///
+/// Row i is drawn from Rng::ForStream(seed, i), so the table is a pure
+/// function of (num_rows, seed) — independent of chunking and thread
+/// count, and a different sequence than GenerateCensus produces for the
+/// same seed (which must keep its historical sequential draw order).
+[[nodiscard]] Result<CensusDataset> GenerateSal(const SalOptions& options);
+
+}  // namespace pgpub

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace pgpub::engine {
+
+/// Point-in-time view of one cache's activity (also the unit PublishReport
+/// cache provenance is derived from, as a before/after delta).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+};
+
+/// \brief Bounded least-recently-used map with instrumented lookups.
+///
+/// `Key` needs operator< (content-addressed callers use fingerprint tuples);
+/// `Value` is returned by copy so entries can be evicted while a caller
+/// still uses a previous result. An ordered std::map backs the index —
+/// iteration order never depends on hash seeding, keeping every observable
+/// behaviour (including which entry an eviction removes) deterministic.
+///
+/// Counters are mirrored into the global MetricsRegistry as
+/// `engine.<name>.{hits,misses,evictions}`; per-instance totals are also
+/// kept locally so one engine's report is not polluted by another's.
+/// Thread-safe.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  LruCache(const std::string& name, size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    hits_ = metrics.GetCounter("engine." + name + ".hits");
+    misses_ = metrics.GetCounter("engine." + name + ".misses");
+    evictions_ = metrics.GetCounter("engine." + name + ".evictions");
+  }
+
+  /// Returns a copy of the entry and marks it most recently used.
+  std::optional<Value> Lookup(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      misses_->Add();
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    recency_.splice(recency_.end(), recency_, it->second.pos);
+    hits_->Add();
+    ++stats_.hits;
+    return it->second.value;
+  }
+
+  /// Inserts or refreshes `key`, evicting the least recently used entry
+  /// when at capacity.
+  void Insert(const Key& key, Value value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.value = std::move(value);
+      recency_.splice(recency_.end(), recency_, it->second.pos);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      entries_.erase(recency_.front());
+      recency_.pop_front();
+      evictions_->Add();
+      ++stats_.evictions;
+    }
+    recency_.push_back(key);
+    entries_.emplace(key,
+                     Entry{std::move(value), std::prev(recency_.end())});
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  struct Entry {
+    Value value;
+    typename std::list<Key>::iterator pos;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> recency_;  ///< front = least recently used.
+  CacheStats stats_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+};
+
+}  // namespace pgpub::engine

@@ -7,6 +7,12 @@
 
 namespace pgpub {
 
+std::shared_ptr<const TableMeta> Table::EmptyMeta() {
+  static const std::shared_ptr<const TableMeta>* empty =
+      new std::shared_ptr<const TableMeta>(std::make_shared<TableMeta>());
+  return *empty;
+}
+
 Result<Table> Table::Create(Schema schema,
                             std::vector<AttributeDomain> domains,
                             std::vector<std::vector<int32_t>> columns) {
@@ -33,16 +39,15 @@ Result<Table> Table::Create(Schema schema,
     }
   }
   Table t;
-  t.schema_ = std::move(schema);
-  t.domains_ = std::move(domains);
+  t.meta_ = std::make_shared<const TableMeta>(
+      TableMeta{std::move(schema), std::move(domains)});
   t.columns_ = std::move(columns);
   return t;
 }
 
 Table Table::SelectRows(const std::vector<size_t>& rows) const {
   Table out;
-  out.schema_ = schema_;
-  out.domains_ = domains_;
+  out.meta_ = meta_;
   out.columns_.resize(columns_.size());
   for (size_t a = 0; a < columns_.size(); ++a) {
     out.columns_[a].reserve(rows.size());
@@ -54,7 +59,7 @@ Table Table::SelectRows(const std::vector<size_t>& rows) const {
 }
 
 std::vector<int64_t> Table::Histogram(int attr) const {
-  std::vector<int64_t> counts(domains_[attr].size(), 0);
+  std::vector<int64_t> counts(meta_->domains[attr].size(), 0);
   for (int32_t code : columns_[attr]) counts[code]++;
   return counts;
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,16 @@
 #include "table/schema.h"
 
 namespace pgpub {
+
+/// Immutable schema + domain bundle shared between a table and every view
+/// derived from it. Tables never mutate their metadata after Create, so
+/// row subsets (SelectRows runs once per QI-group during stratified
+/// sampling) alias one TableMeta instead of deep-copying the schema and
+/// every dictionary.
+struct TableMeta {
+  Schema schema;
+  std::vector<AttributeDomain> domains;
+};
 
 /// \brief Columnar, dictionary/offset-encoded in-memory table.
 ///
@@ -25,14 +36,18 @@ class Table {
                               std::vector<AttributeDomain> domains,
                               std::vector<std::vector<int32_t>> columns);
 
-  const Schema& schema() const { return schema_; }
-  const AttributeDomain& domain(int attr) const { return domains_[attr]; }
-  const std::vector<AttributeDomain>& domains() const { return domains_; }
+  const Schema& schema() const { return meta_->schema; }
+  const AttributeDomain& domain(int attr) const {
+    return meta_->domains[attr];
+  }
+  const std::vector<AttributeDomain>& domains() const {
+    return meta_->domains;
+  }
 
   size_t num_rows() const {
     return columns_.empty() ? 0 : columns_[0].size();
   }
-  int num_attributes() const { return schema_.num_attributes(); }
+  int num_attributes() const { return meta_->schema.num_attributes(); }
 
   /// Cell accessor (code space).
   int32_t value(size_t row, int attr) const { return columns_[attr][row]; }
@@ -44,11 +59,12 @@ class Table {
 
   /// Renders a cell for display/export.
   std::string ValueToString(size_t row, int attr) const {
-    return domains_[attr].CodeToString(columns_[attr][row]);
+    return meta_->domains[attr].CodeToString(columns_[attr][row]);
   }
 
   /// Materializes the subset of rows given by `rows` (preserving order;
-  /// duplicates allowed). Domains and schema are shared copies.
+  /// duplicates allowed). Schema and domains are aliased, not copied — the
+  /// subset shares this table's TableMeta.
   Table SelectRows(const std::vector<size_t>& rows) const;
 
   /// Per-code occurrence counts for a column.
@@ -58,8 +74,11 @@ class Table {
   std::vector<int32_t> Row(size_t row) const;
 
  private:
-  Schema schema_;
-  std::vector<AttributeDomain> domains_;
+  /// Shared empty metadata for default-constructed tables, so accessors
+  /// never dereference null.
+  static std::shared_ptr<const TableMeta> EmptyMeta();
+
+  std::shared_ptr<const TableMeta> meta_ = EmptyMeta();
   std::vector<std::vector<int32_t>> columns_;
 };
 

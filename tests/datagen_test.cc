@@ -4,6 +4,7 @@
 
 #include "datagen/census.h"
 #include "datagen/hospital.h"
+#include "datagen/sal.h"
 #include "mining/decision_tree.h"
 #include "mining/evaluate.h"
 
@@ -163,6 +164,33 @@ TEST(HospitalTest, TaxonomiesMatchPaperBands) {
 }
 
 // ---------------------------------------------------- ExternalDatabase
+
+TEST(SalTest, ShapeMatchesCensusAndIsThreadInvariant) {
+  SalOptions options;
+  options.num_rows = 5000;
+  options.seed = 2008;
+  options.num_threads = 1;
+  const CensusDataset serial = GenerateSal(options).ValueOrDie();
+  EXPECT_EQ(serial.table.num_rows(), 5000u);
+  EXPECT_EQ(serial.table.num_attributes(), 9);
+  EXPECT_EQ(serial.table.domain(CensusColumns::kIncome).size(), 50);
+  EXPECT_EQ(serial.taxonomies.size(), 8u);
+
+  // The table is a pure function of (num_rows, seed): thread count is
+  // wall-clock only.
+  options.num_threads = 4;
+  const CensusDataset parallel = GenerateSal(options).ValueOrDie();
+  for (int a = 0; a < serial.table.num_attributes(); ++a) {
+    ASSERT_EQ(serial.table.column(a), parallel.table.column(a))
+        << "attribute " << a;
+  }
+}
+
+TEST(SalTest, RejectsZeroRows) {
+  SalOptions options;
+  options.num_rows = 0;
+  EXPECT_FALSE(GenerateSal(options).ok());
+}
 
 TEST(ExternalDatabaseTest, FromMicrodataCoversAllRows) {
   CensusDataset census = GenerateCensus(500, 9).ValueOrDie();
