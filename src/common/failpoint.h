@@ -34,6 +34,20 @@ inline constexpr const char* kPublishSample = "publish.sample";
 inline constexpr const char* kPublishAssemble = "publish.assemble";
 inline constexpr const char* kPublishAudit = "publish.audit";
 inline constexpr const char* kRepublishNext = "republish.publish_next";
+/// Fires on the serving daemon's admission path (ServerCore::Submit):
+/// the request is rejected with a typed Status before it ever enters the
+/// queue — chaos tests prove an admission fault cannot lose a request
+/// silently or publish anything.
+inline constexpr const char* kServerAdmit = "server.admit_fail";
+/// Fires when the dispatcher picks a queued request up: the request is
+/// answered with a typed Status instead of being published, modelling a
+/// corrupted queue slot that must fail closed.
+inline constexpr const char* kServerQueueCorrupt = "server.queue_corrupt";
+/// Fires on the engine's cache-hit re-check path (the k-anonymity
+/// re-verification of a cached Phase-2 recoding): a failing re-check must
+/// surface as Status::Internal, never as a published-but-unverified table.
+inline constexpr const char* kEngineCacheRecheck =
+    "engine.cache_recheck_fail";
 
 inline constexpr const char* kAll[] = {
     kCsvReadFile,      kTableLoadCsv,
@@ -43,6 +57,8 @@ inline constexpr const char* kAll[] = {
     kPublishGeneralizeTds, kPublishGeneralizeIncognito,
     kPublishSample,    kPublishAssemble,
     kPublishAudit,     kRepublishNext,
+    kServerAdmit,      kServerQueueCorrupt,
+    kEngineCacheRecheck,
 };
 
 }  // namespace failpoints

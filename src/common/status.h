@@ -18,6 +18,9 @@ enum class StatusCode : int {
   kIOError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kResourceExhausted = 9,
+  kDeadlineExceeded = 10,
+  kUnavailable = 11,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -62,6 +65,15 @@ class [[nodiscard]] Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -79,6 +91,13 @@ class [[nodiscard]] Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -200,6 +200,7 @@ Result<PublishedTable> PgPublisher::Publish(
   std::vector<int32_t> perturbed;
   {
     PGPUB_TRACE_SPAN("publish.perturb");
+    if (hooks != nullptr) RETURN_IF_ERROR(hooks->CheckDeadline("perturb"));
     PGPUB_FAILPOINT(failpoints::kPublishPerturb);
     const UniformPerturbation channel(p, us);
     ASSIGN_OR_RETURN(perturbed, channel.PerturbColumnStreams(
@@ -231,6 +232,9 @@ Result<PublishedTable> PgPublisher::Publish(
   QiGroups groups;
   {
     PGPUB_TRACE_SPAN("publish.generalize");
+    if (hooks != nullptr) {
+      RETURN_IF_ERROR(hooks->CheckDeadline("generalize"));
+    }
     const bool is_tds = options_.generalizer == PgOptions::Generalizer::kTds;
     RecodingQuery recoding_query;
     recoding_query.generalizer = options_.generalizer;
@@ -244,6 +248,10 @@ Result<PublishedTable> PgPublisher::Publish(
     std::optional<GlobalRecoding> cached;
     if (hooks != nullptr) cached = hooks->LookupRecoding(recoding_query);
     if (cached.has_value()) {
+      // The k-anonymity re-check below is what lets a cache hit be
+      // trusted; if the re-check machinery itself faults, the hit must
+      // fail closed rather than ship unverified.
+      PGPUB_FAILPOINT(failpoints::kEngineCacheRecheck);
       recoding = *std::move(cached);
     } else if (is_tds) {
       TdsOptions tds_options;
@@ -280,6 +288,7 @@ Result<PublishedTable> PgPublisher::Publish(
   std::vector<StratumSample> samples;
   {
     PGPUB_TRACE_SPAN("publish.sample");
+    if (hooks != nullptr) RETURN_IF_ERROR(hooks->CheckDeadline("sample"));
     PGPUB_FAILPOINT(failpoints::kPublishSample);
     samples = StratifiedSample(groups, sample_rng);
   }

@@ -56,6 +56,19 @@ class PublishHooks {
   /// lease per call from PgOptions::num_threads" (the one-shot behaviour).
   virtual const PoolLease* pool_lease() const { return nullptr; }
 
+  /// Deadline-budget checkpoint. PgPublisher calls this between phases
+  /// (before perturbation, generalization and sampling) and
+  /// RobustPublisher before every attempt, naming the work about to
+  /// start; a serving layer with a per-request deadline returns
+  /// DeadlineExceeded here to stop a request that can no longer finish in
+  /// time from wasting Phase-2 work. Fail-closed contract: a non-OK
+  /// return aborts the publish with that Status — no partial table
+  /// escapes. The default never expires.
+  [[nodiscard]] virtual Status CheckDeadline(const char* about_to_run) {
+    (void)about_to_run;
+    return Status::OK();
+  }
+
   [[nodiscard]] virtual std::optional<double> LookupRetention(
       const RetentionQuery& query) {
     (void)query;

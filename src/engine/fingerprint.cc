@@ -76,6 +76,24 @@ uint64_t FingerprintTaxonomy(const Taxonomy& taxonomy) {
   return fp.digest();
 }
 
+uint64_t FingerprintPublishedTable(const PublishedTable& published) {
+  Fingerprinter fp;
+  fp.Mix(published.num_rows());
+  fp.Mix(static_cast<uint64_t>(published.num_qi_attrs()));
+  fp.MixDouble(published.retention_p());
+  fp.Mix(static_cast<uint64_t>(published.k()));
+  for (size_t row = 0; row < published.num_rows(); ++row) {
+    for (int q = 0; q < published.num_qi_attrs(); ++q) {
+      fp.Mix(static_cast<uint64_t>(
+          static_cast<uint32_t>(published.qi_gen(row, q))));
+    }
+    fp.Mix(static_cast<uint64_t>(
+        static_cast<uint32_t>(published.sensitive(row))));
+    fp.Mix(static_cast<uint64_t>(published.group_size(row)));
+  }
+  return fp.digest();
+}
+
 uint64_t FingerprintTaxonomies(
     const std::vector<const Taxonomy*>& taxonomies) {
   Fingerprinter fp;

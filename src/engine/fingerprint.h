@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/published_table.h"
 #include "hierarchy/taxonomy.h"
 #include "table/table.h"
 
@@ -66,5 +67,12 @@ uint64_t FingerprintTaxonomy(const Taxonomy& taxonomy);
 /// TDS treats them as data-driven splits, so null vs a real hierarchy must
 /// hash differently).
 uint64_t FingerprintTaxonomies(const std::vector<const Taxonomy*>& taxonomies);
+
+/// Response digest of a release: every published cell (generalized QI
+/// ids, perturbed sensitive codes, group sizes) plus the (p, k)
+/// parameters. Two releases with the same digest are byte-identical in
+/// everything a consumer can observe — the serving layer and the load
+/// bench use this for their fixed-seed determinism guards.
+uint64_t FingerprintPublishedTable(const PublishedTable& published);
 
 }  // namespace pgpub::engine

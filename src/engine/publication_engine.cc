@@ -1,5 +1,6 @@
 #include "engine/publication_engine.h"
 
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -72,6 +73,19 @@ class PublicationEngine::Hooks final : public PublishHooks {
 
   bool inputs_prevalidated() const override { return true; }
   const PoolLease* pool_lease() const override { return &engine_->lease_; }
+
+  Status CheckDeadline(const char* about_to_run) override {
+    const uint64_t deadline = engine_->current_deadline_nanos_;
+    if (deadline == 0) return Status::OK();
+    const uint64_t now = engine_->NowNanos();
+    if (now < deadline) return Status::OK();
+    obs::MetricsRegistry::Global()
+        .GetCounter("engine.deadline_exceeded")
+        ->Add();
+    return Status::DeadlineExceeded(
+        std::string("request deadline passed before ") + about_to_run +
+        " (" + std::to_string(now - deadline) + " ns over)");
+  }
 
   std::optional<double> LookupRetention(const RetentionQuery& query) override {
     return engine_->retention_cache_.Lookup(KeyOf(query));
@@ -216,6 +230,14 @@ CacheStats PublicationEngine::combined_cache_stats() const {
   return total;
 }
 
+uint64_t PublicationEngine::NowNanos() const {
+  if (options_.now_nanos) return options_.now_nanos();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 Result<PublishedTable> PublicationEngine::Publish(
     const PublishRequest& request, PublishReport* report) {
   obs::MetricsRegistry::Global().GetCounter("engine.requests")->Add();
@@ -226,10 +248,12 @@ Result<PublishedTable> PublicationEngine::Publish(
     }
     return st;
   }
+  current_deadline_nanos_ = request.deadline_nanos;
   const CacheStats before = combined_cache_stats();
   Result<PublishedTable> result =
       RobustPublisher(request.options, options_.robust)
           .Publish(microdata_, taxonomy_ptrs_, report, hooks_.get());
+  current_deadline_nanos_ = 0;
   if (report != nullptr) {
     const CacheStats after = combined_cache_stats();
     report->cache.enabled = true;
@@ -240,28 +264,38 @@ Result<PublishedTable> PublicationEngine::Publish(
   return result;
 }
 
-Result<std::vector<PublishedTable>> PublicationEngine::PublishBatch(
+std::vector<BatchEntry> PublicationEngine::PublishBatch(
     const std::vector<PublishRequest>& requests, uint64_t batch_seed,
     std::vector<PublishReport>* reports) {
   if (reports != nullptr) {
     reports->clear();
     reports->resize(requests.size());
   }
-  std::vector<PublishedTable> out;
-  out.reserve(requests.size());
+  std::vector<BatchEntry> out(requests.size());
   // Sequential over requests by design: each request fans out across the
   // shared pool internally, and ParallelFor rejects nesting — request-level
   // parallelism would serialize the phases anyway and break determinism of
   // the cache fill order.
+  //
+  // Partial-failure isolation: request i's seed is stream i of the batch
+  // seed, derived before anything runs, and a failed Publish mutates no
+  // shared state beyond cache/metrics counters (cache entries are only
+  // stored for completed computations, which stay byte-equivalent to a
+  // recomputation). So entry j is unaffected by a failure at entry i.
   for (size_t i = 0; i < requests.size(); ++i) {
     PublishRequest derived = requests[i];
     derived.options.seed = Rng::ForStream(batch_seed, i).Next64();
     Result<PublishedTable> one =
         Publish(derived, reports != nullptr ? &(*reports)[i] : nullptr);
-    if (!one.ok()) {
-      return one.status().WithContext("batch request " + std::to_string(i));
+    out[i].status =
+        one.status().WithContext("batch request " + std::to_string(i));
+    if (one.ok()) {
+      out[i].table = std::move(one).ValueOrDie();
+    } else {
+      obs::MetricsRegistry::Global()
+          .GetCounter("engine.batch_request_failures")
+          ->Add();
     }
-    out.push_back(std::move(one).ValueOrDie());
   }
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <tuple>
 #include <vector>
@@ -42,6 +43,12 @@ struct EngineOptions {
   /// release audit) — the engine serves through RobustPublisher.
   RobustPublishOptions robust;
 
+  /// Clock used for per-request deadline checks, returning monotonic
+  /// nanoseconds. Null (the default) reads std::chrono::steady_clock; a
+  /// serving layer injects its own clock here so engine deadlines and
+  /// server deadlines agree (and so tests can drive them manually).
+  std::function<uint64_t()> now_nanos;
+
   [[nodiscard]] Status Validate() const;
 };
 
@@ -52,7 +59,20 @@ struct EngineOptions {
 struct PublishRequest {
   PgOptions options;
 
+  /// Absolute deadline on the engine clock (EngineOptions::now_nanos), in
+  /// nanoseconds; 0 means none. Checked between publish phases via
+  /// PublishHooks::CheckDeadline, so an expired request stops before it
+  /// wastes Phase-2 work and fails closed with DeadlineExceeded.
+  uint64_t deadline_nanos = 0;
+
   [[nodiscard]] Status Validate() const { return options.Validate(); }
+};
+
+/// Outcome of one request inside a batch: `table` is meaningful only when
+/// `status` is OK. Requests fail independently — see PublishBatch.
+struct BatchEntry {
+  Status status;
+  PublishedTable table;
 };
 
 /// \brief Multi-request publication server over one dataset + taxonomy
@@ -101,10 +121,17 @@ class PublicationEngine {
   /// Serves `requests` in order, deriving request i's master seed as
   /// stream i of `batch_seed` (Rng::ForStream) — per-request
   /// `options.seed` values are ignored, so a batch is reproducible from
-  /// (requests, batch_seed) alone. Fails on the first failing request
-  /// (fail-closed: a batch never silently drops a release). `reports`,
-  /// when non-null, is resized to one report per request.
-  [[nodiscard]] Result<std::vector<PublishedTable>> PublishBatch(
+  /// (requests, batch_seed) alone.
+  ///
+  /// Partial-failure contract: requests fail *independently*. Entry i
+  /// carries its own Status (fail-closed per request: a non-OK entry
+  /// never carries a table), and because request i's seed is stream i of
+  /// the batch seed — never derived from the requests around it — a
+  /// failing request cannot poison its neighbors' results or seeds:
+  /// entry j is byte-identical whether or not request i != j failed.
+  /// The batch always returns one entry per request; nothing vanishes.
+  /// `reports`, when non-null, is resized to one report per request.
+  [[nodiscard]] std::vector<BatchEntry> PublishBatch(
       const std::vector<PublishRequest>& requests, uint64_t batch_seed,
       std::vector<PublishReport>* reports = nullptr);
 
@@ -142,6 +169,10 @@ class PublicationEngine {
   /// |Uˢ|, and the rows >= k floor.
   [[nodiscard]] Status ValidateRequest(const PublishRequest& request) const;
 
+  /// Monotonic now on the engine clock (EngineOptions::now_nanos, else
+  /// std::chrono::steady_clock).
+  uint64_t NowNanos() const;
+
   Table microdata_;
   std::vector<Taxonomy> taxonomies_;
   std::vector<const Taxonomy*> taxonomy_ptrs_;
@@ -151,6 +182,10 @@ class PublicationEngine {
   PoolLease lease_;
   uint64_t table_fingerprint_ = 0;
   uint64_t taxonomy_fingerprint_ = 0;
+  /// Deadline of the request currently inside Publish (0 = none). Plain
+  /// member, not atomic: Publish is single-threaded by contract, and the
+  /// hooks read it from the same thread.
+  uint64_t current_deadline_nanos_ = 0;
   LruCache<RecodingKey, GlobalRecoding> recoding_cache_;
   LruCache<RetentionKey, double> retention_cache_;
   std::unique_ptr<Hooks> hooks_;

@@ -1,0 +1,107 @@
+#include "server/circuit_breaker.h"
+
+#include <cmath>
+
+namespace pgpub::server {
+
+Status CircuitBreakerOptions::Validate() const {
+  if (failure_threshold < 1) {
+    return Status::InvalidArgument(
+        "breaker failure_threshold must be >= 1, got " +
+        std::to_string(failure_threshold));
+  }
+  if (open_duration_nanos == 0) {
+    return Status::InvalidArgument("breaker open_duration_nanos must be > 0");
+  }
+  if (!(std::isfinite(backoff_multiplier) && backoff_multiplier >= 1.0)) {
+    return Status::InvalidArgument(
+        "breaker backoff_multiplier must be >= 1");
+  }
+  if (max_open_duration_nanos < open_duration_nanos) {
+    return Status::InvalidArgument(
+        "breaker max_open_duration_nanos must be >= open_duration_nanos");
+  }
+  return Status::OK();
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options,
+                               const ServerClock* clock)
+    : options_(options),
+      clock_(clock),
+      open_window_nanos_(options.open_duration_nanos) {}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::Allow() {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const uint64_t now = clock_->NowNanos();
+      if (now - opened_at_nanos_ < open_window_nanos_) return false;
+      state_ = State::kHalfOpen;
+      probe_inflight_ = true;
+      return true;
+    }
+    case State::kHalfOpen:
+      // One probe at a time; everything else keeps fast-failing until
+      // the probe reports back.
+      if (probe_inflight_) return false;
+      probe_inflight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (state_ == State::kHalfOpen) {
+    probe_inflight_ = false;
+    // A clean probe closes the breaker and forgives the backoff.
+    open_window_nanos_ = options_.open_duration_nanos;
+  }
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (state_ == State::kHalfOpen) {
+    probe_inflight_ = false;
+    // Failed probe: reopen with a longer window (retry-with-backoff).
+    const double next = static_cast<double>(open_window_nanos_) *
+                        options_.backoff_multiplier;
+    const double cap =
+        static_cast<double>(options_.max_open_duration_nanos);
+    open_window_nanos_ = static_cast<uint64_t>(next < cap ? next : cap);
+    Open();
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    Open();
+  }
+}
+
+void CircuitBreaker::Open() {
+  state_ = State::kOpen;
+  opened_at_nanos_ = clock_->NowNanos();
+  consecutive_failures_ = 0;
+}
+
+uint64_t CircuitBreaker::remaining_open_nanos() const {
+  if (state_ != State::kOpen) return 0;
+  const uint64_t elapsed = clock_->NowNanos() - opened_at_nanos_;
+  return elapsed >= open_window_nanos_ ? 0 : open_window_nanos_ - elapsed;
+}
+
+}  // namespace pgpub::server

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/clock.h"
+
+namespace pgpub::server {
+
+/// Policy of one tenant's circuit breaker (DESIGN.md §12).
+struct CircuitBreakerOptions {
+  /// Consecutive engine failures that trip the breaker open.
+  int failure_threshold = 5;
+
+  /// How long the breaker stays open before letting one probe through
+  /// (half-open). This is the base of the retry backoff.
+  uint64_t open_duration_nanos = 1000 * kNanosPerMilli;
+
+  /// Each time the half-open probe fails, the next open window grows by
+  /// this factor (retry-with-backoff), capped below. A successful probe
+  /// closes the breaker and resets the window to the base.
+  double backoff_multiplier = 2.0;
+
+  /// Ceiling of the backed-off open window.
+  uint64_t max_open_duration_nanos = 60000 * kNanosPerMilli;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// \brief Per-tenant circuit breaker with exponential-backoff reopen.
+///
+/// Wraps a tenant engine whose RobustPublisher audits keep failing:
+/// after `failure_threshold` consecutive failures the breaker opens and
+/// the server fast-fails that tenant's requests with Unavailable —
+/// fail-closed and cheap, instead of burning publish attempts on a
+/// broken dataset while other tenants queue behind it. After the open
+/// window one probe request is let through (half-open): success closes
+/// the breaker, failure reopens it with a doubled window (capped).
+///
+/// Thread safety: none — the dispatcher owns all mutation; state() reads
+/// from other threads must go through ServerCore's lock (the health
+/// endpoint does).
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(CircuitBreakerOptions options, const ServerClock* clock);
+
+  /// True when a request may proceed. Transitions kOpen -> kHalfOpen when
+  /// the open window has elapsed (the caller's request becomes the
+  /// probe); returns false while the window is still running or while a
+  /// probe is already in flight.
+  [[nodiscard]] bool Allow();
+
+  /// Outcome of a request that was allowed through.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  /// The currently effective open window (reflects backoff).
+  uint64_t open_window_nanos() const { return open_window_nanos_; }
+  /// Nanos until the next probe is allowed; 0 unless open.
+  uint64_t remaining_open_nanos() const;
+
+  static const char* StateName(State state);
+
+ private:
+  void Open();
+
+  const CircuitBreakerOptions options_;
+  const ServerClock* clock_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  uint64_t open_window_nanos_ = 0;  ///< Current (backed-off) window.
+  uint64_t opened_at_nanos_ = 0;
+  bool probe_inflight_ = false;
+};
+
+}  // namespace pgpub::server

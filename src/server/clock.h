@@ -1,0 +1,61 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace pgpub::server {
+
+/// \brief Monotonic time source the serving layer schedules against.
+///
+/// Every deadline, breaker window and drain decision in src/server reads
+/// this interface instead of std::chrono directly, so the overload tests
+/// can drive open/half-open/close transitions with a ManualClock instead
+/// of sleeping. Implementations must be safe to read from any thread.
+class ServerClock {
+ public:
+  virtual ~ServerClock() = default;
+
+  /// Monotonic nanoseconds. The epoch is unspecified; only differences
+  /// are meaningful.
+  virtual uint64_t NowNanos() const = 0;
+};
+
+/// The production clock: std::chrono::steady_clock.
+class SteadyClock final : public ServerClock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Process-wide instance (stateless, so sharing is free).
+  static const SteadyClock* Instance() {
+    static const SteadyClock clock;
+    return &clock;
+  }
+};
+
+/// Test clock: time moves only when told to. Thread-safe.
+class ManualClock final : public ServerClock {
+ public:
+  explicit ManualClock(uint64_t start_nanos = 0) : nanos_(start_nanos) {}
+
+  uint64_t NowNanos() const override {
+    return nanos_.load(std::memory_order_relaxed);
+  }
+
+  void AdvanceNanos(uint64_t delta) {
+    nanos_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void AdvanceMillis(uint64_t ms) { AdvanceNanos(ms * 1000000ull); }
+
+ private:
+  std::atomic<uint64_t> nanos_;
+};
+
+inline constexpr uint64_t kNanosPerMilli = 1000000ull;
+
+}  // namespace pgpub::server

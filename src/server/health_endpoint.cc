@@ -1,0 +1,305 @@
+#include "server/health_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace pgpub::server {
+
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+/// Status messages can carry anything; the protocol is line-based, so
+/// newlines must not leak into a reply.
+std::string OneLine(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+
+std::string ErrorReply(const Status& status) {
+  return "err code=" + std::string(StatusCodeToString(status.code())) +
+         " msg=" + OneLine(status.message()) + "\n";
+}
+
+}  // namespace
+
+HealthEndpoint::~HealthEndpoint() { Stop(); }
+
+Status HealthEndpoint::Start(int port) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("health endpoint already started");
+  }
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535], got " +
+                                   std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind(127.0.0.1:" + std::to_string(port) +
+                           "): " + error);
+  }
+  if (::listen(fd, 64) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen(): " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname(): " + error);
+  }
+  listen_fd_ = fd;
+  bound_port_ = ntohs(bound.sin_port);
+  stopping_.store(false, std::memory_order_relaxed);
+  // The endpoint's one accept loop; requests are answered synchronously,
+  // so no work escapes Status propagation. pgpub-lint: allow(thread)
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  PGPUB_LOG_INFO("server.health_endpoint_started")
+      .Field("port", bound_port_);
+  return Status::OK();
+}
+
+void HealthEndpoint::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Unblocks accept(): shutdown first (wakes a blocked accept on Linux),
+  // then close.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  PGPUB_LOG_INFO("server.health_endpoint_stopped")
+      .Field("port", bound_port_);
+}
+
+void HealthEndpoint::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (errno == EINTR) continue;
+      return;  // Listening socket is gone; nothing to serve.
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HealthEndpoint::ServeConnection(int fd) {
+  std::string line;
+  char buf[512];
+  // One command per connection; read until the first newline (or EOF,
+  // for clients that just close after writing).
+  while (line.find('\n') == std::string::npos && line.size() < 4096) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    line.append(buf, static_cast<size_t>(n));
+  }
+  const size_t eol = line.find('\n');
+  if (eol != std::string::npos) line.resize(eol);
+  const std::string reply = HandleCommand(line);
+  size_t sent = 0;
+  while (sent < reply.size()) {
+    const ssize_t n = ::send(fd, reply.data() + sent, reply.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string HealthEndpoint::HandleCommand(const std::string& line) {
+  const std::vector<std::string> words = SplitWords(line);
+  if (words.empty()) {
+    return ErrorReply(Status::InvalidArgument("empty command"));
+  }
+  const std::string& cmd = words[0];
+
+  if (cmd == "HEALTH") {
+    std::ostringstream out;
+    out << "ok draining=" << (core_->draining() ? 1 : 0)
+        << " queued=" << core_->queued() << "\n";
+    return out.str();
+  }
+
+  if (cmd == "STATS") {
+    const ServerCore::Stats stats = core_->stats();
+    std::ostringstream out;
+    out << "server.submitted " << stats.submitted << "\n"
+        << "server.admitted " << stats.admitted << "\n"
+        << "server.rejected_full " << stats.rejected_full << "\n"
+        << "server.rejected_quota " << stats.rejected_quota << "\n"
+        << "server.rejected_deadline " << stats.rejected_deadline << "\n"
+        << "server.rejected_unknown_tenant " << stats.rejected_unknown_tenant
+        << "\n"
+        << "server.rejected_draining " << stats.rejected_draining << "\n"
+        << "server.rejected_admit_fault " << stats.rejected_admit_fault
+        << "\n"
+        << "server.breaker_open " << stats.breaker_open << "\n"
+        << "server.queue_corrupt " << stats.queue_corrupt << "\n"
+        << "server.completed " << stats.completed << "\n"
+        << "server.failed " << stats.failed << "\n"
+        << "server.drained " << stats.drained << "\n";
+    return out.str();
+  }
+
+  if (cmd == "METRICS") {
+    const obs::MetricsRegistry::Snapshot snapshot =
+        obs::MetricsRegistry::Global().TakeSnapshot();
+    std::ostringstream out;
+    for (const auto& [name, value] : snapshot.counters) {
+      out << "counter " << name << " " << value << "\n";
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      out << "gauge " << name << " " << value << "\n";
+    }
+    for (const auto& [name, hist] : snapshot.histograms) {
+      out << "histogram " << name << " count=" << hist.count
+          << " sum=" << hist.sum << " min=" << hist.min
+          << " max=" << hist.max << "\n";
+    }
+    return out.str();
+  }
+
+  if (cmd == "TENANTS") {
+    std::ostringstream out;
+    for (const ServerCore::TenantSnapshot& t : core_->SnapshotTenants()) {
+      out << "tenant " << t.key << " queued=" << t.queued
+          << " served=" << t.served << " failed=" << t.failed
+          << " breaker=" << t.breaker_state;
+      if (t.breaker_remaining_open_ms > 0) {
+        out << " reopen_ms=" << t.breaker_remaining_open_ms;
+      }
+      out << "\n";
+    }
+    return out.str();
+  }
+
+  if (cmd == "PUBLISH") {
+    if (words.size() < 3) {
+      return ErrorReply(Status::InvalidArgument(
+          "usage: PUBLISH <tenant> <stream_id> [k] [p] [deadline_ms]"));
+    }
+    ServerRequest request;
+    request.tenant = words[1];
+    try {
+      request.stream_id = std::stoull(words[2]);
+      request.publish.options.k = words.size() > 3 ? std::stoi(words[3]) : 4;
+      request.publish.options.p =
+          words.size() > 4 ? std::stod(words[4]) : 0.5;
+      if (words.size() > 5) {
+        const uint64_t deadline_ms = std::stoull(words[5]);
+        request.deadline_nanos =
+            core_->clock()->NowNanos() + deadline_ms * kNanosPerMilli;
+      }
+    } catch (const std::exception&) {
+      return ErrorReply(
+          Status::InvalidArgument("malformed PUBLISH argument"));
+    }
+
+    struct Waiter {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      ServerResponse response;
+    };
+    auto waiter = std::make_shared<Waiter>();
+    Status admitted =
+        core_->Submit(std::move(request), [waiter](ServerResponse r) {
+          std::lock_guard<std::mutex> lock(waiter->mu);
+          waiter->response = std::move(r);
+          waiter->done = true;
+          waiter->cv.notify_one();
+        });
+    if (!admitted.ok()) return ErrorReply(admitted);
+    std::unique_lock<std::mutex> lock(waiter->mu);
+    waiter->cv.wait(lock, [&] { return waiter->done; });
+    const ServerResponse& r = waiter->response;
+    if (!r.status.ok()) return ErrorReply(r.status);
+    std::ostringstream out;
+    out << "ok tenant=" << r.tenant << " stream=" << r.stream_id
+        << " digest=" << r.digest << " rows=" << r.rows << " p="
+        << r.retention_p << " k=" << r.k << " queue_ms=" << r.queue_ms
+        << " publish_ms=" << r.publish_ms << "\n";
+    return out.str();
+  }
+
+  if (cmd == "BURST") {
+    if (words.size() < 3) {
+      return ErrorReply(
+          Status::InvalidArgument("usage: BURST <tenant> <count> "
+                                  "[start_stream]"));
+    }
+    uint64_t count = 0;
+    uint64_t start_stream = 0;
+    try {
+      count = std::stoull(words[2]);
+      if (words.size() > 3) start_stream = std::stoull(words[3]);
+    } catch (const std::exception&) {
+      return ErrorReply(Status::InvalidArgument("malformed BURST argument"));
+    }
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    std::string first_err;
+    for (uint64_t i = 0; i < count; ++i) {
+      ServerRequest request;
+      request.tenant = words[1];
+      request.stream_id = start_stream + i;
+      request.publish.options.k = 4;
+      request.publish.options.p = 0.5;
+      Status status = core_->Submit(std::move(request),
+                                    [](ServerResponse) { /* discard */ });
+      if (status.ok()) {
+        ++admitted;
+      } else {
+        ++rejected;
+        if (first_err.empty()) {
+          first_err = std::string(StatusCodeToString(status.code()));
+        }
+      }
+    }
+    std::ostringstream out;
+    out << "admitted=" << admitted << " rejected=" << rejected;
+    if (!first_err.empty()) out << " first_err=" << first_err;
+    out << "\n";
+    return out.str();
+  }
+
+  return ErrorReply(
+      Status::InvalidArgument("unknown command '" + cmd + "'"));
+}
+
+}  // namespace pgpub::server

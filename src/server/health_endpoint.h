@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "server/server_core.h"
+
+namespace pgpub::server {
+
+/// \brief pgpubd's dependency-free text-over-TCP control endpoint.
+///
+/// One command line per connection, one text reply, then the server
+/// closes. Loopback only. Commands:
+///
+///   HEALTH
+///     "ok draining=<0|1> queued=<n>"
+///   STATS
+///     one "server.<counter> <value>" line per ServerCore::Stats field.
+///   METRICS
+///     the global metrics registry: "counter <name> <value>",
+///     "gauge <name> <value>" and
+///     "histogram <name> count=<c> sum=<s> min=<m> max=<M>" lines,
+///     sorted by name (deterministic output for scraping and tests).
+///   TENANTS
+///     one line per tenant:
+///     "tenant <key> queued=<n> served=<n> failed=<n> breaker=<state>".
+///   PUBLISH <tenant> <stream_id> [k] [p] [deadline_ms]
+///     submits one request and waits for its response:
+///     "ok tenant=... stream=... digest=... rows=... p=... k=..." or
+///     "err code=<code> msg=<single-line message>". Defaults k=4, p=0.5.
+///   BURST <tenant> <count> [start_stream]
+///     fire-and-forget submits (responses are discarded) to probe
+///     admission control: "admitted=<n> rejected=<n> first_err=<code>".
+///
+/// Unknown commands answer "err code=INVALID_ARGUMENT ...". The endpoint
+/// never mutates tenants and cannot bypass admission control — PUBLISH
+/// and BURST go through ServerCore::Submit like every other client.
+class HealthEndpoint {
+ public:
+  /// `core` must outlive the endpoint.
+  explicit HealthEndpoint(ServerCore* core) : core_(core) {}
+  ~HealthEndpoint();
+
+  HealthEndpoint(const HealthEndpoint&) = delete;
+  HealthEndpoint& operator=(const HealthEndpoint&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see bound_port()) and spawns
+  /// the accept thread.
+  [[nodiscard]] Status Start(int port);
+
+  /// Stops accepting, closes the listening socket, joins. Idempotent.
+  void Stop();
+
+  int bound_port() const { return bound_port_; }
+
+  /// Executes one protocol command and returns the reply text (also used
+  /// directly by tests, without a socket).
+  std::string HandleCommand(const std::string& line);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  ServerCore* core_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;  // pgpub-lint: allow(thread)
+};
+
+}  // namespace pgpub::server

@@ -1,0 +1,376 @@
+#include "server/server_core.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "engine/fingerprint.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace pgpub::server {
+
+namespace {
+
+double NanosToMs(uint64_t nanos) {
+  return static_cast<double>(nanos) / 1.0e6;
+}
+
+/// EDF sort key: strictest deadline first, no-deadline requests last,
+/// admission order as the deterministic tiebreak.
+uint64_t EffectiveDeadline(const ServerRequest& request) {
+  return request.deadline_nanos == 0 ? ~uint64_t{0} : request.deadline_nanos;
+}
+
+}  // namespace
+
+Status ServerOptions::Validate() const {
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  return Status::OK();
+}
+
+ServerCore::ServerCore(TenantRegistry* registry, ServerOptions options,
+                       const ServerClock* clock)
+    : registry_(registry),
+      options_(options),
+      clock_(clock != nullptr ? clock : registry->clock()) {}
+
+ServerCore::~ServerCore() { Shutdown(); }
+
+Status ServerCore::Start() {
+  RETURN_IF_ERROR(options_.Validate());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  started_ = true;
+  // The dispatcher is the server's one long-lived serving thread; request
+  // fan-out happens inside the engines through the sanctioned pool.
+  // The single long-lived dispatcher; engine fan-out stays inside the
+  // sanctioned pool and errors flow as Status. pgpub-lint: allow(thread)
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  PGPUB_LOG_INFO("server.started")
+      .Field("queue_capacity", options_.queue_capacity)
+      .Field("tenants", registry_->size());
+  return Status::OK();
+}
+
+Status ServerCore::Submit(ServerRequest request, ResponseCallback done) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("server.submitted")->Add();
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.submitted++;
+  if (!started_) {
+    return Status::FailedPrecondition("server not started");
+  }
+  if (draining_) {
+    stats_.rejected_draining++;
+    metrics.GetCounter("server.rejected_draining")->Add();
+    return Status::Unavailable("server is draining; request not admitted");
+  }
+  // Injected admission fault: reject with a typed Status before the
+  // request can enter the queue — an admission failure must never strand
+  // a request half-admitted or invoke its callback.
+  if (PGPUB_FAILPOINT_TRIGGERED(failpoints::kServerAdmit)) {
+    stats_.rejected_admit_fault++;
+    metrics.GetCounter("server.rejected_admit_fault")->Add();
+    return Status::Internal(std::string("failpoint '") +
+                            failpoints::kServerAdmit +
+                            "' triggered (admission)");
+  }
+  Result<Tenant*> tenant = registry_->Lookup(request.tenant);
+  if (!tenant.ok()) {
+    stats_.rejected_unknown_tenant++;
+    metrics.GetCounter("server.rejected_unknown_tenant")->Add();
+    return tenant.status();
+  }
+  const uint64_t now = clock_->NowNanos();
+  if (request.deadline_nanos != 0 && now >= request.deadline_nanos) {
+    stats_.rejected_deadline++;
+    metrics.GetCounter("server.rejected_deadline")->Add();
+    return Status::DeadlineExceeded("deadline already passed at admission");
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    stats_.rejected_full++;
+    metrics.GetCounter("server.rejected_full")->Add();
+    return Status::ResourceExhausted(
+        "request queue full (" + std::to_string(options_.queue_capacity) +
+        "); retry later");
+  }
+  Tenant* t = *tenant;
+  if (t->options.max_queued != 0 && t->queued >= t->options.max_queued) {
+    stats_.rejected_quota++;
+    metrics.GetCounter("server.rejected_quota")->Add();
+    return Status::ResourceExhausted(
+        "tenant '" + request.tenant + "' queue quota full (" +
+        std::to_string(t->options.max_queued) + ")");
+  }
+  Item item;
+  item.request = std::move(request);
+  item.done = std::move(done);
+  item.tenant = t;
+  item.admit_seq = next_admit_seq_++;
+  item.enqueued_nanos = now;
+  t->queued++;
+  queue_.push_back(std::move(item));
+  stats_.admitted++;
+  metrics.GetCounter("server.admitted")->Add();
+  lock.unlock();
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+void ServerCore::DispatcherLoop() {
+  for (;;) {
+    std::vector<Item> batch;
+    bool draining_now = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) break;  // draining_ && empty: done.
+      batch.reserve(queue_.size());
+      while (!queue_.empty()) {
+        queue_.front().tenant->queued--;
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      draining_now = draining_;
+    }
+
+    // Load-shed order: strictest deadline first, admission order as the
+    // deterministic tiebreak. Requests most at risk of expiring are
+    // served first; the scheduling order never changes any response's
+    // bytes (seeds come from stream ids), only who makes their deadline.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Item& a, const Item& b) {
+                       const uint64_t da = EffectiveDeadline(a.request);
+                       const uint64_t db = EffectiveDeadline(b.request);
+                       if (da != db) return da < db;
+                       return a.admit_seq < b.admit_seq;
+                     });
+
+    // Sweep: answer every already-expired request up front, before any
+    // publish in this round can delay the verdict further.
+    const uint64_t sweep_now = clock_->NowNanos();
+    for (Item& item : batch) {
+      if (item.done != nullptr && item.request.deadline_nanos != 0 &&
+          sweep_now >= item.request.deadline_nanos) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.rejected_deadline++;
+        }
+        obs::MetricsRegistry::Global()
+            .GetCounter("server.rejected_deadline")
+            ->Add();
+        Respond(item, MakeResponse(
+                          item, Status::DeadlineExceeded(
+                                    "deadline passed while queued; "
+                                    "request swept")));
+      }
+    }
+
+    for (Item& item : batch) {
+      if (item.done != nullptr) Process(item, draining_now);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  dispatcher_exited_ = true;
+}
+
+ServerResponse ServerCore::MakeResponse(const Item& item,
+                                        Status status) const {
+  ServerResponse response;
+  response.status = std::move(status);
+  response.tenant = item.request.tenant;
+  response.stream_id = item.request.stream_id;
+  response.queue_ms =
+      NanosToMs(clock_->NowNanos() - item.enqueued_nanos);
+  return response;
+}
+
+void ServerCore::Respond(Item& item, ServerResponse response) {
+  // Exactly-once: the callback is consumed here and only here.
+  ResponseCallback done = std::move(item.done);
+  item.done = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      stats_.drained++;
+      obs::MetricsRegistry::Global().GetCounter("server.drained")->Add();
+    }
+  }
+  done(std::move(response));
+}
+
+void ServerCore::Process(Item& item, bool draining_now) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+
+  // Injected queue-slot corruption: the request is answered with a typed
+  // Status — it must not reach the engine, and it must not vanish.
+  if (PGPUB_FAILPOINT_TRIGGERED(failpoints::kServerQueueCorrupt)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.queue_corrupt++;
+    }
+    metrics.GetCounter("server.queue_corrupt")->Add();
+    Respond(item, MakeResponse(
+                      item, Status::Internal(
+                                std::string("failpoint '") +
+                                failpoints::kServerQueueCorrupt +
+                                "' triggered (queued request discarded "
+                                "fail-closed)")));
+    return;
+  }
+
+  // Drain policy kReject: answer instead of serving (expired requests
+  // still get the more precise DeadlineExceeded).
+  const uint64_t now = clock_->NowNanos();
+  const bool expired = item.request.deadline_nanos != 0 &&
+                       now >= item.request.deadline_nanos;
+  if (expired) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.rejected_deadline++;
+    }
+    metrics.GetCounter("server.rejected_deadline")->Add();
+    Respond(item, MakeResponse(item, Status::DeadlineExceeded(
+                                         "deadline passed while queued")));
+    return;
+  }
+  if (draining_now &&
+      options_.drain_policy == ServerOptions::DrainPolicy::kReject) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.rejected_draining++;
+    }
+    metrics.GetCounter("server.rejected_draining")->Add();
+    Respond(item, MakeResponse(
+                      item, Status::Unavailable(
+                                "server draining; queued request rejected "
+                                "by drain policy")));
+    return;
+  }
+
+  Tenant* tenant = item.tenant;
+  bool allowed;
+  uint64_t remaining_ms = 0;
+  {
+    // Breaker state is mutated only on the dispatcher but read by the
+    // health endpoint, so every touch happens under the core lock.
+    std::lock_guard<std::mutex> lock(mu_);
+    allowed = tenant->breaker.Allow();
+    if (!allowed) {
+      stats_.breaker_open++;
+      remaining_ms = tenant->breaker.remaining_open_nanos() / kNanosPerMilli;
+    }
+  }
+  if (!allowed) {
+    metrics.GetCounter("server.breaker_open")->Add();
+    Respond(item, MakeResponse(
+                      item, Status::Unavailable(
+                                "circuit breaker open for tenant '" +
+                                tenant->key + "'; next probe in " +
+                                std::to_string(remaining_ms) + " ms")));
+    return;
+  }
+
+  engine::PublishRequest publish = item.request.publish;
+  publish.options.seed =
+      Rng::ForStream(options_.batch_seed, item.request.stream_id).Next64();
+  publish.deadline_nanos = item.request.deadline_nanos;
+
+  const uint64_t publish_start = clock_->NowNanos();
+  Result<PublishedTable> result = tenant->engine->Publish(publish);
+  const double publish_ms = NanosToMs(clock_->NowNanos() - publish_start);
+
+  ServerResponse response = MakeResponse(item, result.status());
+  response.publish_ms = publish_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok()) {
+      tenant->breaker.RecordSuccess();
+      tenant->served++;
+      stats_.completed++;
+    } else {
+      // Only engine malfunction (failed audits, internal faults) trips
+      // the breaker; a caller error or a missed deadline says nothing
+      // about the tenant's health.
+      if (result.status().IsInternal() || result.status().IsIOError()) {
+        tenant->breaker.RecordFailure();
+      } else {
+        tenant->breaker.RecordSuccess();
+      }
+      tenant->failed++;
+      stats_.failed++;
+    }
+  }
+  if (result.ok()) {
+    metrics.GetCounter("server.completed")->Add();
+    const PublishedTable& table = *result;
+    response.digest = engine::FingerprintPublishedTable(table);
+    response.rows = table.num_rows();
+    response.retention_p = table.retention_p();
+    response.k = table.k();
+  } else {
+    metrics.GetCounter("server.failed")->Add();
+  }
+  metrics.GetHistogram("server.publish_us")
+      ->Observe(static_cast<uint64_t>(publish_ms * 1000.0));
+  Respond(item, std::move(response));
+}
+
+void ServerCore::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    if (!draining_) {
+      draining_ = true;
+      PGPUB_LOG_INFO("server.draining").Field("queued", queue_.size());
+    }
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  PGPUB_LOG_INFO("server.stopped").Field("drained", stats().drained);
+}
+
+bool ServerCore::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+size_t ServerCore::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ServerCore::Stats ServerCore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<ServerCore::TenantSnapshot> ServerCore::SnapshotTenants() const {
+  // The registry's structure is frozen while serving; only the per-tenant
+  // counters and breaker state need the lock.
+  std::vector<TenantSnapshot> snapshots;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& key : registry_->Keys()) {
+    Result<Tenant*> tenant = registry_->Lookup(key);
+    if (!tenant.ok()) continue;
+    const Tenant& t = **tenant;
+    TenantSnapshot snap;
+    snap.key = key;
+    snap.queued = t.queued;
+    snap.served = t.served;
+    snap.failed = t.failed;
+    snap.breaker_state = CircuitBreaker::StateName(t.breaker.state());
+    snap.breaker_remaining_open_ms =
+        t.breaker.remaining_open_nanos() / kNanosPerMilli;
+    snapshots.push_back(std::move(snap));
+  }
+  return snapshots;
+}
+
+}  // namespace pgpub::server

@@ -1,0 +1,60 @@
+#include "server/tenant_registry.h"
+
+#include <utility>
+
+#include "obs/log.h"
+
+namespace pgpub::server {
+
+Status TenantOptions::Validate() const {
+  RETURN_IF_ERROR(engine.Validate());
+  return breaker.Validate();
+}
+
+Status TenantRegistry::AddTenant(const std::string& key, Table microdata,
+                                 std::vector<Taxonomy> taxonomies,
+                                 TenantOptions options) {
+  if (key.empty()) {
+    return Status::InvalidArgument("tenant key must be non-empty");
+  }
+  if (tenants_.count(key) > 0) {
+    return Status::AlreadyExists("tenant '" + key + "' already registered");
+  }
+  RETURN_IF_ERROR(options.Validate().WithContext("tenant '" + key + "'"));
+  // Tenant deadlines run on the server clock; the engine checks them
+  // between phases through the same source.
+  if (!options.engine.now_nanos) {
+    const ServerClock* clock = clock_;
+    options.engine.now_nanos = [clock] { return clock->NowNanos(); };
+  }
+  ASSIGN_OR_RETURN(std::unique_ptr<engine::PublicationEngine> eng,
+                   engine::PublicationEngine::Create(std::move(microdata),
+                                                    std::move(taxonomies),
+                                                    options.engine));
+  auto tenant = std::make_unique<Tenant>(key, std::move(eng),
+                                         std::move(options), clock_);
+  PGPUB_LOG_INFO("server.tenant_added")
+      .Field("tenant", key)
+      .Field("rows", tenant->engine->microdata().num_rows());
+  tenants_.emplace(key, std::move(tenant));
+  return Status::OK();
+}
+
+Result<Tenant*> TenantRegistry::Lookup(const std::string& key) {
+  auto it = tenants_.find(key);
+  if (it == tenants_.end()) {
+    // Fail closed: no default tenant, no lazy creation — an unknown key
+    // must never be served against someone else's dataset.
+    return Status::NotFound("unknown tenant '" + key + "'");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> TenantRegistry::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(tenants_.size());
+  for (const auto& [key, tenant] : tenants_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace pgpub::server

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/publication_engine.h"
+#include "server/circuit_breaker.h"
+#include "server/clock.h"
+
+namespace pgpub::server {
+
+/// Per-tenant serving policy, layered on the engine's own options.
+struct TenantOptions {
+  /// Engine configuration (threads, caches, robust policy). The registry
+  /// injects the server clock as the engine's deadline clock, so tenant
+  /// deadlines and server deadlines agree.
+  engine::EngineOptions engine;
+
+  /// Breaker policy wrapped around this tenant's engine.
+  CircuitBreakerOptions breaker;
+
+  /// Per-tenant admission quota: at most this many of the tenant's
+  /// requests may sit in the server queue at once (0 = no tenant cap,
+  /// only the global queue bound applies). A full quota rejects with
+  /// ResourceExhausted — overload by one tenant must not starve the rest.
+  size_t max_queued = 0;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// One hosted dataset + taxonomy family and its serving state.
+struct Tenant {
+  std::string key;
+  std::unique_ptr<engine::PublicationEngine> engine;
+  CircuitBreaker breaker;
+  TenantOptions options;
+
+  /// Requests of this tenant currently queued (dispatcher + admission
+  /// both run under ServerCore's queue lock, which owns this count).
+  size_t queued = 0;
+  uint64_t served = 0;
+  uint64_t failed = 0;
+
+  Tenant(std::string k, std::unique_ptr<engine::PublicationEngine> e,
+         TenantOptions opts, const ServerClock* clock)
+      : key(std::move(k)),
+        engine(std::move(e)),
+        breaker(opts.breaker, clock),
+        options(std::move(opts)) {}
+};
+
+/// \brief Registry of tenants behind string keys — the multi-dataset face
+/// of pgpubd.
+///
+/// Fail-closed lookup contract: an unknown key is NotFound, never a
+/// default tenant — a request must not be silently served against the
+/// wrong dataset. Registration is front-loaded (before Start) and
+/// validates the dataset through PublicationEngine::Create, so a tenant
+/// that exists is a tenant that passed the full input screen.
+///
+/// Thread safety: AddTenant is not thread-safe against Lookup; register
+/// every tenant before the server starts serving (pgpubd does).
+class TenantRegistry {
+ public:
+  explicit TenantRegistry(const ServerClock* clock)
+      : clock_(clock != nullptr ? clock : SteadyClock::Instance()) {}
+
+  /// Validates and hosts a dataset under `key`. AlreadyExists on a
+  /// duplicate key; any engine-creation error propagates (fail-closed:
+  /// a tenant that failed validation is never registered half-way).
+  [[nodiscard]] Status AddTenant(const std::string& key, Table microdata,
+                                 std::vector<Taxonomy> taxonomies,
+                                 TenantOptions options = {});
+
+  /// The tenant behind `key`, or NotFound. Never creates.
+  [[nodiscard]] Result<Tenant*> Lookup(const std::string& key);
+
+  std::vector<std::string> Keys() const;
+  size_t size() const { return tenants_.size(); }
+  // Accessor for the injected ServerClock, not a libc clock() read;
+  // determinism is owned by the clock instance. pgpub-lint: allow(L4)
+  const ServerClock* clock() const { return clock_; }
+
+ private:
+  const ServerClock* clock_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace pgpub::server

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,11 +14,14 @@
 #include "core/robust_publisher.h"
 #include "core/verify.h"
 #include "datagen/clinic.h"
+#include "engine/publication_engine.h"
 #include "hierarchy/recoding.h"
 #include "hierarchy/recoding_io.h"
 #include "hierarchy/taxonomy_io.h"
 #include "obs/log.h"
 #include "republish/minvariance.h"
+#include "server/server_core.h"
+#include "server/tenant_registry.h"
 #include "table/csv_io.h"
 
 namespace pgpub {
@@ -229,6 +235,67 @@ class ChaosSweepTest : public FailpointTest {
       return republisher
           .PublishNext({{1, 0}, {2, 1}, {3, 2}, {4, 3}})
           .status();
+    }
+    if (name == failpoints::kEngineCacheRecheck) {
+      // The failpoint sits on the recoding-cache *hit* path, so serve the
+      // same lattice twice: Incognito ignores the perturbed labels, which
+      // makes the second request (different seed) a guaranteed hit.
+      engine::EngineOptions engine_options;
+      engine_options.robust.max_attempts = 1;
+      engine_options.robust.allow_generalizer_fallback = false;
+      auto eng = engine::PublicationEngine::Create(
+          Table(clinic_.table),
+          std::vector<Taxonomy>(clinic_.taxonomies), engine_options);
+      if (!eng.ok()) return eng.status();
+      engine::PublishRequest request;
+      request.options.k = 5;
+      request.options.p = 0.4;
+      request.options.generalizer = PgOptions::Generalizer::kIncognito;
+      request.options.seed = 1;
+      RETURN_IF_ERROR((*eng)->Publish(request).status());
+      request.options.seed = 2;
+      return (*eng)->Publish(request).status();
+    }
+    if (name == failpoints::kServerAdmit ||
+        name == failpoints::kServerQueueCorrupt) {
+      server::TenantRegistry registry(nullptr);
+      server::TenantOptions tenant_options;
+      tenant_options.engine.robust.max_attempts = 1;
+      tenant_options.engine.robust.allow_generalizer_fallback = false;
+      RETURN_IF_ERROR(registry.AddTenant(
+          "t", Table(clinic_.table),
+          std::vector<Taxonomy>(clinic_.taxonomies), tenant_options));
+      server::ServerCore core(&registry, server::ServerOptions{});
+      RETURN_IF_ERROR(core.Start());
+      struct Waiter {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        Status status;
+      };
+      auto waiter = std::make_shared<Waiter>();
+      server::ServerRequest request;
+      request.tenant = "t";
+      request.stream_id = 1;
+      request.publish.options.k = 5;
+      request.publish.options.p = 0.4;
+      Status admitted = core.Submit(
+          std::move(request), [waiter](server::ServerResponse response) {
+            std::lock_guard<std::mutex> lock(waiter->mu);
+            waiter->status = std::move(response.status);
+            waiter->done = true;
+            waiter->cv.notify_one();
+          });
+      if (!admitted.ok()) {
+        core.Shutdown();
+        return admitted;  // kServerAdmit rejects synchronously.
+      }
+      {
+        std::unique_lock<std::mutex> lock(waiter->mu);
+        waiter->cv.wait(lock, [&] { return waiter->done; });
+      }
+      core.Shutdown();
+      return waiter->status;
     }
     // Everything else sits on the publish pipeline. One attempt, no
     // fallback: the armed failpoint must surface, not be retried around.

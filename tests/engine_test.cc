@@ -357,43 +357,62 @@ TEST(PublishBatchTest, BatchIsAFunctionOfRequestsAndBatchSeed) {
   requests[1].options.seed = 222;
 
   std::vector<PublishReport> reports;
-  const auto run_a =
-      engine->PublishBatch(requests, 99, &reports).ValueOrDie();
+  const auto run_a = engine->PublishBatch(requests, 99, &reports);
   ASSERT_EQ(run_a.size(), 2u);
   ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(run_a[0].status.ok());
+  EXPECT_TRUE(run_a[1].status.ok());
   EXPECT_TRUE(reports[0].final_status.ok());
   EXPECT_TRUE(reports[1].final_status.ok());
 
   // Same batch seed, different per-request seeds: identical bytes.
   requests[0].options.seed = 333;
   requests[1].options.seed = 444;
-  const auto run_b = engine->PublishBatch(requests, 99).ValueOrDie();
+  const auto run_b = engine->PublishBatch(requests, 99);
   ASSERT_EQ(run_b.size(), 2u);
   for (size_t i = 0; i < run_a.size(); ++i) {
-    EXPECT_EQ(Flatten(run_a[i]), Flatten(run_b[i]));
+    ASSERT_TRUE(run_b[i].status.ok());
+    EXPECT_EQ(Flatten(run_a[i].table), Flatten(run_b[i].table));
   }
 
   // A different batch seed reperturbs: at least one release changes.
-  const auto run_c = engine->PublishBatch(requests, 100).ValueOrDie();
+  const auto run_c = engine->PublishBatch(requests, 100);
   bool any_diff = false;
   for (size_t i = 0; i < run_a.size(); ++i) {
-    any_diff = any_diff || Flatten(run_a[i]) != Flatten(run_c[i]);
+    ASSERT_TRUE(run_c[i].status.ok());
+    any_diff = any_diff || Flatten(run_a[i].table) != Flatten(run_c[i].table);
   }
   EXPECT_TRUE(any_diff);
 }
 
-TEST(PublishBatchTest, FailsClosedOnFirstBadRequest) {
+TEST(PublishBatchTest, RequestsFailIndependently) {
   CensusDataset census = GenerateCensus(500, 9).ValueOrDie();
   auto engine =
       PublicationEngine::Create(census.table, census.taxonomies).ValueOrDie();
-  std::vector<PublishRequest> requests(2);
-  requests[0].options.k = 4;
-  requests[0].options.p = 0.3;
-  requests[1].options.k = 4;
-  requests[1].options.p = 1.5;  // Invalid retention.
-  const auto result = engine->PublishBatch(requests, 1);
-  ASSERT_FALSE(result.ok());
-  EXPECT_TRUE(result.status().IsInvalidArgument());
+
+  // A clean reference batch pins the neighbors' bytes.
+  std::vector<PublishRequest> good(3);
+  for (auto& r : good) {
+    r.options.k = 4;
+    r.options.p = 0.3;
+  }
+  const auto reference = engine->PublishBatch(good, 1);
+  ASSERT_EQ(reference.size(), 3u);
+  for (const auto& entry : reference) ASSERT_TRUE(entry.status.ok());
+
+  // Poison the middle request: it fails with its own typed Status while
+  // its neighbors keep both their success and their exact bytes (their
+  // seeds are streams 0 and 2 of the batch seed, untouched by request 1).
+  std::vector<PublishRequest> mixed = good;
+  mixed[1].options.p = 1.5;  // Invalid retention.
+  const auto result = engine->PublishBatch(mixed, 1);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_TRUE(result[0].status.ok());
+  EXPECT_TRUE(result[1].status.IsInvalidArgument())
+      << result[1].status.ToString();
+  EXPECT_TRUE(result[2].status.ok());
+  EXPECT_EQ(Flatten(result[0].table), Flatten(reference[0].table));
+  EXPECT_EQ(Flatten(result[2].table), Flatten(reference[2].table));
 }
 
 // -------------------------------------------------- engine validation
@@ -470,6 +489,42 @@ TEST(CachedTaxonomyAuditTest, MemoizesByContent) {
   ASSERT_TRUE(engine::CachedTaxonomyAudit(census.taxonomies[0]).ok());
   ASSERT_TRUE(engine::CachedTaxonomyAudit(copy).ok());
   EXPECT_GT(hits->value(), hits_before);
+}
+
+// ----------------------------------------------------------- deadlines
+
+TEST(EngineDeadlineTest, ExpiredDeadlineFailsClosedBeforePublishWork) {
+  uint64_t fake_now = 1000;
+  EngineOptions options;
+  options.num_threads = 1;
+  options.now_nanos = [&fake_now] { return fake_now; };
+  CensusDataset clinic = GenerateClinic(400, 3).ValueOrDie();
+  auto eng = PublicationEngine::Create(std::move(clinic.table),
+                                       std::move(clinic.taxonomies), options)
+                 .ValueOrDie();
+
+  PublishRequest request;
+  request.options.k = 4;
+  request.options.p = 0.5;
+  request.options.seed = 9;
+  request.deadline_nanos = 999;  // already expired on the injected clock
+  Result<PublishedTable> expired = eng->Publish(request);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_TRUE(expired.status().IsDeadlineExceeded())
+      << expired.status().ToString();
+
+  // A deadline failure is permanent for RobustPublisher: retrying with a
+  // fresh seed cannot un-expire the clock.
+  request.deadline_nanos = 0;  // none
+  Result<PublishedTable> unconstrained = eng->Publish(request);
+  ASSERT_TRUE(unconstrained.ok()) << unconstrained.status().ToString();
+
+  // A live deadline serves — and serves the same bytes as no deadline
+  // (deadlines gate *whether*, never *what*).
+  request.deadline_nanos = fake_now + 1;
+  Result<PublishedTable> live = eng->Publish(request);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_EQ(Flatten(*live), Flatten(*unconstrained));
 }
 
 // --------------------------------------------------- report round-trip

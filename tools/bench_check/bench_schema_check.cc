@@ -101,6 +101,41 @@ bool CheckCacheFields(const JsonValue& row, const std::string& file,
   return ok;
 }
 
+/// Serving-latency fields (written by load_server and any future
+/// serving bench): latency percentiles must be non-negative numbers and
+/// the rejection rate a number in [0, 1]. Rows without them are fine.
+bool CheckServingFields(const JsonValue& row, const std::string& file,
+                        std::string* errors) {
+  bool ok = true;
+  for (const char* key : {"p50_ms", "p99_ms"}) {
+    const JsonValue* v = row.Find(key);
+    if (v == nullptr) continue;
+    if (!v->is_number()) {
+      *errors += file + ": results member '" + key + "' is not a number\n";
+      ok = false;
+    } else if (const double ms = v->AsDouble().ok() ? *v->AsDouble() : -1.0;
+               !(ms >= 0.0)) {
+      *errors += file + ": results member '" + key + "' " +
+                 std::to_string(ms) + " is negative\n";
+      ok = false;
+    }
+  }
+  if (const JsonValue* rate = row.Find("rejection_rate"); rate != nullptr) {
+    if (!rate->is_number()) {
+      *errors += file + ": results member 'rejection_rate' is not a number\n";
+      ok = false;
+    } else {
+      const double v = rate->AsDouble().ok() ? *rate->AsDouble() : -1.0;
+      if (!(v >= 0.0 && v <= 1.0)) {
+        *errors += file + ": results member 'rejection_rate' " +
+                   std::to_string(v) + " is outside [0, 1]\n";
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
 bool CheckFile(const std::string& file) {
   std::ifstream in(file, std::ios::binary);
   if (!in) {
@@ -148,6 +183,7 @@ bool CheckFile(const std::string& file) {
           break;
         }
         CheckCacheFields(row, file, &errors);
+        CheckServingFields(row, file, &errors);
       }
       CheckMetricsSection(*doc.Find("metrics"), file, &errors);
     }

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for pgpubd: boots the daemon with a deliberately
+# tiny queue, drives mixed-tenant load through pgpubctl until admission
+# control visibly rejects, asserts the health counters, then checks that
+# SIGTERM drains cleanly (exit 0). CI runs this as the server-smoke job;
+# it is also runnable locally:
+#
+#   tools/pgpubd/server_smoke.sh build/tools/pgpubd/pgpubd \
+#                                build/tools/pgpubd/pgpubctl
+set -euo pipefail
+
+PGPUBD=${1:-build/tools/pgpubd/pgpubd}
+PGPUBCTL=${2:-build/tools/pgpubd/pgpubctl}
+
+fail() { echo "server_smoke: FAIL: $*" >&2; exit 1; }
+
+[ -x "$PGPUBD" ] || fail "missing $PGPUBD"
+[ -x "$PGPUBCTL" ] || fail "missing $PGPUBCTL"
+
+PORT_FILE=$(mktemp)
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -f "$PORT_FILE"' EXIT
+
+# Tiny queue: BURST must overflow it, proving rejects are typed, counted
+# and non-silent rather than wedging the daemon.
+"$PGPUBD" --port=0 --port-file="$PORT_FILE" --queue-capacity=4 \
+          --tenants=census:600,clinic:500,hospital:400 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "pgpubd died during startup"
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || fail "pgpubd never wrote its port file"
+PORT=$(cat "$PORT_FILE")
+echo "server_smoke: pgpubd on port $PORT"
+
+"$PGPUBCTL" "$PORT" HEALTH | grep -q "^ok draining=0" \
+  || fail "HEALTH not ok"
+
+# One synchronous publish per tenant: every hosted dataset actually serves.
+for tenant in census clinic hospital; do
+  "$PGPUBCTL" "$PORT" PUBLISH "$tenant" 7 | grep -q "^ok tenant=$tenant" \
+    || fail "PUBLISH $tenant did not serve"
+done
+
+# Mixed-tenant overload: far more requests than the queue holds.
+for tenant in census clinic hospital; do
+  "$PGPUBCTL" "$PORT" BURST "$tenant" 200 >/dev/null
+done
+
+STATS=$("$PGPUBCTL" "$PORT" STATS)
+echo "$STATS" | sed 's/^/server_smoke: /'
+get_stat() { echo "$STATS" | awk -v k="$1" '$1 == k {print $2}'; }
+
+[ "$(get_stat server.rejected_full)" -gt 0 ] \
+  || fail "expected rejected_full > 0 under overload"
+[ "$(get_stat server.admitted)" -gt 0 ] || fail "expected admissions"
+[ "$(get_stat server.completed)" -gt 0 ] || fail "expected completions"
+
+# Unknown tenants fail closed (pgpubctl exits 1 on an err reply, so
+# capture rather than pipe under pipefail).
+NOSUCH=$("$PGPUBCTL" "$PORT" PUBLISH nosuch 1 || true)
+echo "$NOSUCH" | grep -q "code=NotFound" \
+  || fail "unknown tenant did not fail closed with NotFound"
+
+"$PGPUBCTL" "$PORT" TENANTS | grep -q "tenant census .*breaker=closed" \
+  || fail "TENANTS missing census breaker state"
+
+# Graceful drain: SIGTERM answers everything still queued and exits 0.
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+  fail "pgpubd did not exit cleanly on SIGTERM"
+fi
+trap 'rm -f "$PORT_FILE"' EXIT
+echo "server_smoke: OK"
