@@ -19,18 +19,17 @@
 /// (largest tenant's rows, default 2000).
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_report.h"
+#include "common/sync/mutex.h"
 #include "datagen/sal.h"
 #include "server/health_endpoint.h"
 #include "server/server_core.h"
@@ -126,7 +125,7 @@ int Main() {
   }
 
   // ---- Overload run: submit as fast as the admission path allows.
-  std::mutex mu;
+  Mutex mu("bench.load_aggregate");
   std::vector<double> latencies_ms;
   std::vector<std::pair<uint64_t, uint64_t>> witness;  // (stream, digest)
   constexpr size_t kWitnessSize = 64;
@@ -134,7 +133,7 @@ int Main() {
   uint64_t completed = 0;
   uint64_t failed = 0;
   auto on_response = [&](ServerResponse r) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (r.status.ok()) {
       ++completed;
       digest_xor ^= r.digest;
@@ -193,17 +192,17 @@ int Main() {
     // own admission control (quota/full rejections would masquerade as
     // divergence). Serializing costs nothing at witness size.
     std::map<uint64_t, uint64_t> replay_digests;
-    std::mutex replay_mu;
-    std::condition_variable replay_cv;
+    Mutex replay_mu("bench.load_replay");
+    CondVar replay_cv;
     for (const auto& [stream_id, digest] : witness) {
       (void)digest;
       bool done = false;
       const Status st =
           replay.Submit(MakeRequest(stream_id), [&](ServerResponse r) {
-            std::lock_guard<std::mutex> lock(replay_mu);
+            MutexLock lock(&replay_mu);
             if (r.status.ok()) replay_digests[r.stream_id] = r.digest;
             done = true;
-            replay_cv.notify_all();
+            replay_cv.NotifyAll();
           });
       if (!st.ok()) {
         std::fprintf(stderr, "load_server: replay submit: %s\n",
@@ -211,8 +210,8 @@ int Main() {
         determinism_ok = false;
         continue;
       }
-      std::unique_lock<std::mutex> lock(replay_mu);
-      replay_cv.wait(lock, [&] { return done; });
+      MutexLock lock(&replay_mu);
+      while (!done) replay_cv.Wait(&replay_mu);
     }
     replay.Shutdown();
     for (const auto& [stream_id, digest] : witness) {

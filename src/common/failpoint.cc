@@ -48,7 +48,7 @@ FailpointRegistry& FailpointRegistry::Global() {
 
 Status FailpointRegistry::Enable(const std::string& name,
                                  const std::string& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return EnableLocked(name, spec);
 }
 
@@ -122,7 +122,7 @@ Status FailpointRegistry::EnableLocked(const std::string& name,
 }
 
 Status FailpointRegistry::EnableFromSpec(const std::string& spec_list) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const std::string& pair : Split(spec_list, ';')) {
     const std::string entry(Trim(pair));
     if (entry.empty()) continue;
@@ -137,12 +137,12 @@ Status FailpointRegistry::EnableFromSpec(const std::string& spec_list) {
 }
 
 void FailpointRegistry::Register(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   points_.emplace(name, Point{});
 }
 
 void FailpointRegistry::Disable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   if (it == points_.end()) return;
   if (it->second.mode != Point::Mode::kOff) {
@@ -152,7 +152,7 @@ void FailpointRegistry::Disable(const std::string& name) {
 }
 
 void FailpointRegistry::DisableAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int armed = 0;
   for (auto& [name, point] : points_) {
     if (point.mode != Point::Mode::kOff) ++armed;
@@ -164,7 +164,7 @@ void FailpointRegistry::DisableAll() {
 bool FailpointRegistry::ShouldFail(const char* name) {
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     Point& point = points_[name];  // registers unknown names, disarmed
     ++point.hits;
     switch (point.mode) {
@@ -201,19 +201,19 @@ bool FailpointRegistry::ShouldFail(const char* name) {
 }
 
 uint64_t FailpointRegistry::HitCount(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FailpointRegistry::TriggerCount(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.triggers;
 }
 
 std::vector<std::string> FailpointRegistry::KnownNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(points_.size());
   for (const auto& [name, point] : points_) names.push_back(name);

@@ -3,11 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync/lock_ranks.h"
+#include "common/sync/mutex.h"
 
 namespace pgpub {
 
@@ -101,19 +102,21 @@ class FailpointRegistry {
   /// Arms `name` with a trigger spec (see class comment). Unknown names
   /// are rejected with InvalidArgument so typos cannot silently disable a
   /// chaos sweep; use Register() first for ad-hoc test-only points.
-  [[nodiscard]] Status Enable(const std::string& name, const std::string& spec);
+  [[nodiscard]] Status Enable(const std::string& name, const std::string& spec)
+      PGPUB_EXCLUDES(mu_);
 
   /// Parses a `name=spec;name=spec` list (the env syntax).
-  [[nodiscard]] Status EnableFromSpec(const std::string& spec_list);
+  [[nodiscard]] Status EnableFromSpec(const std::string& spec_list)
+      PGPUB_EXCLUDES(mu_);
 
   /// Adds a non-canonical name to the registry (idempotent, starts off).
-  void Register(const std::string& name);
+  void Register(const std::string& name) PGPUB_EXCLUDES(mu_);
 
   /// Disarms one failpoint (hit counters are kept).
-  void Disable(const std::string& name);
+  void Disable(const std::string& name) PGPUB_EXCLUDES(mu_);
 
   /// Disarms every failpoint and resets all counters.
-  void DisableAll();
+  void DisableAll() PGPUB_EXCLUDES(mu_);
 
   /// True when at least one failpoint is armed — the macro fast path.
   bool AnyEnabled() const {
@@ -122,15 +125,15 @@ class FailpointRegistry {
 
   /// Records a hit at `name` and returns whether the site must fail.
   /// Unknown names are registered on the fly (disarmed).
-  bool ShouldFail(const char* name);
+  bool ShouldFail(const char* name) PGPUB_EXCLUDES(mu_);
 
   /// Times the site was reached since the last DisableAll.
-  uint64_t HitCount(const std::string& name) const;
+  uint64_t HitCount(const std::string& name) const PGPUB_EXCLUDES(mu_);
   /// Times the site actually fired since the last DisableAll.
-  uint64_t TriggerCount(const std::string& name) const;
+  uint64_t TriggerCount(const std::string& name) const PGPUB_EXCLUDES(mu_);
 
   /// All names the registry knows (canonical + registered), sorted.
-  std::vector<std::string> KnownNames() const;
+  std::vector<std::string> KnownNames() const PGPUB_EXCLUDES(mu_);
 
  private:
   struct Point {
@@ -145,11 +148,13 @@ class FailpointRegistry {
 
   FailpointRegistry();
 
-  [[nodiscard]] Status EnableLocked(const std::string& name, const std::string& spec);
+  [[nodiscard]] Status EnableLocked(const std::string& name,
+                                    const std::string& spec)
+      PGPUB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"common.failpoint", lock_rank::kFailpoint};
   std::atomic<int> enabled_count_{0};
-  std::map<std::string, Point> points_;
+  std::map<std::string, Point> points_ PGPUB_GUARDED_BY(mu_);
 };
 
 }  // namespace pgpub

@@ -64,7 +64,7 @@ ThreadPool::ThreadPool(int num_threads)
 ThreadPool::~ThreadPool() { Stop(); }
 
 void ThreadPool::Start() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (running_) return;
   running_ = true;
   stopping_ = false;
@@ -80,33 +80,32 @@ void ThreadPool::Start() {
 void ThreadPool::Stop() {
   std::vector<std::thread> to_join;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     stopping_ = true;
-    cv_.notify_all();
     to_join.swap(workers_);
   }
+  cv_.NotifyAll();
   for (std::thread& t : to_join) t.join();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     running_ = false;
     stopping_ = false;
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Idempotent and cheap when already running; calling it unconditionally
+  // keeps Submit's own critical section a single straight-line scope,
+  // which is all the static analysis can certify.
+  // ThreadPool::Start returns void; the name merely collides with
+  // the server's Status-returning Start. pgpub-lint: allow(L1)
+  Start();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!running_) {
-      lock.unlock();
-      // ThreadPool::Start returns void; the name merely collides with
-      // the server's Status-returning Start. pgpub-lint: allow(L1)
-      Start();
-      lock.lock();
-    }
+    MutexLock lock(&mu_);
     queue_.emplace_back(std::move(task), SteadyNowNs());
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::InParallelRegion() { return tls_parallel_depth > 0; }
@@ -117,8 +116,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::pair<std::function<void()>, uint64_t> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      // Predicate loop in the open (not a wait-lambda): the analysis can
+      // only see guarded reads made directly in the locked scope.
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -174,16 +175,18 @@ Status ParallelFor(ThreadPool* pool, IndexRange range, size_t grain,
   // the caller may return (on the last completed chunk) while late-woken
   // runner bodies are still unwinding.
   struct State {
+    explicit State(size_t n) : num_chunks(n), statuses(n, Status::OK()) {}
+    const size_t num_chunks;
     std::atomic<size_t> next_chunk{0};
     std::atomic<size_t> done_chunks{0};
-    size_t num_chunks = 0;
-    std::vector<Status> statuses;  // one slot per chunk, no sharing
-    std::mutex mu;
-    std::condition_variable done_cv;
+    // One slot per chunk; each slot is written by exactly one runner, and
+    // the caller only reads after the done_chunks barrier, so the slots
+    // need no guard. pgpub-lint: allow(L9)
+    std::vector<Status> statuses;
+    Mutex mu{"parallel.for_done"};
+    CondVar done_cv;
   };
-  auto state = std::make_shared<State>();
-  state->num_chunks = num_chunks;
-  state->statuses.assign(num_chunks, Status::OK());
+  auto state = std::make_shared<State>(num_chunks);
 
   auto runner = [state, run_chunk]() {
     for (;;) {
@@ -195,8 +198,8 @@ Status ParallelFor(ThreadPool* pool, IndexRange range, size_t grain,
           state->num_chunks) {
         // Publish completion. The lock pairs with the caller's wait so the
         // notify cannot slip between its predicate check and its sleep.
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->done_cv.notify_all();
+        MutexLock lock(&state->mu);
+        state->done_cv.NotifyAll();
       }
     }
   };
@@ -209,11 +212,11 @@ Status ParallelFor(ThreadPool* pool, IndexRange range, size_t grain,
   runner();  // the caller participates — a busy pool delays, never deadlocks
 
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait(lock, [&] {
-      return state->done_chunks.load(std::memory_order_acquire) ==
-             state->num_chunks;
-    });
+    MutexLock lock(&state->mu);
+    while (state->done_chunks.load(std::memory_order_acquire) !=
+           state->num_chunks) {
+      state->done_cv.Wait(&state->mu);
+    }
   }
 
   for (size_t chunk = 0; chunk < num_chunks; ++chunk) {

@@ -1,17 +1,17 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync/lock_ranks.h"
+#include "common/sync/mutex.h"
 
 namespace pgpub {
 
@@ -62,14 +62,14 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Spawns the workers. Idempotent; safe after Stop() (restarts).
-  void Start();
+  void Start() PGPUB_EXCLUDES(mu_);
 
   /// Drains nothing: tasks already queued still run, then workers join.
   /// Idempotent.
-  void Stop();
+  void Stop() PGPUB_EXCLUDES(mu_);
 
   /// Enqueues a task. Starts the pool if needed.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) PGPUB_EXCLUDES(mu_);
 
   /// True when the calling thread is currently inside a ParallelFor chunk
   /// (on any pool, or on the serial inline path). Used to reject nested
@@ -77,17 +77,18 @@ class ThreadPool {
   static bool InParallelRegion();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PGPUB_EXCLUDES(mu_);
 
   const int num_threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool running_ = false;
-  bool stopping_ = false;
+  Mutex mu_{"parallel.pool", lock_rank::kThreadPool};
+  CondVar cv_;
+  bool running_ PGPUB_GUARDED_BY(mu_) = false;
+  bool stopping_ PGPUB_GUARDED_BY(mu_) = false;
   // Task paired with its enqueue timestamp (steady ns) so the dequeueing
   // worker can record queue-wait latency.
-  std::deque<std::pair<std::function<void()>, uint64_t>> queue_;
-  std::vector<std::thread> workers_;
+  std::deque<std::pair<std::function<void()>, uint64_t>> queue_
+      PGPUB_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ PGPUB_GUARDED_BY(mu_);
 };
 
 /// \brief Deterministic data-parallel loop over [range.begin, range.end).

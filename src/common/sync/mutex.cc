@@ -1,0 +1,310 @@
+#include "common/sync/mutex.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace pgpub {
+
+namespace sync_internal {
+
+namespace {
+
+/// Compile-time default: the detector rides every build that already pays
+/// for instrumentation (debug asserts or a sanitizer); plain release
+/// builds keep the two-instruction fast path.
+constexpr bool BuildDefaultEnabled() {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  return true;
+#elif !defined(NDEBUG)
+  return true;
+#else
+  return false;
+#endif
+#elif !defined(NDEBUG)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool>* flag = [] {
+    bool enabled = BuildDefaultEnabled();
+    if (const char* env = std::getenv("PGPUB_LOCK_ORDER");
+        env != nullptr && *env != '\0') {
+      enabled = *env != '0';
+    }
+    return new std::atomic<bool>(enabled);
+  }();
+  return *flag;
+}
+
+void AbortOnViolation(const char* message) {
+  std::fprintf(stderr, "pgpub: %s\n", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<LockOrderViolationHandler> g_handler{&AbortOnViolation};
+
+/// The acquired-after graph. Nodes are Mutex ids (process-unique, never
+/// reused); an edge a->b means some thread acquired b while holding a.
+/// Each edge keeps the held-stack description recorded when it was first
+/// seen, so a later inversion report can show *both* orderings' stacks.
+/// All mutation happens under a raw std::mutex — the detector cannot
+/// instrument itself.
+struct OrderGraph {
+  std::mutex mu;
+  std::map<uint64_t, std::string> names;
+  std::map<uint64_t, std::set<uint64_t>> edges;
+  std::map<std::pair<uint64_t, uint64_t>, std::string> witness;
+
+  /// Depth-first reachability from -> to, recording the path node ids.
+  bool FindPath(uint64_t from, uint64_t to, std::set<uint64_t>* visited,
+                std::vector<uint64_t>* path) {
+    if (!visited->insert(from).second) return false;
+    path->push_back(from);
+    if (from == to) return true;
+    auto it = edges.find(from);
+    if (it != edges.end()) {
+      for (uint64_t next : it->second) {
+        if (FindPath(next, to, visited, path)) return true;
+      }
+    }
+    path->pop_back();
+    return false;
+  }
+};
+
+OrderGraph& Graph() {
+  // Leaked: global mutexes outlive static destruction, and the detector
+  // must be able to record their very last unlocks.
+  static OrderGraph* graph = new OrderGraph();
+  return *graph;
+}
+
+/// Locks currently held by this thread, in acquisition order. A plain
+/// vector: held counts are tiny (the deepest nesting in the tree is 2).
+std::vector<const Mutex*>& HeldStack() {
+  thread_local std::vector<const Mutex*> held;
+  return held;
+}
+
+/// Edges this thread has already pushed into (or confirmed present in)
+/// the global graph — the per-acquisition fast path that keeps the
+/// detector off the global lock in steady state.
+std::set<std::pair<uint64_t, uint64_t>>& SeenEdges() {
+  thread_local std::set<std::pair<uint64_t, uint64_t>> seen;
+  return seen;
+}
+
+std::string DescribeStack(const std::vector<const Mutex*>& held) {
+  std::string out = "[";
+  for (size_t i = 0; i < held.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += held[i]->name();
+  }
+  out += "]";
+  return out;
+}
+
+void Violate(const std::string& message) {
+  g_handler.load(std::memory_order_acquire)(message.c_str());
+}
+
+// Test-capture plumbing for ScopedLockOrderCheckForTest.
+std::atomic<uint64_t> g_test_violations{0};
+std::mutex g_test_message_mu;
+std::string& TestMessage() {
+  static std::string* message = new std::string();
+  return *message;
+}
+
+void CaptureViolationForTest(const char* message) {
+  g_test_violations.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_test_message_mu);
+  TestMessage() = message;
+}
+
+/// Pre-acquisition bookkeeping: recursive-acquisition check, rank check,
+/// and acquired-after edge recording with cycle detection. Runs *before*
+/// the underlying lock blocks, so an inversion is reported even when the
+/// interleaving would have deadlocked for real.
+void CheckAcquire(const Mutex* mu) {
+  const std::vector<const Mutex*>& held = HeldStack();
+  for (const Mutex* h : held) {
+    if (h == mu) {
+      Violate(std::string("lock-order violation: recursive acquisition of "
+                          "lock '") +
+              mu->name() + "'; this thread already holds " +
+              DescribeStack(held));
+      return;
+    }
+  }
+  if (held.empty()) return;
+
+  for (const Mutex* h : held) {
+    if (mu->rank() != 0 && h->rank() != 0 && h->rank() >= mu->rank()) {
+      Violate(std::string("lock-order violation: acquiring '") + mu->name() +
+              "' (rank " + std::to_string(mu->rank()) + ") while holding '" +
+              h->name() + "' (rank " + std::to_string(h->rank()) +
+              "); ranks must be strictly increasing down the stack; held " +
+              DescribeStack(held));
+      return;
+    }
+  }
+
+  std::set<std::pair<uint64_t, uint64_t>>& seen = SeenEdges();
+  for (const Mutex* h : held) {
+    const std::pair<uint64_t, uint64_t> edge(h->Id(), mu->Id());
+    if (seen.count(edge) > 0) continue;
+    OrderGraph& graph = Graph();
+    std::lock_guard<std::mutex> lock(graph.mu);
+    graph.names[h->Id()] = h->name();
+    graph.names[mu->Id()] = mu->name();
+    if (graph.edges[h->Id()].count(mu->Id()) > 0) {
+      seen.insert(edge);
+      continue;
+    }
+    // Would h -> mu close a cycle? Look for an existing mu ->* h path.
+    std::set<uint64_t> visited;
+    std::vector<uint64_t> path;
+    if (graph.FindPath(mu->Id(), h->Id(), &visited, &path)) {
+      std::string cycle;
+      for (uint64_t id : path) {
+        cycle += graph.names[id];
+        cycle += " -> ";
+      }
+      cycle += mu->name();
+      std::string message =
+          std::string("lock-order inversion: acquiring '") + mu->name() +
+          "' while holding '" + h->name() + "' closes the cycle " + cycle +
+          "; this thread holds " + DescribeStack(held);
+      auto wit = graph.witness.find({path[0], path[1]});
+      if (wit != graph.witness.end()) {
+        message += "; conflicting order first recorded holding " +
+                   wit->second + " while acquiring '" +
+                   graph.names[path[1]] + "'";
+      }
+      Violate(message);
+      return;
+    }
+    graph.edges[h->Id()].insert(mu->Id());
+    graph.witness[edge] = DescribeStack(held);
+    seen.insert(edge);
+  }
+}
+
+}  // namespace
+
+bool LockOrderChecksEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+LockOrderViolationHandler SetLockOrderViolationHandler(
+    LockOrderViolationHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &AbortOnViolation,
+                            std::memory_order_acq_rel);
+}
+
+}  // namespace sync_internal
+
+namespace {
+
+uint64_t NextMutexId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Mutex::Mutex(const char* name, int rank)
+    : name_(name), rank_(rank), id_(NextMutexId()) {}
+
+Mutex::~Mutex() = default;
+
+void Mutex::Lock() {
+  if (sync_internal::LockOrderChecksEnabled()) {
+    sync_internal::CheckAcquire(this);
+    mu_.lock();
+    sync_internal::HeldStack().push_back(this);
+    return;
+  }
+  mu_.lock();
+}
+
+void Mutex::Unlock() {
+  if (sync_internal::LockOrderChecksEnabled()) {
+    std::vector<const Mutex*>& held = sync_internal::HeldStack();
+    for (size_t i = held.size(); i-- > 0;) {
+      if (held[i] == this) {
+        held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  mu_.unlock();
+}
+
+bool Mutex::TryLock() {
+  if (!mu_.try_lock()) return false;
+  // A successful try-lock cannot block, so it records presence (for
+  // recursive-acquisition and release bookkeeping) but no ordering edge.
+  if (sync_internal::LockOrderChecksEnabled()) {
+    sync_internal::HeldStack().push_back(this);
+  }
+  return true;
+}
+
+void CondVar::Wait(Mutex* mu) {
+  // The wait releases and re-acquires `mu`; mirror that in the held-lock
+  // bookkeeping. Re-acquisition records no new edges: any lock still held
+  // across the wait already has its edge to `mu` from the original Lock.
+  const bool checks = sync_internal::LockOrderChecksEnabled();
+  if (checks) {
+    std::vector<const Mutex*>& held = sync_internal::HeldStack();
+    for (size_t i = held.size(); i-- > 0;) {
+      if (held[i] == mu) {
+        held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+  if (checks) sync_internal::HeldStack().push_back(mu);
+}
+
+ScopedLockOrderCheckForTest::ScopedLockOrderCheckForTest(bool enabled)
+    : saved_enabled_(sync_internal::LockOrderChecksEnabled()),
+      saved_handler_(sync_internal::SetLockOrderViolationHandler(
+          &sync_internal::CaptureViolationForTest)) {
+  sync_internal::EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+ScopedLockOrderCheckForTest::~ScopedLockOrderCheckForTest() {
+  sync_internal::EnabledFlag().store(saved_enabled_,
+                                     std::memory_order_relaxed);
+  sync_internal::SetLockOrderViolationHandler(saved_handler_);
+}
+
+uint64_t ScopedLockOrderCheckForTest::ViolationCount() {
+  return sync_internal::g_test_violations.load(std::memory_order_relaxed);
+}
+
+std::string ScopedLockOrderCheckForTest::LastViolationMessage() {
+  std::lock_guard<std::mutex> lock(sync_internal::g_test_message_mu);
+  return sync_internal::TestMessage();
+}
+
+}  // namespace pgpub

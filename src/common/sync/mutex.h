@@ -1,0 +1,160 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/sync/thread_annotations.h"
+
+namespace pgpub {
+
+class CondVar;
+
+namespace sync_internal {
+
+/// True when the lock-order detector records acquisitions. Defaults on in
+/// debug and sanitizer builds, off in plain release; `PGPUB_LOCK_ORDER=0|1`
+/// overrides either way (read once, on first mutex use).
+bool LockOrderChecksEnabled();
+
+/// What the detector calls when it finds an inversion (or a same-thread
+/// recursive acquisition). The message names both locks, the cycle, the
+/// acquiring thread's held-lock stack and the witness stack recorded when
+/// the conflicting edge was first seen. The default handler prints the
+/// message to stderr and aborts — a deadlock candidate must not be
+/// survivable in an instrumented build.
+using LockOrderViolationHandler = void (*)(const char* message);
+
+/// Installs a handler, returning the previous one (nullptr restores the
+/// abort default). Test-only surface; production code never touches it.
+LockOrderViolationHandler SetLockOrderViolationHandler(
+    LockOrderViolationHandler handler);
+
+}  // namespace sync_internal
+
+/// \brief The project's one mutual-exclusion primitive (DESIGN.md §13).
+///
+/// Wraps std::mutex with two enforcement layers:
+///   - Clang's `-Wthread-safety` analysis: the class is a capability, so
+///     PGPUB_GUARDED_BY fields and PGPUB_REQUIRES methods are checked at
+///     compile time on the Clang CI leg.
+///   - A dynamic lock-order-inversion detector (debug/sanitizer builds):
+///     every acquisition is recorded into a process-wide acquired-after
+///     graph keyed by ranked lock IDs; an acquisition that would close a
+///     cycle — ABBA and longer — reports through the violation handler
+///     *before* blocking, so the inversion is diagnosed instead of
+///     deadlocking. Same-thread recursive acquisition is reported too.
+///
+/// `name` labels the lock in violation reports; `rank` (optional)
+/// declares its place in the documented subsystem order — acquiring a
+/// lock whose rank is <= the highest-ranked lock already held is a
+/// violation even before any cycle exists. Rank 0 = unranked (graph
+/// checking only). See DESIGN.md §13 for the rank table.
+///
+/// Non-copyable and non-movable: a capability's identity is its address,
+/// for both the static analysis and the order graph.
+class PGPUB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() : Mutex("anonymous", 0) {}
+  explicit Mutex(const char* name, int rank = 0);
+  ~Mutex();
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+  Mutex(Mutex&&) = delete;
+  Mutex& operator=(Mutex&&) = delete;
+
+  void Lock() PGPUB_ACQUIRE();
+  void Unlock() PGPUB_RELEASE();
+  [[nodiscard]] bool TryLock() PGPUB_TRY_ACQUIRE(true);
+
+  /// Static-analysis assertion that the caller holds this lock; use in
+  /// code reached only from already-locked contexts the analysis cannot
+  /// see through (callbacks, virtual dispatch).
+  void AssertHeld() const PGPUB_ASSERT_CAPABILITY(this) {}
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+  /// Process-unique detector identity (never reused across destruction).
+  uint64_t Id() const { return id_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  const char* const name_;
+  const int rank_;
+  const uint64_t id_;  ///< Process-unique detector identity.
+};
+
+/// \brief RAII-only scoped lock over pgpub::Mutex.
+///
+/// Deliberately minimal: no Unlock, no deferred acquisition, no release()
+/// escape. Static analysis can only prove acquire/release discipline when
+/// a scope's lock state has exactly one exit path; every early-unlock
+/// pattern the old std::unique_lock code used is rewritten as a smaller
+/// scope instead (see sync_test.cc for the compile-time pin).
+class PGPUB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) PGPUB_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() PGPUB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  MutexLock(MutexLock&&) = delete;
+  MutexLock& operator=(MutexLock&&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Condition variable bound to pgpub::Mutex.
+///
+/// Wait(mu) must be called with `mu` held (the analysis enforces it); the
+/// lock is released while sleeping and re-held on return, which is
+/// exactly what PGPUB_REQUIRES expresses. There is deliberately no
+/// predicate overload: the guarded predicate belongs in the caller's
+/// `while` loop, inside the function whose lock the analysis is tracking
+/// — a predicate lambda would be opaque to it (and rule L9 would have
+/// nothing to hang an annotation on).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and sleeps until notified (spurious wakeups
+  /// possible — always re-check the predicate in a loop).
+  void Wait(Mutex* mu) PGPUB_REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Test helper: force-enables (or disables) the lock-order detector and
+/// captures violation reports instead of aborting, restoring both on
+/// destruction. Lets release builds unit-test the detector and lets the
+/// ABBA fixture assert on the report text.
+class ScopedLockOrderCheckForTest {
+ public:
+  explicit ScopedLockOrderCheckForTest(bool enabled = true);
+  ~ScopedLockOrderCheckForTest();
+  ScopedLockOrderCheckForTest(const ScopedLockOrderCheckForTest&) = delete;
+  ScopedLockOrderCheckForTest& operator=(const ScopedLockOrderCheckForTest&) =
+      delete;
+
+  /// Number of violations captured since construction.
+  static uint64_t ViolationCount();
+  /// The most recent captured violation message ("" when none).
+  static std::string LastViolationMessage();
+
+ private:
+  bool saved_enabled_;
+  sync_internal::LockOrderViolationHandler saved_handler_;
+};
+
+}  // namespace pgpub

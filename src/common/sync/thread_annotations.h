@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file
+/// Clang thread-safety-analysis attribute macros (DESIGN.md §13).
+///
+/// Every macro expands to a Clang `capability` attribute when the
+/// analysis is available and to nothing elsewhere, so GCC builds compile
+/// the identical source while the Clang CI leg proves acquire/release
+/// discipline at compile time with `-Wthread-safety -Wthread-safety-beta
+/// -Werror`. The vocabulary follows the upstream analysis one-to-one
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); only the
+/// `PGPUB_` prefix is ours.
+///
+/// Usage contract:
+///   - `pgpub::Mutex` (mutex.h) is the only capability type; raw
+///     std::mutex outside src/common/sync/ is a lint error (rule L8).
+///   - Every mutable field of a class that declares a Mutex member must
+///     carry PGPUB_GUARDED_BY (rule L9) or an explicit allow() escape.
+///   - Functions that expect a caller-held lock say PGPUB_REQUIRES; the
+///     analysis then verifies every call site.
+
+#if defined(__clang__) && !defined(SWIG)
+#define PGPUB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PGPUB_THREAD_ANNOTATION(x)  // no-op: GCC relies on the dynamic
+                                    // lock-order detector instead
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define PGPUB_CAPABILITY(x) PGPUB_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define PGPUB_SCOPED_CAPABILITY PGPUB_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding the given capability.
+#define PGPUB_GUARDED_BY(x) PGPUB_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define PGPUB_PT_GUARDED_BY(x) PGPUB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and still held
+/// on exit) — the annotation for private *Locked() helpers.
+#define PGPUB_REQUIRES(...) \
+  PGPUB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability NOT to be held on entry (documents
+/// self-locking public methods; catches same-thread re-entry).
+#define PGPUB_EXCLUDES(...) \
+  PGPUB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define PGPUB_ACQUIRE(...) \
+  PGPUB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define PGPUB_RELEASE(...) \
+  PGPUB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; first argument is the return
+/// value that signals success.
+#define PGPUB_TRY_ACQUIRE(...) \
+  PGPUB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability; the
+/// analysis treats it as proof of possession from here on.
+#define PGPUB_ASSERT_CAPABILITY(x) \
+  PGPUB_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability (lock accessors).
+#define PGPUB_RETURN_CAPABILITY(x) PGPUB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Documents a static acquisition order between two capabilities.
+#define PGPUB_ACQUIRED_BEFORE(...) \
+  PGPUB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PGPUB_ACQUIRED_AFTER(...) \
+  PGPUB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: turns the analysis off for one function. Every use must
+/// say why in an adjacent comment.
+#define PGPUB_NO_THREAD_SAFETY_ANALYSIS \
+  PGPUB_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -5,11 +5,12 @@
 #include <iterator>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "common/sync/lock_ranks.h"
+#include "common/sync/mutex.h"
 #include "obs/metrics.h"
 
 namespace pgpub::engine {
@@ -53,8 +54,8 @@ class LruCache {
   }
 
   /// Returns a copy of the entry and marks it most recently used.
-  std::optional<Value> Lookup(const Key& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<Value> Lookup(const Key& key) PGPUB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       misses_->Add();
@@ -69,8 +70,8 @@ class LruCache {
 
   /// Inserts or refreshes `key`, evicting the least recently used entry
   /// when at capacity.
-  void Insert(const Key& key, Value value) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Insert(const Key& key, Value value) PGPUB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       it->second.value = std::move(value);
@@ -88,14 +89,14 @@ class LruCache {
                      Entry{std::move(value), std::prev(recency_.end())});
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const PGPUB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return entries_.size();
   }
   size_t capacity() const { return capacity_; }
 
-  CacheStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats() const PGPUB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return stats_;
   }
 
@@ -106,13 +107,17 @@ class LruCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::map<Key, Entry> entries_;
-  std::list<Key> recency_;  ///< front = least recently used.
-  CacheStats stats_;
+  mutable Mutex mu_{"engine.lru", lock_rank::kEngineCache};
+  std::map<Key, Entry> entries_ PGPUB_GUARDED_BY(mu_);
+  /// front = least recently used.
+  std::list<Key> recency_ PGPUB_GUARDED_BY(mu_);
+  CacheStats stats_ PGPUB_GUARDED_BY(mu_);
+  // Registry-owned counters: set once in the constructor, then only the
+  // pointees mutate (atomically). The pointers themselves are const after
+  // construction. pgpub-lint: allow(L9)
   obs::Counter* hits_ = nullptr;
-  obs::Counter* misses_ = nullptr;
-  obs::Counter* evictions_ = nullptr;
+  obs::Counter* misses_ = nullptr;     // pgpub-lint: allow(L9)
+  obs::Counter* evictions_ = nullptr;  // pgpub-lint: allow(L9)
 };
 
 }  // namespace pgpub::engine

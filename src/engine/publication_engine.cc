@@ -2,12 +2,13 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 
 #include "common/random.h"
+#include "common/sync/lock_ranks.h"
+#include "common/sync/mutex.h"
 #include "core/pg_publisher.h"
 #include "core/publish_hooks.h"
 #include "core/validate.h"
@@ -31,12 +32,13 @@ uint64_t DoubleBits(double v) {
 Status CachedTaxonomyAudit(const Taxonomy& taxonomy) {
   // Leaked singletons: audited taxonomies outlive any engine, and the memo
   // must never run static destructors concurrently with late audits.
-  static std::mutex* mu = new std::mutex;
+  static Mutex* mu =
+      new Mutex("engine.taxonomy_audit", lock_rank::kEngineCache);
   static std::map<uint64_t, Status>* memo = new std::map<uint64_t, Status>();
   const uint64_t fingerprint = FingerprintTaxonomy(taxonomy);
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   {
-    std::lock_guard<std::mutex> lock(*mu);
+    MutexLock lock(mu);
     auto it = memo->find(fingerprint);
     if (it != memo->end()) {
       metrics.GetCounter("engine.taxonomy_audit.hits")->Add();
@@ -44,7 +46,7 @@ Status CachedTaxonomyAudit(const Taxonomy& taxonomy) {
     }
   }
   Status audit = taxonomy.Audit();
-  std::lock_guard<std::mutex> lock(*mu);
+  MutexLock lock(mu);
   metrics.GetCounter("engine.taxonomy_audit.misses")->Add();
   memo->emplace(fingerprint, audit);
   return audit;

@@ -112,17 +112,17 @@ void StreamSink::Write(const LogRecord& record, LogFormat format) {
 }
 
 void CaptureSink::Write(const LogRecord& record, LogFormat /*format*/) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   records_.push_back(record);
 }
 
 std::vector<LogRecord> CaptureSink::records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return records_;
 }
 
 std::vector<LogRecord> CaptureSink::EventsNamed(std::string_view event) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<LogRecord> out;
   for (const LogRecord& r : records_) {
     if (r.event == event) out.push_back(r);
@@ -131,7 +131,7 @@ std::vector<LogRecord> CaptureSink::EventsNamed(std::string_view event) const {
 }
 
 bool CaptureSink::HasEvent(std::string_view event) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const LogRecord& r : records_) {
     if (r.event == event) return true;
   }
@@ -139,7 +139,7 @@ bool CaptureSink::HasEvent(std::string_view event) const {
 }
 
 void CaptureSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   records_.clear();
 }
 
@@ -180,7 +180,7 @@ Logger& Logger::Global() {
 }
 
 std::shared_ptr<LogSink> Logger::SetSink(std::shared_ptr<LogSink> sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::shared_ptr<LogSink> previous = std::move(sink_);
   sink_ = sink != nullptr ? std::move(sink) : std::make_shared<StreamSink>();
   return previous;
@@ -195,7 +195,7 @@ void Logger::Log(LogLevel level, std::string_view event,
   record.fields = std::move(fields);
   std::shared_ptr<LogSink> sink;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     record.tick = ++tick_;
     if (wall_clock_) {
       record.wall_ms =

@@ -3,12 +3,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync/lock_ranks.h"
+#include "common/sync/mutex.h"
 #include "obs/json.h"
 
 namespace pgpub::obs {
@@ -79,17 +80,19 @@ class StreamSink : public LogSink {
 /// Retains records in memory; the assertion surface for tests.
 class CaptureSink : public LogSink {
  public:
-  void Write(const LogRecord& record, LogFormat format) override;
+  void Write(const LogRecord& record, LogFormat format) override
+      PGPUB_EXCLUDES(mu_);
 
-  std::vector<LogRecord> records() const;
+  std::vector<LogRecord> records() const PGPUB_EXCLUDES(mu_);
   /// Records whose event name equals `event`.
-  std::vector<LogRecord> EventsNamed(std::string_view event) const;
-  bool HasEvent(std::string_view event) const;
-  void Clear();
+  std::vector<LogRecord> EventsNamed(std::string_view event) const
+      PGPUB_EXCLUDES(mu_);
+  bool HasEvent(std::string_view event) const PGPUB_EXCLUDES(mu_);
+  void Clear() PGPUB_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<LogRecord> records_;
+  mutable Mutex mu_{"obs.capture_sink"};
+  std::vector<LogRecord> records_ PGPUB_GUARDED_BY(mu_);
 };
 
 /// \brief Leveled structured logger: every emission is an event name plus
@@ -133,11 +136,13 @@ class Logger {
   /// Replaces the output sink and returns the previous one (nullptr
   /// restores the stderr sink). The sink is shared: callers may retain
   /// their reference to inspect it.
-  std::shared_ptr<LogSink> SetSink(std::shared_ptr<LogSink> sink);
+  std::shared_ptr<LogSink> SetSink(std::shared_ptr<LogSink> sink)
+      PGPUB_EXCLUDES(mu_);
 
   /// Emits one record (if `level` passes the filter).
   void Log(LogLevel level, std::string_view event,
-           std::vector<std::pair<std::string, JsonValue>> fields);
+           std::vector<std::pair<std::string, JsonValue>> fields)
+      PGPUB_EXCLUDES(mu_);
 
   /// Fluent emission: collects fields, emits on destruction. When the
   /// logger is disabled at `level`, every Field call is a no-op.
@@ -203,11 +208,11 @@ class Logger {
   std::atomic<LogFormat> format_{LogFormat::kText};
   std::atomic<bool> wall_clock_{false};
 
-  mutable std::mutex mu_;  ///< guards sink_, tick_, start_.
-  std::shared_ptr<LogSink> sink_;
-  uint64_t tick_ = 0;
+  mutable Mutex mu_{"obs.logger", lock_rank::kLogger};
+  std::shared_ptr<LogSink> sink_ PGPUB_GUARDED_BY(mu_);
+  uint64_t tick_ PGPUB_GUARDED_BY(mu_) = 0;
   /// steady-clock origin for wall mode, captured at construction.
-  uint64_t start_ns_ = 0;
+  uint64_t start_ns_ PGPUB_GUARDED_BY(mu_) = 0;
 };
 
 /// Convenience macros over the global logger. The event builder pattern

@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sync/lock_ranks.h"
+#include "common/sync/mutex.h"
 #include "obs/json.h"
 
 namespace pgpub::obs {
@@ -101,12 +102,12 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
-  Histogram* GetHistogram(std::string_view name);
+  Counter* GetCounter(std::string_view name) PGPUB_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) PGPUB_EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name) PGPUB_EXCLUDES(mu_);
 
   /// Zeroes every instrument (pointers remain valid).
-  void Reset();
+  void Reset() PGPUB_EXCLUDES(mu_);
 
   struct HistogramSnapshot {
     uint64_t count = 0;
@@ -127,13 +128,18 @@ class MetricsRegistry {
     JsonValue ToJson() const;
   };
 
-  Snapshot TakeSnapshot() const;
+  Snapshot TakeSnapshot() const PGPUB_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;  ///< guards the maps; instruments are atomic.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Guards the maps only; the instruments themselves are atomic, so
+  /// cached Counter*/Gauge*/Histogram* pointers are used lock-free.
+  mutable Mutex mu_{"obs.metrics", lock_rank::kMetrics};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      PGPUB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      PGPUB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      PGPUB_GUARDED_BY(mu_);
 };
 
 }  // namespace pgpub::obs

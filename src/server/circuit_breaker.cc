@@ -104,4 +104,13 @@ uint64_t CircuitBreaker::remaining_open_nanos() const {
   return elapsed >= open_window_nanos_ ? 0 : open_window_nanos_ - elapsed;
 }
 
+CircuitBreaker::Snapshot CircuitBreaker::TakeSnapshot() const {
+  Snapshot snap;
+  snap.state = state_;
+  snap.consecutive_failures = consecutive_failures_;
+  snap.open_window_nanos = open_window_nanos_;
+  snap.remaining_open_nanos = remaining_open_nanos();
+  return snap;
+}
+
 }  // namespace pgpub::server

@@ -64,6 +64,18 @@ class CircuitBreaker {
   /// Nanos until the next probe is allowed; 0 unless open.
   uint64_t remaining_open_nanos() const;
 
+  /// One coherent view of the breaker, read in a single call. Observers
+  /// (the health endpoint, via ServerCore::SnapshotTenants under the core
+  /// lock) use this instead of field-by-field accessors, so a rendered
+  /// line can never mix fields from two transitions.
+  struct Snapshot {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    uint64_t open_window_nanos = 0;
+    uint64_t remaining_open_nanos = 0;
+  };
+  Snapshot TakeSnapshot() const;
+
   static const char* StateName(State state);
 
  private:

@@ -5,12 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <condition_variable>
 #include <cstring>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
+#include "common/sync/mutex.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
@@ -86,8 +85,10 @@ Status HealthEndpoint::Start(int port) {
   bound_port_ = ntohs(bound.sin_port);
   stopping_.store(false, std::memory_order_relaxed);
   // The endpoint's one accept loop; requests are answered synchronously,
-  // so no work escapes Status propagation. pgpub-lint: allow(thread)
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  // so no work escapes Status propagation. The fd is captured by value:
+  // the loop must not re-read listen_fd_, which Stop() overwrites from
+  // another thread. pgpub-lint: allow(thread)
+  accept_thread_ = std::thread([this, fd] { AcceptLoop(fd); });
   PGPUB_LOG_INFO("server.health_endpoint_started")
       .Field("port", bound_port_);
   return Status::OK();
@@ -106,9 +107,9 @@ void HealthEndpoint::Stop() {
       .Field("port", bound_port_);
 }
 
-void HealthEndpoint::AcceptLoop() {
+void HealthEndpoint::AcceptLoop(int listen_fd) {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load(std::memory_order_relaxed)) return;
       if (errno == EINTR) continue;
@@ -149,9 +150,11 @@ std::string HealthEndpoint::HandleCommand(const std::string& line) {
   const std::string& cmd = words[0];
 
   if (cmd == "HEALTH") {
+    // One lock acquisition: draining and queued are from the same instant.
+    const ServerCore::HealthSnapshot health = core_->SnapshotHealth();
     std::ostringstream out;
-    out << "ok draining=" << (core_->draining() ? 1 : 0)
-        << " queued=" << core_->queued() << "\n";
+    out << "ok draining=" << (health.draining ? 1 : 0)
+        << " queued=" << health.queued << "\n";
     return out.str();
   }
 
@@ -231,23 +234,26 @@ std::string HealthEndpoint::HandleCommand(const std::string& line) {
     }
 
     struct Waiter {
-      std::mutex mu;
-      std::condition_variable cv;
-      bool done = false;
-      ServerResponse response;
+      Mutex mu{"server.publish_waiter"};
+      CondVar cv;
+      bool done PGPUB_GUARDED_BY(mu) = false;
+      ServerResponse response PGPUB_GUARDED_BY(mu);
     };
     auto waiter = std::make_shared<Waiter>();
     Status admitted =
-        core_->Submit(std::move(request), [waiter](ServerResponse r) {
-          std::lock_guard<std::mutex> lock(waiter->mu);
-          waiter->response = std::move(r);
+        core_->Submit(std::move(request), [waiter](ServerResponse resp) {
+          MutexLock lock(&waiter->mu);
+          waiter->response = std::move(resp);
           waiter->done = true;
-          waiter->cv.notify_one();
+          waiter->cv.NotifyOne();
         });
     if (!admitted.ok()) return ErrorReply(admitted);
-    std::unique_lock<std::mutex> lock(waiter->mu);
-    waiter->cv.wait(lock, [&] { return waiter->done; });
-    const ServerResponse& r = waiter->response;
+    ServerResponse r;
+    {
+      MutexLock lock(&waiter->mu);
+      while (!waiter->done) waiter->cv.Wait(&waiter->mu);
+      r = std::move(waiter->response);
+    }
     if (!r.status.ok()) return ErrorReply(r.status);
     std::ostringstream out;
     out << "ok tenant=" << r.tenant << " stream=" << r.stream_id

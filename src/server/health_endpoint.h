@@ -60,10 +60,15 @@ class HealthEndpoint {
   std::string HandleCommand(const std::string& line);
 
  private:
-  void AcceptLoop();
+  /// Runs on the accept thread with its own copy of the listening fd —
+  /// Stop() overwrites listen_fd_ concurrently, so the loop never reads
+  /// the member.
+  void AcceptLoop(int listen_fd);
   void ServeConnection(int fd);
 
-  ServerCore* core_;
+  ServerCore* const core_;
+  /// Owned by the Start/Stop caller thread; never read from the accept
+  /// thread (see AcceptLoop).
   int listen_fd_ = -1;
   int bound_port_ = 0;
   std::atomic<bool> stopping_{false};

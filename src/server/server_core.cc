@@ -42,7 +42,7 @@ ServerCore::~ServerCore() { Shutdown(); }
 
 Status ServerCore::Start() {
   RETURN_IF_ERROR(options_.Validate());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (started_) {
     return Status::FailedPrecondition("server already started");
   }
@@ -59,9 +59,18 @@ Status ServerCore::Start() {
 }
 
 Status ServerCore::Submit(ServerRequest request, ResponseCallback done) {
+  obs::MetricsRegistry::Global().GetCounter("server.submitted")->Add();
+  Status admitted;
+  {
+    MutexLock lock(&mu_);
+    admitted = AdmitLocked(std::move(request), std::move(done));
+  }
+  if (admitted.ok()) work_cv_.NotifyOne();
+  return admitted;
+}
+
+Status ServerCore::AdmitLocked(ServerRequest request, ResponseCallback done) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  metrics.GetCounter("server.submitted")->Add();
-  std::unique_lock<std::mutex> lock(mu_);
   stats_.submitted++;
   if (!started_) {
     return Status::FailedPrecondition("server not started");
@@ -118,8 +127,6 @@ Status ServerCore::Submit(ServerRequest request, ResponseCallback done) {
   queue_.push_back(std::move(item));
   stats_.admitted++;
   metrics.GetCounter("server.admitted")->Add();
-  lock.unlock();
-  work_cv_.notify_one();
   return Status::OK();
 }
 
@@ -128,8 +135,8 @@ void ServerCore::DispatcherLoop() {
     std::vector<Item> batch;
     bool draining_now = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !draining_) work_cv_.Wait(&mu_);
       if (queue_.empty()) break;  // draining_ && empty: done.
       batch.reserve(queue_.size());
       while (!queue_.empty()) {
@@ -159,7 +166,7 @@ void ServerCore::DispatcherLoop() {
       if (item.done != nullptr && item.request.deadline_nanos != 0 &&
           sweep_now >= item.request.deadline_nanos) {
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           stats_.rejected_deadline++;
         }
         obs::MetricsRegistry::Global()
@@ -176,7 +183,7 @@ void ServerCore::DispatcherLoop() {
       if (item.done != nullptr) Process(item, draining_now);
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   dispatcher_exited_ = true;
 }
 
@@ -196,7 +203,7 @@ void ServerCore::Respond(Item& item, ServerResponse response) {
   ResponseCallback done = std::move(item.done);
   item.done = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (draining_) {
       stats_.drained++;
       obs::MetricsRegistry::Global().GetCounter("server.drained")->Add();
@@ -212,7 +219,7 @@ void ServerCore::Process(Item& item, bool draining_now) {
   // Status — it must not reach the engine, and it must not vanish.
   if (PGPUB_FAILPOINT_TRIGGERED(failpoints::kServerQueueCorrupt)) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stats_.queue_corrupt++;
     }
     metrics.GetCounter("server.queue_corrupt")->Add();
@@ -232,7 +239,7 @@ void ServerCore::Process(Item& item, bool draining_now) {
                        now >= item.request.deadline_nanos;
   if (expired) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stats_.rejected_deadline++;
     }
     metrics.GetCounter("server.rejected_deadline")->Add();
@@ -243,7 +250,7 @@ void ServerCore::Process(Item& item, bool draining_now) {
   if (draining_now &&
       options_.drain_policy == ServerOptions::DrainPolicy::kReject) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stats_.rejected_draining++;
     }
     metrics.GetCounter("server.rejected_draining")->Add();
@@ -260,7 +267,7 @@ void ServerCore::Process(Item& item, bool draining_now) {
   {
     // Breaker state is mutated only on the dispatcher but read by the
     // health endpoint, so every touch happens under the core lock.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     allowed = tenant->breaker.Allow();
     if (!allowed) {
       stats_.breaker_open++;
@@ -289,7 +296,7 @@ void ServerCore::Process(Item& item, bool draining_now) {
   ServerResponse response = MakeResponse(item, result.status());
   response.publish_ms = publish_ms;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (result.ok()) {
       tenant->breaker.RecordSuccess();
       tenant->served++;
@@ -324,38 +331,46 @@ void ServerCore::Process(Item& item, bool draining_now) {
 
 void ServerCore::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!started_) return;
     if (!draining_) {
       draining_ = true;
       PGPUB_LOG_INFO("server.draining").Field("queued", queue_.size());
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   if (dispatcher_.joinable()) dispatcher_.join();
   PGPUB_LOG_INFO("server.stopped").Field("drained", stats().drained);
 }
 
 bool ServerCore::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return draining_;
 }
 
 size_t ServerCore::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 ServerCore::Stats ServerCore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
+}
+
+ServerCore::HealthSnapshot ServerCore::SnapshotHealth() const {
+  MutexLock lock(&mu_);
+  HealthSnapshot snap;
+  snap.draining = draining_;
+  snap.queued = queue_.size();
+  return snap;
 }
 
 std::vector<ServerCore::TenantSnapshot> ServerCore::SnapshotTenants() const {
   // The registry's structure is frozen while serving; only the per-tenant
   // counters and breaker state need the lock.
   std::vector<TenantSnapshot> snapshots;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const std::string& key : registry_->Keys()) {
     Result<Tenant*> tenant = registry_->Lookup(key);
     if (!tenant.ok()) continue;
@@ -365,9 +380,10 @@ std::vector<ServerCore::TenantSnapshot> ServerCore::SnapshotTenants() const {
     snap.queued = t.queued;
     snap.served = t.served;
     snap.failed = t.failed;
-    snap.breaker_state = CircuitBreaker::StateName(t.breaker.state());
+    const CircuitBreaker::Snapshot breaker = t.breaker.TakeSnapshot();
+    snap.breaker_state = CircuitBreaker::StateName(breaker.state);
     snap.breaker_remaining_open_ms =
-        t.breaker.remaining_open_nanos() / kNanosPerMilli;
+        breaker.remaining_open_nanos / kNanosPerMilli;
     snapshots.push_back(std::move(snap));
   }
   return snapshots;

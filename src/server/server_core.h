@@ -1,16 +1,16 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync/lock_ranks.h"
+#include "common/sync/mutex.h"
 #include "engine/publication_engine.h"
 #include "server/clock.h"
 #include "server/tenant_registry.h"
@@ -121,19 +121,30 @@ class ServerCore {
   ServerCore& operator=(const ServerCore&) = delete;
 
   /// Spawns the dispatcher. Must be called before Submit.
-  [[nodiscard]] Status Start();
+  [[nodiscard]] Status Start() PGPUB_EXCLUDES(mu_);
 
   /// Admission-controlled enqueue; never blocks on the queue. OK means
   /// `done` will be invoked exactly once (possibly during Shutdown); a
   /// non-OK return IS the final answer and `done` will never run.
-  [[nodiscard]] Status Submit(ServerRequest request, ResponseCallback done);
+  [[nodiscard]] Status Submit(ServerRequest request, ResponseCallback done)
+      PGPUB_EXCLUDES(mu_);
 
   /// Stops admission, drains the queue per DrainPolicy, joins the
   /// dispatcher. Idempotent; safe to call without Start.
-  void Shutdown();
+  void Shutdown() PGPUB_EXCLUDES(mu_);
 
-  bool draining() const;
-  size_t queued() const;
+  bool draining() const PGPUB_EXCLUDES(mu_);
+  size_t queued() const PGPUB_EXCLUDES(mu_);
+
+  /// One coherent liveness view, taken under a single lock acquisition —
+  /// a HEALTH reply can never pair a draining flag from one instant with
+  /// a queue depth from another (separate draining() + queued() calls
+  /// could interleave with the dispatcher between them).
+  struct HealthSnapshot {
+    bool draining = false;
+    size_t queued = 0;
+  };
+  HealthSnapshot SnapshotHealth() const PGPUB_EXCLUDES(mu_);
 
   /// Monotonic serving counters (also exported as `server.*` metrics).
   struct Stats {
@@ -151,7 +162,7 @@ class ServerCore {
     uint64_t failed = 0;        ///< Dispatched but engine returned non-OK.
     uint64_t drained = 0;       ///< Answered after Shutdown began.
   };
-  Stats stats() const;
+  Stats stats() const PGPUB_EXCLUDES(mu_);
 
   /// Point-in-time view of one tenant's serving state, read under the
   /// core lock so it is coherent with the dispatcher.
@@ -163,7 +174,7 @@ class ServerCore {
     const char* breaker_state = "closed";
     uint64_t breaker_remaining_open_ms = 0;
   };
-  std::vector<TenantSnapshot> SnapshotTenants() const;
+  std::vector<TenantSnapshot> SnapshotTenants() const PGPUB_EXCLUDES(mu_);
 
   const TenantRegistry& registry() const { return *registry_; }
   const ServerOptions& options() const { return options_; }
@@ -180,24 +191,32 @@ class ServerCore {
     uint64_t enqueued_nanos = 0;
   };
 
-  void DispatcherLoop();
+  void DispatcherLoop() PGPUB_EXCLUDES(mu_);
   /// Serves or rejects one dequeued item; invoked on the dispatcher.
-  void Process(Item& item, bool draining_now);
-  void Respond(Item& item, ServerResponse response);
+  void Process(Item& item, bool draining_now) PGPUB_EXCLUDES(mu_);
+  void Respond(Item& item, ServerResponse response) PGPUB_EXCLUDES(mu_);
   ServerResponse MakeResponse(const Item& item, Status status) const;
+  /// The admission decision proper — every early-out keeps the caller's
+  /// one lock scope intact; Submit wraps it and notifies outside mu_.
+  [[nodiscard]] Status AdmitLocked(ServerRequest request,
+                                   ResponseCallback done) PGPUB_REQUIRES(mu_);
 
-  TenantRegistry* registry_;
-  ServerOptions options_;
-  const ServerClock* clock_;
+  // Immutable after construction — needs no guard.
+  TenantRegistry* const registry_;
+  const ServerOptions options_;
+  const ServerClock* const clock_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<Item> queue_;
-  bool started_ = false;
-  bool draining_ = false;
-  bool dispatcher_exited_ = false;
-  uint64_t next_admit_seq_ = 0;
-  Stats stats_;
+  mutable Mutex mu_{"server.core", lock_rank::kServerCore};
+  CondVar work_cv_;
+  std::deque<Item> queue_ PGPUB_GUARDED_BY(mu_);
+  bool started_ PGPUB_GUARDED_BY(mu_) = false;
+  bool draining_ PGPUB_GUARDED_BY(mu_) = false;
+  bool dispatcher_exited_ PGPUB_GUARDED_BY(mu_) = false;
+  uint64_t next_admit_seq_ PGPUB_GUARDED_BY(mu_) = 0;
+  Stats stats_ PGPUB_GUARDED_BY(mu_);
+  // Assigned once under mu_ in Start; joined in Shutdown with mu_
+  // released (joining under the lock would deadlock against the
+  // dispatcher's own acquisitions). pgpub-lint: allow(L9)
   std::thread dispatcher_;  // pgpub-lint: allow(thread)
 };
 

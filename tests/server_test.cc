@@ -468,6 +468,33 @@ TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndBackoffDoubles) {
   EXPECT_TRUE(breaker.Allow());
 }
 
+TEST(CircuitBreakerTest, SnapshotIsCoherentWithAccessors) {
+  ManualClock clock(0);
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  options.open_duration_nanos = 100;
+  ASSERT_TRUE(options.Validate().ok());
+  CircuitBreaker breaker(options, &clock);
+
+  CircuitBreaker::Snapshot snap = breaker.TakeSnapshot();
+  EXPECT_EQ(snap.state, CircuitBreaker::State::kClosed);
+  EXPECT_EQ(snap.consecutive_failures, 0);
+  EXPECT_EQ(snap.remaining_open_nanos, 0u);
+
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  snap = breaker.TakeSnapshot();
+  EXPECT_EQ(snap.state, CircuitBreaker::State::kClosed);
+  EXPECT_EQ(snap.consecutive_failures, 1);
+
+  breaker.RecordFailure();
+  clock.AdvanceNanos(40);
+  snap = breaker.TakeSnapshot();
+  EXPECT_EQ(snap.state, CircuitBreaker::State::kOpen);
+  EXPECT_EQ(snap.open_window_nanos, 100u);
+  EXPECT_EQ(snap.remaining_open_nanos, 60u);
+}
+
 TEST(CircuitBreakerTest, ValidateRejectsDegeneratePolicies) {
   ManualClock clock(0);
   CircuitBreakerOptions options;
@@ -587,6 +614,19 @@ TEST_F(ServerTest, HealthEndpointHandlesCommands) {
   const std::string burst = endpoint.HandleCommand("BURST alpha 3 100");
   EXPECT_EQ(burst.find("admitted="), 0u) << burst;
   core.Shutdown();
+}
+
+TEST_F(ServerTest, SnapshotHealthReadsBothFieldsAtOnce) {
+  auto registry = MakeRegistry(nullptr, {{"alpha", 1, {}}});
+  ServerCore core(registry.get(), ServerOptions{});
+  ASSERT_TRUE(core.Start().ok());
+  ServerCore::HealthSnapshot health = core.SnapshotHealth();
+  EXPECT_FALSE(health.draining);
+  EXPECT_EQ(health.queued, 0u);
+  core.Shutdown();
+  health = core.SnapshotHealth();
+  EXPECT_TRUE(health.draining);
+  EXPECT_EQ(health.queued, 0u);
 }
 
 TEST_F(ServerTest, HealthEndpointServesOverTcp) {

@@ -1,0 +1,264 @@
+// Tests for the annotated locking layer (common/sync/): the RAII-only
+// API surface is pinned at compile time, and the lock-order-inversion
+// detector is exercised with a deterministic ABBA fixture.
+
+#include "common/sync/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "common/sync/lock_ranks.h"
+#include "common/sync/thread_annotations.h"
+
+namespace pgpub {
+namespace {
+
+// ----------------------------------------------------- API-shape pins
+//
+// A capability's identity is its address: copying or moving a Mutex (or a
+// scoped lock over one) would silently fork the capability, so the types
+// must stay pinned non-copyable and non-movable.
+
+static_assert(!std::is_copy_constructible_v<Mutex>);
+static_assert(!std::is_copy_assignable_v<Mutex>);
+static_assert(!std::is_move_constructible_v<Mutex>);
+static_assert(!std::is_move_assignable_v<Mutex>);
+
+static_assert(!std::is_copy_constructible_v<MutexLock>);
+static_assert(!std::is_copy_assignable_v<MutexLock>);
+static_assert(!std::is_move_constructible_v<MutexLock>);
+static_assert(!std::is_move_assignable_v<MutexLock>);
+
+static_assert(!std::is_copy_constructible_v<CondVar>);
+static_assert(!std::is_copy_assignable_v<CondVar>);
+
+/// Detects a public callable `Unlock()` on T.
+template <typename T, typename = void>
+struct HasUnlock : std::false_type {};
+template <typename T>
+struct HasUnlock<T, std::void_t<decltype(std::declval<T&>().Unlock())>>
+    : std::true_type {};
+
+// MutexLock is RAII-only: no early-unlock escape hatch. (The mutex itself
+// keeps Lock/Unlock for the wrapper and for CondVar.)
+static_assert(!HasUnlock<MutexLock>::value,
+              "MutexLock must stay RAII-only; early unlock breaks the "
+              "single-exit lock-state proof -Wthread-safety relies on");
+static_assert(HasUnlock<Mutex>::value);
+
+TEST(MutexTest, LockUnlockAndMetadata) {
+  Mutex mu("sync_test.basic", 42);
+  EXPECT_STREQ(mu.name(), "sync_test.basic");
+  EXPECT_EQ(mu.rank(), 42);
+  EXPECT_NE(mu.Id(), 0u);
+  mu.Lock();
+  mu.Unlock();
+  { MutexLock lock(&mu); }
+}
+
+TEST(MutexTest, IdsAreProcessUnique) {
+  Mutex a("sync_test.id_a");
+  Mutex b("sync_test.id_b");
+  EXPECT_NE(a.Id(), b.Id());
+}
+
+TEST(MutexTest, TryLockFailsWhenHeldElsewhere) {
+  Mutex mu("sync_test.trylock");
+  mu.Lock();
+  bool acquired = true;
+  std::thread t([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  t.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu("sync_test.cv");
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+  }
+  producer.join();
+  EXPECT_TRUE(ready);
+}
+
+// ------------------------------------------------ lock-order detector
+
+TEST(LockOrderDetectorTest, NestedSameOrderIsSilent) {
+  ScopedLockOrderCheckForTest scope;
+  const uint64_t before = ScopedLockOrderCheckForTest::ViolationCount();
+  Mutex outer("sync_test.order_outer");
+  Mutex inner("sync_test.order_inner");
+  // The same nesting repeated (and from a second thread) is the healthy
+  // pattern the graph must accept without a report.
+  for (int i = 0; i < 3; ++i) {
+    MutexLock a(&outer);
+    MutexLock b(&inner);
+  }
+  std::thread t([&] {
+    MutexLock a(&outer);
+    MutexLock b(&inner);
+  });
+  t.join();
+  EXPECT_EQ(ScopedLockOrderCheckForTest::ViolationCount(), before);
+}
+
+TEST(LockOrderDetectorTest, ReportsAbbaInversionWithBothLockNames) {
+#if defined(__SANITIZE_THREAD__)
+  // ThreadSanitizer has its own lock-order detector that would flag the
+  // intentional inversion below; this fixture targets pgpub's detector,
+  // which the rest of the TSan suite still exercises on the healthy path.
+  GTEST_SKIP() << "intentional ABBA would trip TSan's own detector";
+#else
+  ScopedLockOrderCheckForTest scope;
+  const uint64_t before = ScopedLockOrderCheckForTest::ViolationCount();
+  Mutex a("sync_test.abba_a");
+  Mutex b("sync_test.abba_b");
+  {
+    MutexLock la(&a);
+    MutexLock lb(&b);  // records a -> b
+  }
+  {
+    MutexLock lb(&b);
+    MutexLock la(&a);  // closes the cycle: reported before blocking
+  }
+  EXPECT_EQ(ScopedLockOrderCheckForTest::ViolationCount(), before + 1);
+  const std::string msg =
+      ScopedLockOrderCheckForTest::LastViolationMessage();
+  EXPECT_NE(msg.find("lock-order inversion"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'sync_test.abba_a'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'sync_test.abba_b'"), std::string::npos) << msg;
+  // Both orderings' held-lock stacks are in the report.
+  EXPECT_NE(msg.find("this thread holds"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("conflicting order first recorded"), std::string::npos)
+      << msg;
+#endif
+}
+
+TEST(LockOrderDetectorTest, CrossThreadInversionIsDetected) {
+#if defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "intentional ABBA would trip TSan's own detector";
+#else
+  ScopedLockOrderCheckForTest scope;
+  const uint64_t before = ScopedLockOrderCheckForTest::ViolationCount();
+  Mutex a("sync_test.cross_a");
+  Mutex b("sync_test.cross_b");
+  {
+    MutexLock la(&a);
+    MutexLock lb(&b);
+  }
+  // The other order on another thread: the edge cache is thread-local but
+  // the graph is global, so the cycle is still caught (sequentially here —
+  // no real deadlock needed).
+  std::thread t([&] {
+    MutexLock lb(&b);
+    MutexLock la(&a);
+  });
+  t.join();
+  EXPECT_EQ(ScopedLockOrderCheckForTest::ViolationCount(), before + 1);
+#endif
+}
+
+TEST(LockOrderDetectorTest, RankRegressionIsReported) {
+  ScopedLockOrderCheckForTest scope;
+  const uint64_t before = ScopedLockOrderCheckForTest::ViolationCount();
+  Mutex high("sync_test.rank_high", lock_rank::kMetrics);
+  Mutex low("sync_test.rank_low", lock_rank::kServerCore);
+  {
+    MutexLock lh(&high);
+    MutexLock ll(&low);  // rank must increase down the stack
+  }
+  EXPECT_EQ(ScopedLockOrderCheckForTest::ViolationCount(), before + 1);
+  const std::string msg =
+      ScopedLockOrderCheckForTest::LastViolationMessage();
+  EXPECT_NE(msg.find("rank"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'sync_test.rank_low'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'sync_test.rank_high'"), std::string::npos) << msg;
+}
+
+TEST(LockOrderDetectorTest, UnrankedLocksSkipTheRankCheck) {
+  ScopedLockOrderCheckForTest scope;
+  const uint64_t before = ScopedLockOrderCheckForTest::ViolationCount();
+  Mutex ranked("sync_test.ranked", lock_rank::kMetrics);
+  Mutex unranked("sync_test.unranked");  // rank 0: graph checking only
+  {
+    MutexLock lr(&ranked);
+    MutexLock lu(&unranked);
+  }
+  EXPECT_EQ(ScopedLockOrderCheckForTest::ViolationCount(), before);
+}
+
+TEST(LockOrderDetectorTest, DisabledScopeRecordsNothing) {
+#if defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "intentional ABBA would trip TSan's own detector";
+#else
+  ScopedLockOrderCheckForTest scope(/*enabled=*/false);
+  const uint64_t before = ScopedLockOrderCheckForTest::ViolationCount();
+  Mutex a("sync_test.off_a");
+  Mutex b("sync_test.off_b");
+  {
+    MutexLock la(&a);
+    MutexLock lb(&b);
+  }
+  {
+    MutexLock lb(&b);
+    MutexLock la(&a);  // would be an inversion with the detector on
+  }
+  EXPECT_EQ(ScopedLockOrderCheckForTest::ViolationCount(), before);
+#endif
+}
+
+TEST(LockOrderDetectorTest, TryLockRecordsNoOrderingEdge) {
+  ScopedLockOrderCheckForTest scope;
+  const uint64_t before = ScopedLockOrderCheckForTest::ViolationCount();
+  Mutex a("sync_test.try_a");
+  Mutex b("sync_test.try_b");
+  {
+    MutexLock la(&a);
+    ASSERT_TRUE(b.TryLock());  // cannot block: no a -> b edge
+    b.Unlock();
+  }
+  {
+    MutexLock lb(&b);
+    MutexLock la(&a);  // so this order is not an inversion
+  }
+  EXPECT_EQ(ScopedLockOrderCheckForTest::ViolationCount(), before);
+}
+
+TEST(LockOrderDetectorTest, WaitReacquisitionAddsNoEdges) {
+  ScopedLockOrderCheckForTest scope;
+  const uint64_t before = ScopedLockOrderCheckForTest::ViolationCount();
+  Mutex mu("sync_test.wait_mu");
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+  }
+  producer.join();
+  EXPECT_EQ(ScopedLockOrderCheckForTest::ViolationCount(), before);
+}
+
+}  // namespace
+}  // namespace pgpub

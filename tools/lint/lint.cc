@@ -12,6 +12,8 @@ const char* const kRuleNondeterminism = "nondeterminism";
 const char* const kRuleFloatEquality = "float-equality";
 const char* const kRuleDirectIo = "direct-io";
 const char* const kRuleRawThread = "raw-thread";
+const char* const kRuleRawMutex = "raw-mutex";
+const char* const kRuleUnannotatedGuard = "unannotated-guard";
 
 std::string CanonicalRuleName(const std::string& name_or_id) {
   static const std::map<std::string, std::string> kMap = {
@@ -22,8 +24,11 @@ std::string CanonicalRuleName(const std::string& name_or_id) {
       {"L5", kRuleFloatEquality},       {"l5", kRuleFloatEquality},
       {"L6", kRuleDirectIo},            {"l6", kRuleDirectIo},
       {"L7", kRuleRawThread},           {"l7", kRuleRawThread},
+      {"L8", kRuleRawMutex},            {"l8", kRuleRawMutex},
+      {"L9", kRuleUnannotatedGuard},    {"l9", kRuleUnannotatedGuard},
       {"io", kRuleDirectIo},
       {"thread", kRuleRawThread},
+      {"mutex", kRuleRawMutex},
       {kRuleDiscardedStatus, kRuleDiscardedStatus},
       {kRuleUncheckedResult, kRuleUncheckedResult},
       {kRuleCheckOnInputPath, kRuleCheckOnInputPath},
@@ -31,6 +36,8 @@ std::string CanonicalRuleName(const std::string& name_or_id) {
       {kRuleFloatEquality, kRuleFloatEquality},
       {kRuleDirectIo, kRuleDirectIo},
       {kRuleRawThread, kRuleRawThread},
+      {kRuleRawMutex, kRuleRawMutex},
+      {kRuleUnannotatedGuard, kRuleUnannotatedGuard},
   };
   auto it = kMap.find(name_or_id);
   return it == kMap.end() ? std::string() : it->second;
@@ -123,9 +130,10 @@ void Report(std::vector<Finding>* out, const std::string& file,
             const Suppressions& sup, int line, const char* rule,
             std::string message) {
   if (sup.Allows(line, rule)) return;
-  // Short ids (and the "io"/"thread" shorthands) work in allow() too.
-  for (const char* id :
-       {"L1", "L2", "L3", "L4", "L5", "L6", "L7", "io", "thread"}) {
+  // Short ids (and the "io"/"thread"/"mutex" shorthands) work in allow()
+  // too.
+  for (const char* id : {"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8",
+                         "L9", "io", "thread", "mutex"}) {
     if (CanonicalRuleName(id) == rule && sup.Allows(line, id)) return;
   }
   out->push_back(Finding{file, line, rule, std::move(message)});
@@ -531,6 +539,259 @@ void RunRawThread(const std::string& file, const LexedFile& lexed,
   }
 }
 
+// -------------------------------------------------------------------- L8
+
+void RunRawMutex(const std::string& file, const LexedFile& lexed,
+                 const LintOptions& options, std::vector<Finding>* out) {
+  if (PathExempt(file, options.raw_mutex_exempt)) return;
+  // The raw locking vocabulary. Naming any of these std:: types outside
+  // the sync layer means a lock the capability analysis cannot see.
+  static const std::set<std::string> kRawLocking = {
+      "mutex",          "timed_mutex",
+      "recursive_mutex", "recursive_timed_mutex",
+      "shared_mutex",   "shared_timed_mutex",
+      "lock_guard",     "unique_lock",
+      "scoped_lock",    "shared_lock",
+      "condition_variable", "condition_variable_any",
+  };
+  const Tokens& toks = lexed.tokens;
+  for (size_t i = 2; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (kRawLocking.count(t.text) == 0) continue;
+    // Only the std:: names; `lock_guard` as a local name is someone
+    // else's problem, and pgpub::Mutex never collides.
+    if (!IsPunct(toks[i - 1], "::") || !IsIdent(toks[i - 2], "std")) {
+      continue;
+    }
+    Report(out, file, lexed.suppressions, t.line, kRuleRawMutex,
+           "raw std::" + t.text +
+               " outside src/common/sync/ — use pgpub::Mutex / MutexLock "
+               "/ CondVar (src/common/sync/mutex.h) so Clang "
+               "-Wthread-safety and the lock-order detector can see the "
+               "lock");
+  }
+}
+
+// -------------------------------------------------------------------- L9
+
+/// Walks from `open` (an index of "{") forward to its matching "}".
+/// Returns tokens.size() when unbalanced.
+size_t MatchBraceForward(const Tokens& toks, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    if (toks[i].text == "{") ++depth;
+    if (toks[i].text == "}") {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+/// One member declaration at class-body depth: tokens [begin, end), where
+/// `end` is the index of the terminating ";".
+struct MemberStmt {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Splits a class body (tokens strictly between `open` and `close`, both
+/// braces) into member statements. Function definitions (a brace group
+/// not followed by ";") are dropped; brace initializers and nested type
+/// definitions stay inside their statement.
+std::vector<MemberStmt> SplitMemberStatements(const Tokens& toks,
+                                              size_t open, size_t close) {
+  std::vector<MemberStmt> stmts;
+  size_t start = open + 1;
+  size_t i = open + 1;
+  while (i < close) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kIdentifier &&
+        (t.text == "public" || t.text == "private" ||
+         t.text == "protected") &&
+        i + 1 < close && IsPunct(toks[i + 1], ":")) {
+      i += 2;
+      start = i;
+      continue;
+    }
+    if (IsPunct(t, "{")) {
+      const size_t end = MatchBraceForward(toks, i);
+      if (end >= close) break;
+      if (end + 1 < close && IsPunct(toks[end + 1], ";")) {
+        stmts.push_back(MemberStmt{start, end + 1});
+        i = end + 2;
+      } else {
+        // Inline function definition — nothing declared at body depth.
+        i = end + 1;
+      }
+      start = i;
+      continue;
+    }
+    if (IsPunct(t, ";")) {
+      if (i > start) stmts.push_back(MemberStmt{start, i});
+      ++i;
+      start = i;
+      continue;
+    }
+    ++i;
+  }
+  return stmts;
+}
+
+bool StmtHasIdent(const Tokens& toks, const MemberStmt& s,
+                  const char* text) {
+  for (size_t i = s.begin; i < s.end; ++i) {
+    if (IsIdent(toks[i], text)) return true;
+  }
+  return false;
+}
+
+/// A "(" outside template argument lists means the statement declares a
+/// function (or a deleted constructor), not a data member.
+bool StmtHasCallParen(const Tokens& toks, const MemberStmt& s) {
+  for (size_t i = s.begin; i < s.end;) {
+    if (IsPunct(toks[i], "<")) {
+      const size_t past = SkipTemplateArgs(toks, i);
+      if (past > i) {
+        i = past;
+        continue;
+      }
+    }
+    if (IsPunct(toks[i], "(")) return true;
+    ++i;
+  }
+  return false;
+}
+
+/// True when the statement declares a pgpub::Mutex member (the lock
+/// itself, or a pointer to one). Type definitions, friend declarations
+/// and functions mentioning Mutex (constructors, Wait(Mutex*)) don't
+/// count.
+bool IsMutexMember(const Tokens& toks, const MemberStmt& s) {
+  if (!StmtHasIdent(toks, s, "Mutex")) return false;
+  for (const char* kw : {"struct", "class", "enum", "using", "typedef",
+                         "friend", "MutexLock"}) {
+    if (StmtHasIdent(toks, s, kw)) return false;
+  }
+  return !StmtHasCallParen(toks, s);
+}
+
+/// True when the statement is exempt from the guard requirement: already
+/// annotated, immutable, atomic, a type/alias/friend declaration, the
+/// lock machinery itself, or a function declaration (any "(" outside
+/// template argument lists).
+bool IsExemptMember(const Tokens& toks, const MemberStmt& s) {
+  if (StmtHasIdent(toks, s, "PGPUB_GUARDED_BY") ||
+      StmtHasIdent(toks, s, "PGPUB_PT_GUARDED_BY")) {
+    return true;
+  }
+  for (const char* kw :
+       {"static", "constexpr", "const", "using", "typedef", "friend",
+        "struct", "class", "enum", "template", "operator", "atomic",
+        "Mutex", "MutexLock", "CondVar"}) {
+    if (StmtHasIdent(toks, s, kw)) return true;
+  }
+  return StmtHasCallParen(toks, s);  // function declaration
+}
+
+/// The declared name: the last identifier before the initializer (or the
+/// terminating ";").
+std::string MemberName(const Tokens& toks, const MemberStmt& s) {
+  std::string name;
+  for (size_t i = s.begin; i < s.end; ++i) {
+    if (IsPunct(toks[i], "=") || IsPunct(toks[i], "{") ||
+        IsPunct(toks[i], "[")) {
+      break;
+    }
+    if (toks[i].kind == TokenKind::kIdentifier) name = toks[i].text;
+  }
+  return name;
+}
+
+void RunUnannotatedGuard(const std::string& file, const LexedFile& lexed,
+                         std::vector<Finding>* out) {
+  const Tokens& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "class") && !IsIdent(toks[i], "struct")) continue;
+    if (i > 0 && IsIdent(toks[i - 1], "enum")) continue;
+
+    // Find the body's opening brace (or bail on forward declarations,
+    // template parameters and elaborated specifiers). Attribute macros
+    // before the name may carry parenthesized arguments.
+    std::string class_name;
+    size_t open = toks.size();
+    bool in_bases = false;
+    int paren_depth = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      const Token& t = toks[j];
+      if (IsPunct(t, "(")) {
+        ++paren_depth;
+        continue;
+      }
+      if (IsPunct(t, ")")) {
+        if (paren_depth == 0) break;
+        --paren_depth;
+        continue;
+      }
+      if (paren_depth > 0) continue;
+      if (t.kind == TokenKind::kIdentifier) {
+        if (!in_bases) class_name = t.text;
+        continue;
+      }
+      if (IsPunct(t, "{")) {
+        open = j;
+        break;
+      }
+      if (IsPunct(t, ":")) {
+        in_bases = true;
+        continue;
+      }
+      if (IsPunct(t, "<")) {
+        const size_t past = SkipTemplateArgs(toks, j);
+        if (past == j) break;
+        j = past - 1;
+        continue;
+      }
+      if (IsPunct(t, ",") || IsPunct(t, ";") || IsPunct(t, ">") ||
+          IsPunct(t, "=") || IsPunct(t, "&") || IsPunct(t, "*")) {
+        break;
+      }
+    }
+    if (open >= toks.size()) continue;
+    const size_t close = MatchBraceForward(toks, open);
+    if (close >= toks.size()) continue;
+
+    // Nested classes are visited by this same loop when the scan reaches
+    // their keyword; here their whole definition is one (exempt) member
+    // statement of the enclosing class.
+    const std::vector<MemberStmt> stmts =
+        SplitMemberStatements(toks, open, close);
+    bool holds_mutex = false;
+    for (const MemberStmt& s : stmts) {
+      if (IsMutexMember(toks, s)) {
+        holds_mutex = true;
+        break;
+      }
+    }
+    if (!holds_mutex) continue;
+
+    for (const MemberStmt& s : stmts) {
+      if (IsExemptMember(toks, s)) continue;
+      const std::string member = MemberName(toks, s);
+      if (member.empty()) continue;
+      Report(out, file, lexed.suppressions, toks[s.begin].line,
+             kRuleUnannotatedGuard,
+             "'" + (class_name.empty() ? std::string("<anonymous>")
+                                       : class_name) +
+                 "' holds a pgpub::Mutex but member '" + member +
+                 "' has no PGPUB_GUARDED_BY — annotate it (or mark a "
+                 "deliberate exception with allow(L9)) so "
+                 "-Wthread-safety covers every field");
+    }
+  }
+}
+
 bool RuleEnabled(const LintOptions& options, const char* rule) {
   return options.enabled_rules.empty() ||
          options.enabled_rules.count(rule) > 0;
@@ -563,6 +824,12 @@ std::vector<Finding> LintFile(const std::string& rel_path,
   }
   if (RuleEnabled(options, kRuleRawThread)) {
     RunRawThread(rel_path, lexed, options, &findings);
+  }
+  if (RuleEnabled(options, kRuleRawMutex)) {
+    RunRawMutex(rel_path, lexed, options, &findings);
+  }
+  if (RuleEnabled(options, kRuleUnannotatedGuard)) {
+    RunUnannotatedGuard(rel_path, lexed, &findings);
   }
   if (RuleEnabled(options, kRuleFloatEquality)) {
     RunFloatEquality(rel_path, lexed, options, &findings);

@@ -16,8 +16,8 @@ struct Finding {
   std::string message;
 };
 
-/// The seven project invariants, by canonical name. Suppression comments
-/// accept either the canonical name or the short id (L1..L7):
+/// The nine project invariants, by canonical name. Suppression comments
+/// accept either the canonical name or the short id (L1..L9):
 ///
 ///   L1 discarded-status     — a call to a Status/Result-returning function
 ///                             whose return value is discarded.
@@ -51,6 +51,21 @@ struct Finding {
 ///                             the pool. `std::thread::hardware_concurrency`
 ///                             (a query, not a spawn) stays legal.
 ///                             Suppression also accepts allow(thread).
+///   L8 raw-mutex            — std::mutex / std::lock_guard /
+///                             std::unique_lock / std::condition_variable
+///                             (and friends) outside src/common/sync/.
+///                             Raw primitives carry no capability
+///                             annotations, so Clang -Wthread-safety and
+///                             the lock-order detector are blind to them;
+///                             use pgpub::Mutex / MutexLock / CondVar.
+///                             Suppression also accepts allow(mutex).
+///   L9 unannotated-guard    — a class that declares a pgpub::Mutex member
+///                             but has other mutable data members without
+///                             PGPUB_GUARDED_BY / PGPUB_PT_GUARDED_BY.
+///                             Unannotated fields silently escape the
+///                             -Wthread-safety proof; annotate them or
+///                             mark the deliberate exceptions (atomics
+///                             are recognized automatically).
 extern const char* const kRuleDiscardedStatus;
 extern const char* const kRuleUncheckedResult;
 extern const char* const kRuleCheckOnInputPath;
@@ -58,8 +73,10 @@ extern const char* const kRuleNondeterminism;
 extern const char* const kRuleFloatEquality;
 extern const char* const kRuleDirectIo;
 extern const char* const kRuleRawThread;
+extern const char* const kRuleRawMutex;
+extern const char* const kRuleUnannotatedGuard;
 
-/// Maps "L1".."L7" (or "io"/"thread", or a canonical name) to the
+/// Maps "L1".."L9" (or "io"/"thread"/"mutex", or a canonical name) to the
 /// canonical name; returns an empty string for unknown rules.
 std::string CanonicalRuleName(const std::string& name_or_id);
 
@@ -101,7 +118,11 @@ struct LintOptions {
   /// implementation is the one place allowed to spawn raw threads.
   std::set<std::string> raw_thread_exempt = {"src/common/parallel/"};
 
-  /// Rules to run (canonical names). Empty = all seven.
+  /// Paths exempt from L8 (same matching as direct_io_exempt): the
+  /// annotated sync layer wraps the raw primitives once, here.
+  std::set<std::string> raw_mutex_exempt = {"src/common/sync/"};
+
+  /// Rules to run (canonical names). Empty = all nine.
   std::set<std::string> enabled_rules;
 };
 

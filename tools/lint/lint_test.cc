@@ -107,6 +107,11 @@ TEST(RuleNameTest, ShortIdsMapToCanonicalNames) {
   EXPECT_EQ(CanonicalRuleName("L7"), kRuleRawThread);
   EXPECT_EQ(CanonicalRuleName("thread"), kRuleRawThread);
   EXPECT_EQ(CanonicalRuleName("raw-thread"), kRuleRawThread);
+  EXPECT_EQ(CanonicalRuleName("L8"), kRuleRawMutex);
+  EXPECT_EQ(CanonicalRuleName("mutex"), kRuleRawMutex);
+  EXPECT_EQ(CanonicalRuleName("raw-mutex"), kRuleRawMutex);
+  EXPECT_EQ(CanonicalRuleName("L9"), kRuleUnannotatedGuard);
+  EXPECT_EQ(CanonicalRuleName("unannotated-guard"), kRuleUnannotatedGuard);
   EXPECT_EQ(CanonicalRuleName("bogus"), "");
 }
 
@@ -523,6 +528,157 @@ TEST(RawThreadTest, SuppressibleWithAllowThreadAndShortId) {
       "  std::thread c([] {});  // pgpub-lint: allow(raw-thread)\n"
       "}\n");
   EXPECT_TRUE(findings.empty());
+}
+
+// ------------------------------------------------------------ L8 raw-mutex
+
+TEST(RawMutexTest, FlagsRawLockingPrimitives) {
+  const auto findings = RunLint(
+      "std::mutex mu;\n"
+      "void f() {\n"
+      "  std::lock_guard<std::mutex> lock(mu);\n"
+      "  std::unique_lock<std::mutex> ul(mu);\n"
+      "  std::condition_variable cv;\n"
+      "  std::shared_mutex sm;\n"
+      "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleRawMutex, 1));
+  EXPECT_TRUE(HasFinding(findings, kRuleRawMutex, 3));
+  EXPECT_TRUE(HasFinding(findings, kRuleRawMutex, 4));
+  EXPECT_TRUE(HasFinding(findings, kRuleRawMutex, 5));
+  EXPECT_TRUE(HasFinding(findings, kRuleRawMutex, 6));
+}
+
+TEST(RawMutexTest, AnnotatedSyncLayerTypesAreLegal) {
+  const auto findings = RunLint(
+      "void f() {\n"
+      "  Mutex mu(\"fixture\");\n"
+      "  MutexLock lock(&mu);\n"
+      "  CondVar cv;\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(RawMutexTest, UnqualifiedMutexNameIsNotTheStdType) {
+  const auto findings = RunLint(
+      "struct W { int mutex; };\n"
+      "void g(W w) { w.mutex = 3; my::lock_guard(1); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(RawMutexTest, SyncImplementationDirectoryIsExempt) {
+  const auto findings = LintSource(
+      "src/common/sync/mutex.cc", FileCategory::kLibrary,
+      "void f() { std::mutex mu; std::condition_variable cv; }\n",
+      LintOptions());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(RawMutexTest, AppliesToHarnessCodeToo) {
+  const auto findings = LintSource(
+      "bench/fixture.cc", FileCategory::kHarness,
+      "void f() { std::mutex mu; }\n", LintOptions());
+  EXPECT_TRUE(HasFinding(findings, kRuleRawMutex, 1));
+}
+
+TEST(RawMutexTest, SuppressibleWithAllowMutexAndShortId) {
+  const auto findings = RunLint(
+      "std::mutex a;  // pgpub-lint: allow(mutex)\n"
+      "std::mutex b;  // pgpub-lint: allow(L8)\n"
+      "std::mutex c;  // pgpub-lint: allow(raw-mutex)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ----------------------------------------------- L9 unannotated-guard
+
+TEST(UnannotatedGuardTest, FlagsBareFieldNextToMutex) {
+  const auto findings = RunLint(
+      "class Registry {\n"
+      " public:\n"
+      "  void Add();\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int count_ = 0;\n"
+      "  std::map<int, int> entries_;\n"
+      "};\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleUnannotatedGuard, 6));
+  EXPECT_TRUE(HasFinding(findings, kRuleUnannotatedGuard, 7));
+}
+
+TEST(UnannotatedGuardTest, AnnotatedFieldsAreClean) {
+  const auto findings = RunLint(
+      "class Registry {\n"
+      "  Mutex mu_{\"fixture\", 10};\n"
+      "  CondVar cv_;\n"
+      "  int count_ PGPUB_GUARDED_BY(mu_) = 0;\n"
+      "  Entry* head_ PGPUB_PT_GUARDED_BY(mu_) = nullptr;\n"
+      "};\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(UnannotatedGuardTest, ImmutableStaticAndAtomicMembersAreExempt) {
+  const auto findings = RunLint(
+      "class Core {\n"
+      "  Mutex mu_;\n"
+      "  Registry* const registry_;\n"
+      "  const Options options_;\n"
+      "  static int shared_;\n"
+      "  std::atomic<bool> stop_{false};\n"
+      "  void Tick();\n"
+      "};\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(UnannotatedGuardTest, ClassWithoutMutexIsIgnored) {
+  const auto findings = RunLint(
+      "class Plain {\n"
+      "  int count_ = 0;\n"
+      "  std::string name_;\n"
+      "};\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(UnannotatedGuardTest, NestedTypeDefinitionsAreNotFields) {
+  const auto findings = RunLint(
+      "class Outer {\n"
+      "  struct Snapshot {\n"
+      "    int a = 0;\n"
+      "    int b = 0;\n"
+      "  };\n"
+      "  enum class Mode { kA, kB };\n"
+      "  Mutex mu_;\n"
+      "  int guarded_ PGPUB_GUARDED_BY(mu_) = 0;\n"
+      "};\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(UnannotatedGuardTest, InlineFunctionBodiesAreNotFields) {
+  const auto findings = RunLint(
+      "class Core {\n"
+      "  int queued() const { int local = 3; return local; }\n"
+      "  Mutex mu_;\n"
+      "  int queue_ PGPUB_GUARDED_BY(mu_) = 0;\n"
+      "};\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(UnannotatedGuardTest, SuppressibleWithShortId) {
+  const auto findings = RunLint(
+      "class Core {\n"
+      "  Mutex mu_;\n"
+      "  std::thread worker_;  // pgpub-lint: allow(L9, thread)\n"
+      "};\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(UnannotatedGuardTest, ReportsClassAndMemberName) {
+  const auto findings = RunLint(
+      "class Registry {\n"
+      "  Mutex mu_;\n"
+      "  int count_ = 0;\n"
+      "};\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("'Registry'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'count_'"), std::string::npos);
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 // pgpub_lint — project-specific static analysis for the PG publication
-// codebase. Lexer-based (no compiler front end): enforces the six
+// codebase. Lexer-based (no compiler front end): enforces the nine
 // invariants documented in lint.h over src/, bench/ and examples/.
 //
 // Usage:
@@ -89,7 +89,8 @@ int Usage(const char* argv0) {
                " [paths...]\n"
                "rules: L1 discarded-status, L2 unchecked-result, L3"
                " check-on-input-path,\n       L4 nondeterminism, L5"
-               " float-equality, L6 direct-io,\n       L7 raw-thread\n";
+               " float-equality, L6 direct-io,\n       L7 raw-thread,"
+               " L8 raw-mutex, L9 unannotated-guard\n";
   return 2;
 }
 
