@@ -9,6 +9,8 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace pgpub {
 namespace bench {
@@ -109,6 +111,40 @@ class BenchReport {
   uint64_t iterations_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Arms the span collector when the bench was invoked with `--trace=PATH`
+/// (or with $PGPUB_TRACE set; the flag wins). Call once at the top of
+/// main and keep the returned path — empty means tracing stays off.
+inline std::string TraceFromArgs(int argc, char** argv) {
+  std::string path;
+  if (const char* env = std::getenv("PGPUB_TRACE");
+      env != nullptr && *env != '\0') {
+    path = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) path = arg.substr(8);
+  }
+  // Tracer::Enable returns void; the linter conflates it with the
+  // Status-returning Failpoint::Enable by name. pgpub-lint: allow(L1)
+  if (!path.empty()) obs::Tracer::Global().Enable();
+  return path;
+}
+
+/// Writes the collected spans as Chrome Trace Event JSON to `path`
+/// (no-op when empty, so it composes with TraceFromArgs unconditionally).
+/// Returns false after a diagnostic when the file cannot be written.
+inline bool FinishTrace(const std::string& path) {
+  if (path.empty()) return true;
+  const Status written =
+      obs::WriteChromeTrace(obs::Tracer::Global().TakeSnapshot(), path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "bench: %s\n", written.ToString().c_str());
+    return false;
+  }
+  std::fprintf(stderr, "bench: wrote trace %s\n", path.c_str());
+  return true;
+}
 
 }  // namespace bench
 }  // namespace pgpub

@@ -240,4 +240,8 @@ int Main() {
 }  // namespace
 }  // namespace pgpub
 
-int main() { return pgpub::Main(); }
+int main(int argc, char** argv) {
+  const std::string trace = pgpub::bench::TraceFromArgs(argc, argv);
+  const int rc = pgpub::Main();
+  return pgpub::bench::FinishTrace(trace) ? rc : 1;
+}

@@ -5,8 +5,10 @@
 /// the corruption-aided linking attack against Ellie with
 /// 𝒞 = {Debbie, Emily}.
 ///
-/// Usage: quickstart [--report=PATH]
+/// Usage: quickstart [--report=PATH] [--trace=PATH]
 ///   --report=PATH  write the PublishReport of the run as JSON to PATH.
+///   --trace=PATH   collect the run's spans and write Chrome Trace Event
+///                  JSON (chrome://tracing / Perfetto) to PATH.
 /// Status output goes through the structured logger (PGPUB_LOG /
 /// PGPUB_LOG_FORMAT control level and encoding; defaults to info/text
 /// here so the run narrates itself).
@@ -22,15 +24,22 @@ using namespace pgpub;
 
 int main(int argc, char** argv) {
   std::string report_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--report=", 0) == 0) {
       report_path = arg.substr(9);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
     } else {
-      std::fprintf(stderr, "usage: %s [--report=PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--report=PATH] [--trace=PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
+  // Tracer::Enable returns void; the linter conflates it with the
+  // Status-returning Failpoint::Enable by name. pgpub-lint: allow(L1)
+  if (!trace_path.empty()) obs::Tracer::Global().Enable();
 
   // Examples narrate their run by default; an explicit PGPUB_LOG wins.
   obs::Logger& logger = obs::Logger::Global();
@@ -83,6 +92,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     PGPUB_LOG_INFO("quickstart.report_written").Field("path", report_path);
+  }
+
+  if (!trace_path.empty()) {
+    // The publish is done, so the standalone trace is complete: one
+    // robust.publish root with its attempt and phase spans beneath.
+    const Status written = obs::WriteChromeTrace(
+        obs::Tracer::Global().TakeSnapshot(), trace_path);
+    if (!written.ok()) {
+      PGPUB_LOG_ERROR("quickstart.trace_failed")
+          .Field("path", trace_path)
+          .Field("status", written.ToString());
+      return 1;
+    }
+    PGPUB_LOG_INFO("quickstart.trace_written").Field("path", trace_path);
   }
 
   std::printf("\n=== Published D* (one tuple per QI-group, G column) ===\n");

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pgpub {
 
@@ -144,6 +145,13 @@ Status ParallelFor(ThreadPool* pool, IndexRange range, size_t grain,
   const size_t num_chunks = (n + grain - 1) / grain;
   obs::MetricsRegistry::Global().GetCounter("parallel.tasks")->Add(num_chunks);
 
+  // The caller's trace context rides into every chunk, so spans emitted
+  // inside parallel work link to the request that spawned it regardless of
+  // which pool thread runs the chunk (workers serve many traces; the
+  // snapshot, not the thread, carries identity).
+  const obs::TraceContext::Snapshot trace_context =
+      obs::TraceContext::Current();
+
   // Runs chunk `chunk`, converting an escaping exception into Status so
   // nothing unwinds across a pool thread.
   auto run_chunk = [&](size_t chunk) -> Status {
@@ -151,6 +159,7 @@ Status ParallelFor(ThreadPool* pool, IndexRange range, size_t grain,
     const size_t chunk_end =
         chunk + 1 == num_chunks ? range.end : chunk_begin + grain;
     ScopedParallelRegion region;
+    obs::TraceContext::Scope trace_scope(trace_context);
     try {
       return fn(chunk_begin, chunk_end);
     } catch (const std::exception& e) {

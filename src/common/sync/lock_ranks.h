@@ -19,6 +19,7 @@ inline constexpr int kThreadPool = 20;   ///< ThreadPool::mu_
 inline constexpr int kEngineCache = 30;  ///< engine LRU caches, audit memo
 inline constexpr int kFailpoint = 80;    ///< FailpointRegistry::mu_
 inline constexpr int kLogger = 85;       ///< obs::Logger::mu_
+inline constexpr int kTracer = 87;       ///< obs::Tracer::mu_
 inline constexpr int kMetrics = 90;      ///< obs::MetricsRegistry::mu_
 
 }  // namespace pgpub::lock_rank

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include <optional>
+#include <string_view>
 
 #include "common/failpoint.h"
 #include "common/parallel/thread_pool.h"
@@ -197,9 +198,15 @@ Result<PublishedTable> PgPublisher::Publish(
   // with probability p, otherwise uniformly regenerated. Tuple i is
   // perturbed by stream i of perturb_seed, so the column is independent
   // of chunking and thread count.
+  // Tenant attribution for phase spans: empty (standalone pipeline) emits
+  // no attribute at all, keeping serverless traces identical to PR 3.
+  const std::string_view tenant =
+      hooks != nullptr ? hooks->tenant_label() : std::string_view{};
+
   std::vector<int32_t> perturbed;
   {
-    PGPUB_TRACE_SPAN("publish.perturb");
+    obs::ScopedSpan span("publish.perturb");
+    if (!tenant.empty()) span.Attr("tenant", tenant);
     if (hooks != nullptr) RETURN_IF_ERROR(hooks->CheckDeadline("perturb"));
     PGPUB_FAILPOINT(failpoints::kPublishPerturb);
     const UniformPerturbation channel(p, us);
@@ -231,7 +238,8 @@ Result<PublishedTable> PgPublisher::Publish(
   GlobalRecoding recoding;
   QiGroups groups;
   {
-    PGPUB_TRACE_SPAN("publish.generalize");
+    obs::ScopedSpan span("publish.generalize");
+    if (!tenant.empty()) span.Attr("tenant", tenant);
     if (hooks != nullptr) {
       RETURN_IF_ERROR(hooks->CheckDeadline("generalize"));
     }
@@ -247,6 +255,7 @@ Result<PublishedTable> PgPublisher::Publish(
 
     std::optional<GlobalRecoding> cached;
     if (hooks != nullptr) cached = hooks->LookupRecoding(recoding_query);
+    span.Attr("cache_hit", cached.has_value());
     if (cached.has_value()) {
       // The k-anonymity re-check below is what lets a cache hit be
       // trusted; if the re-check machinery itself faults, the hit must
@@ -287,7 +296,8 @@ Result<PublishedTable> PgPublisher::Publish(
   // ---- Phase 3: stratified sampling (S1-S4).
   std::vector<StratumSample> samples;
   {
-    PGPUB_TRACE_SPAN("publish.sample");
+    obs::ScopedSpan span("publish.sample");
+    if (!tenant.empty()) span.Attr("tenant", tenant);
     if (hooks != nullptr) RETURN_IF_ERROR(hooks->CheckDeadline("sample"));
     PGPUB_FAILPOINT(failpoints::kPublishSample);
     samples = StratifiedSample(groups, sample_rng);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "common/parallel/thread_pool.h"
@@ -46,6 +47,14 @@ struct RetentionQuery {
 class PublishHooks {
  public:
   virtual ~PublishHooks() = default;
+
+  /// Attribution label for observability: spans and per-tenant metrics
+  /// emitted while publishing under these hooks carry this value as their
+  /// `tenant` attribute. Empty (the default) means "unattributed" and
+  /// suppresses the attribute entirely, so standalone pipelines stay
+  /// byte-identical in their trace output. The returned view must outlive
+  /// the publish call (hooks instances are per-tenant and long-lived).
+  virtual std::string_view tenant_label() const { return {}; }
 
   /// True when the dataset, taxonomies, and request options were already
   /// screened by the caller (ValidatePublishInputs-equivalent), letting the

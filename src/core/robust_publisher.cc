@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <string_view>
 
 #include "common/failpoint.h"
 #include "common/random.h"
@@ -136,7 +137,10 @@ Result<PublishedTable> RobustPublisher::Publish(
   PublishReport local;
   PublishReport& rep = report != nullptr ? *report : local;
   rep = PublishReport{};
-  PGPUB_TRACE_SPAN("robust.publish");
+  const std::string_view tenant =
+      hooks != nullptr ? hooks->tenant_label() : std::string_view{};
+  obs::ScopedSpan publish_span("robust.publish");
+  if (!tenant.empty()) publish_span.Attr("tenant", tenant);
   const auto publish_start = std::chrono::steady_clock::now();
   auto finish = [&](Status status) {
     rep.final_status = status;
@@ -220,8 +224,17 @@ Result<PublishedTable> RobustPublisher::Publish(
       PgOptions attempt_options = options_;
       attempt_options.generalizer = generalizer;
       attempt_options.seed = attempt.seed;
-      Result<PublishedTable> candidate =
-          PgPublisher(attempt_options).Publish(microdata, taxonomies, hooks);
+      Result<PublishedTable> candidate = [&]() -> Result<PublishedTable> {
+        // One span per attempt: retries show up as sibling subtrees under
+        // robust.publish, each parenting its own phase spans.
+        obs::ScopedSpan attempt_span("robust.attempt");
+        attempt_span.Attr("attempt", attempt_number);
+        if (!tenant.empty()) attempt_span.Attr("tenant", tenant);
+        Result<PublishedTable> result =
+            PgPublisher(attempt_options).Publish(microdata, taxonomies, hooks);
+        attempt_span.Attr("ok", result.ok());
+        return result;
+      }();
       attempt.outcome = candidate.status();
 
       if (candidate.ok() && policy_.audit_release) {

@@ -15,6 +15,7 @@
 #include "engine/fingerprint.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pgpub::engine {
 
@@ -75,6 +76,9 @@ class PublicationEngine::Hooks final : public PublishHooks {
 
   bool inputs_prevalidated() const override { return true; }
   const PoolLease* pool_lease() const override { return &engine_->lease_; }
+  std::string_view tenant_label() const override {
+    return engine_->options_.tenant_label;
+  }
 
   Status CheckDeadline(const char* about_to_run) override {
     const uint64_t deadline = engine_->current_deadline_nanos_;
@@ -251,13 +255,20 @@ Result<PublishedTable> PublicationEngine::Publish(
     return st;
   }
   current_deadline_nanos_ = request.deadline_nanos;
+  obs::ScopedSpan span("engine.publish");
+  if (!options_.tenant_label.empty()) {
+    span.Attr("tenant", options_.tenant_label);
+  }
   const CacheStats before = combined_cache_stats();
   Result<PublishedTable> result =
       RobustPublisher(request.options, options_.robust)
           .Publish(microdata_, taxonomy_ptrs_, report, hooks_.get());
   current_deadline_nanos_ = 0;
+  const CacheStats after = combined_cache_stats();
+  span.Attr("cache_hits", after.hits - before.hits)
+      .Attr("cache_misses", after.misses - before.misses)
+      .Attr("ok", result.ok());
   if (report != nullptr) {
-    const CacheStats after = combined_cache_stats();
     report->cache.enabled = true;
     report->cache.hits = after.hits - before.hits;
     report->cache.misses = after.misses - before.misses;

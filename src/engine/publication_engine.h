@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -42,6 +43,12 @@ struct EngineOptions {
   /// Fail-closed policy applied to every request (attempts, fallback,
   /// release audit) — the engine serves through RobustPublisher.
   RobustPublishOptions robust;
+
+  /// Attribution label stamped on every span and per-tenant metric this
+  /// engine's requests emit (PublishHooks::tenant_label). Empty means
+  /// unattributed — standalone engines trace exactly like the bare
+  /// publisher. The serving layer sets this to the tenant key.
+  std::string tenant_label;
 
   /// Clock used for per-request deadline checks, returning monotonic
   /// nanoseconds. Null (the default) reads std::chrono::steady_clock; a

@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
+#include <sstream>
 
 namespace pgpub::obs {
 
@@ -113,6 +115,36 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   return snap;
 }
 
+std::string MetricsRegistry::LabeledMetricName(
+    std::string_view base,
+    std::vector<std::pair<std::string_view, std::string_view>> labels) {
+  // No labels => the bare name, so the labeled and plain spellings of an
+  // unlabeled metric alias the same instrument.
+  if (labels.empty()) return std::string(base);
+  std::sort(labels.begin(), labels.end());
+  std::string out(base);
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    for (char c : value) {
+      // Prometheus label values escape backslash, quote, and newline.
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 JsonValue MetricsRegistry::Snapshot::ToJson() const {
   JsonValue out = JsonValue::Object();
   JsonValue counters_json = JsonValue::Object();
@@ -141,6 +173,98 @@ JsonValue MetricsRegistry::Snapshot::ToJson() const {
   }
   out.Set("histograms", std::move(histograms_json));
   return out;
+}
+
+namespace {
+
+/// Splits an encoded name into the base and the `{...}` label block (empty
+/// when unlabeled), so `server.latency_us{tenant="census"}` renders as
+/// `server_latency_us{tenant="census"}`.
+void SplitLabeledName(const std::string& name, std::string* base,
+                      std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+std::string LabelBlock(const std::string& labels) {
+  return labels.empty() ? std::string() : "{" + labels + "}";
+}
+
+/// `{a="b"}` merged with an extra `le` label; keeps the block well-formed
+/// whether or not base labels exist.
+std::string LabelBlockWithLe(const std::string& labels, const std::string& le) {
+  if (labels.empty()) return "{le=\"" + le + "\"}";
+  return "{" + labels + ",le=\"" + le + "\"}";
+}
+
+void EmitTypeOnce(std::ostringstream* out, std::vector<std::string>* seen,
+                  const std::string& base, const char* type) {
+  if (std::find(seen->begin(), seen->end(), base) != seen->end()) return;
+  seen->push_back(base);
+  *out << "# TYPE " << base << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsRegistry::Snapshot& snapshot) {
+  std::ostringstream out;
+  std::vector<std::string> typed;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string base, labels;
+    SplitLabeledName(name, &base, &labels);
+    base = SanitizeMetricName(base);
+    EmitTypeOnce(&out, &typed, base, "counter");
+    out << base << LabelBlock(labels) << ' ' << value << '\n';
+  }
+
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string base, labels;
+    SplitLabeledName(name, &base, &labels);
+    base = SanitizeMetricName(base);
+    EmitTypeOnce(&out, &typed, base, "gauge");
+    out << base << LabelBlock(labels) << ' ' << value << '\n';
+  }
+
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::string base, labels;
+    SplitLabeledName(name, &base, &labels);
+    base = SanitizeMetricName(base);
+    EmitTypeOnce(&out, &typed, base, "histogram");
+    uint64_t cumulative = 0;
+    for (const auto& [lo, n] : h.buckets) {
+      cumulative += n;
+      // Bucket with lower bound `lo` covers [lo, 2*lo) over integers, so
+      // its inclusive Prometheus bound is 2*lo - 1 (and the zero bucket
+      // holds exactly the value 0).
+      const uint64_t le = lo == 0 ? 0 : 2 * lo - 1;
+      out << base << "_bucket" << LabelBlockWithLe(labels, std::to_string(le))
+          << ' ' << cumulative << '\n';
+    }
+    out << base << "_bucket" << LabelBlockWithLe(labels, "+Inf") << ' '
+        << h.count << '\n';
+    out << base << "_sum" << LabelBlock(labels) << ' ' << h.sum << '\n';
+    out << base << "_count" << LabelBlock(labels) << ' ' << h.count << '\n';
+  }
+
+  return out.str();
 }
 
 }  // namespace pgpub::obs

@@ -130,6 +130,16 @@ class MetricsRegistry {
 
   Snapshot TakeSnapshot() const PGPUB_EXCLUDES(mu_);
 
+  /// Canonical labeled-metric name: `base{k1="v1",k2="v2"}` with labels
+  /// sorted by key. Labeled instruments live in the same namespace as
+  /// plain ones (`GetHistogram(LabeledMetricName("server.latency_us",
+  /// {{"tenant", key}}))`), so snapshots and the Prometheus renderer see
+  /// every per-label series without a second registry. Callers on hot
+  /// paths should build the name once and cache the instrument pointer.
+  static std::string LabeledMetricName(
+      std::string_view base,
+      std::vector<std::pair<std::string_view, std::string_view>> labels);
+
  private:
   /// Guards the maps only; the instruments themselves are atomic, so
   /// cached Counter*/Gauge*/Histogram* pointers are used lock-free.
@@ -141,5 +151,13 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       PGPUB_GUARDED_BY(mu_);
 };
+
+/// Renders a snapshot in the Prometheus text exposition format (version
+/// 0.0.4). Metric names are sanitized (`.` and other illegal characters
+/// become `_`); `base{...}` names produced by LabeledMetricName keep their
+/// labels. Histograms export the log2 buckets cumulatively with inclusive
+/// `le` bounds (bucket i covers values <= 2^i - 1) plus `+Inf`, `_sum`
+/// and `_count` series, so per-tenant latency quantiles are scrapeable.
+std::string RenderPrometheus(const MetricsRegistry::Snapshot& snapshot);
 
 }  // namespace pgpub::obs

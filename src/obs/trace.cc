@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <chrono>
+#include <string>
 
 namespace pgpub::obs {
 
@@ -13,19 +14,163 @@ uint64_t SteadyNowNs() {
           .count());
 }
 
+thread_local TraceContext::Snapshot tls_context;
+
+std::atomic<uint32_t> g_next_thread_index{0};
+
 }  // namespace
 
-ScopedTimer::ScopedTimer(std::string_view name)
-    : name_(name), start_ns_(SteadyNowNs()) {}
+TraceContext::Snapshot TraceContext::Current() { return tls_context; }
 
-uint64_t ScopedTimer::ElapsedNs() const {
-  return SteadyNowNs() - start_ns_;
+void TraceContext::Set(Snapshot context) { tls_context = context; }
+
+TraceContext::Scope::Scope(Snapshot context) : saved_(tls_context) {
+  tls_context = context;
 }
 
-ScopedTimer::~ScopedTimer() {
-  const uint64_t elapsed = ElapsedNs();
-  MetricsRegistry::Global().GetHistogram("span." + name_)->Observe(elapsed);
-  PGPUB_LOG_DEBUG("span").Field("name", name_).Field("ns", elapsed);
+TraceContext::Scope::~Scope() { tls_context = saved_; }
+
+Tracer& Tracer::Global() {
+  // Leaked: spans may be recorded from pool workers during process exit.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+uint64_t Tracer::NowNs() const {
+  if (logical_clock_.load(std::memory_order_relaxed)) {
+    // +1 keeps ticks nonzero and strictly increasing, so a span's end is
+    // always past its start and a parent's interval covers its children.
+    return logical_now_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  return SteadyNowNs();
+}
+
+void Tracer::Enable(size_t capacity) {
+  MutexLock lock(&mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  spans_.reserve(capacity_ < (1u << 12) ? capacity_ : (1u << 12));
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::Record(SpanRecord span) {
+  if (!enabled()) return;
+  bool dropped = false;
+  {
+    MutexLock lock(&mu_);
+    if (spans_.size() >= capacity_) {
+      dropped = true;
+    } else {
+      spans_.push_back(std::move(span));
+    }
+  }
+  if (dropped) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Outside mu_: the metrics registry has its own (higher-ranked) lock.
+    MetricsRegistry::Global().GetCounter("trace.dropped_spans")->Add();
+  }
+}
+
+uint64_t Tracer::RecordInterval(
+    const char* name, TraceContext::Snapshot parent, uint64_t start_ns,
+    uint64_t end_ns,
+    std::vector<std::pair<const char*, JsonValue>> attributes) {
+  const uint64_t span_id = NewSpanId();
+  if (!enabled()) return span_id;
+  SpanRecord span;
+  span.trace_id = parent.trace_id;
+  span.span_id = span_id;
+  span.parent_id = parent.span_id;
+  span.name = name;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.thread_index = CurrentThreadIndex();
+  span.attributes = std::move(attributes);
+  Record(std::move(span));
+  return span_id;
+}
+
+std::vector<SpanRecord> Tracer::TakeSnapshot() const {
+  MutexLock lock(&mu_);
+  return spans_;
+}
+
+std::vector<SpanRecord> Tracer::SpansForTrace(uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  MutexLock lock(&mu_);
+  for (const SpanRecord& span : spans_) {
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  return out;
+}
+
+size_t Tracer::collected() const {
+  MutexLock lock(&mu_);
+  return spans_.size();
+}
+
+void Tracer::Clear() {
+  MutexLock lock(&mu_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  logical_now_.store(0, std::memory_order_relaxed);
+}
+
+Histogram* Tracer::HistogramFor(const char* name) {
+  {
+    MutexLock lock(&mu_);
+    // Linear scan over literal pointers: the set of distinct span names is
+    // small (one per call site) and interning beats a per-span string
+    // allocation by a wide margin.
+    for (const auto& [known, histogram] : histograms_) {
+      if (known == name) return histogram;
+    }
+  }
+  // Miss: build the histogram name once, outside mu_ (the registry lock
+  // ranks above the tracer lock, but keeping allocation out of the
+  // critical section is worth the benign double-intern race).
+  Histogram* histogram = MetricsRegistry::Global().GetHistogram(
+      std::string("span.") + name);
+  MutexLock lock(&mu_);
+  histograms_.emplace_back(name, histogram);
+  return histogram;
+}
+
+uint32_t Tracer::CurrentThreadIndex() {
+  thread_local const uint32_t index =
+      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : saved_(TraceContext::Current()) {
+  Tracer& tracer = Tracer::Global();
+  record_.name = name;
+  // A span with no enclosing trace roots a fresh one, so standalone
+  // pipelines trace without a serving layer assigning ids.
+  record_.trace_id =
+      saved_.trace_id != 0 ? saved_.trace_id : tracer.NewTraceId();
+  record_.parent_id = saved_.span_id;
+  record_.span_id = tracer.NewSpanId();
+  record_.thread_index = Tracer::CurrentThreadIndex();
+  record_.start_ns = tracer.NowNs();
+  TraceContext::Set({record_.trace_id, record_.span_id});
+}
+
+uint64_t ScopedSpan::ElapsedNs() const {
+  return Tracer::Global().NowNs() - record_.start_ns;
+}
+
+ScopedSpan::~ScopedSpan() {
+  Tracer& tracer = Tracer::Global();
+  record_.end_ns = tracer.NowNs();
+  const uint64_t elapsed = record_.end_ns - record_.start_ns;
+  tracer.HistogramFor(record_.name)->Observe(elapsed);
+  PGPUB_LOG_DEBUG("span").Field("name", record_.name).Field("ns", elapsed);
+  TraceContext::Set(saved_);
+  if (tracer.enabled()) tracer.Record(std::move(record_));
 }
 
 }  // namespace pgpub::obs

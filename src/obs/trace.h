@@ -1,38 +1,233 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
-#include <string_view>
+#include <utility>
+#include <vector>
 
+#include "common/sync/lock_ranks.h"
+#include "common/sync/mutex.h"
+#include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace pgpub::obs {
 
-/// \brief RAII phase timer: measures the enclosing scope on the steady
-/// clock and, at scope exit, (a) records the elapsed nanoseconds into the
-/// global histogram `span.<name>` and (b) emits a debug-level `span` event
-/// with the name and duration.
+/// \file
+/// Request-scoped causal tracing (DESIGN.md §14).
 ///
-/// The histogram name is the stable identity ("span.publish.perturb"
-/// aggregates across runs); the log event carries the per-instance timing.
-/// Timings are wall-clock and therefore nondeterministic, but the *set* of
-/// spans a pipeline emits is not — tests assert on span names, never
-/// durations.
-class ScopedTimer {
- public:
-  explicit ScopedTimer(std::string_view name);
-  ~ScopedTimer();
-  ScopedTimer(const ScopedTimer&) = delete;
-  ScopedTimer& operator=(const ScopedTimer&) = delete;
+/// A *span* is one timed unit of work. Spans form trees: every span carries
+/// the trace it belongs to, its own id, and its parent's id, so a request
+/// can be followed from ServerCore admission through queue wait, dispatch
+/// and every publish phase. Propagation is implicit — a thread-local
+/// TraceContext carries (trace_id, current span) across call boundaries,
+/// and ParallelFor forwards the caller's context into its worker chunks, so
+/// spans emitted inside parallel regions still link to the request that
+/// spawned them.
+///
+/// Determinism contract (PR 4): the *set* of spans a pipeline emits — names
+/// and parent linkage — is a pure function of the inputs, identical for any
+/// thread count. Ids and timings are not (allocation order and wall time
+/// vary); tests assert on (name, parent-name) multisets, never on ids.
+///
+/// Span names must be string literals (lint rule L10): records keep the
+/// `const char*` and the per-name histogram is interned by pointer, so the
+/// hot path performs no string allocation.
 
-  /// Nanoseconds since construction, for callers that want the reading
-  /// before destruction (monotone: never decreases between calls).
-  uint64_t ElapsedNs() const;
+/// One finished span, as kept by the Tracer's bounded collector.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root of its trace.
+  const char* name = "";   ///< String literal (lint L10); never null.
+  uint64_t start_ns = 0;   ///< Tracer clock (steady or logical).
+  uint64_t end_ns = 0;
+  /// Dense per-process thread index (attribution, not identity: a worker
+  /// thread serves many traces). Exported as `tid` in Chrome Trace JSON.
+  uint32_t thread_index = 0;
+  /// key=value attributes; keys are literals, values JSON scalars.
+  std::vector<std::pair<const char*, JsonValue>> attributes;
+};
+
+/// The thread-local propagation slot: which trace and span the current
+/// thread is working for. ScopedSpan pushes/pops it automatically;
+/// Scope installs an explicit snapshot (ServerCore handing a queued
+/// request to the dispatcher, ParallelFor handing the caller's context to
+/// a worker chunk).
+class TraceContext {
+ public:
+  struct Snapshot {
+    uint64_t trace_id = 0;  ///< 0 = no active trace.
+    uint64_t span_id = 0;   ///< Parent for spans opened under this context.
+  };
+
+  static Snapshot Current();
+
+  /// RAII install/restore of a context snapshot on this thread.
+  class Scope {
+   public:
+    explicit Scope(Snapshot context);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Snapshot saved_;
+  };
 
  private:
-  std::string name_;
-  uint64_t start_ns_;
+  friend class ScopedSpan;
+  static void Set(Snapshot context);
+};
+
+/// \brief Process-wide span collector and id/clock authority.
+///
+/// Disabled by default: spans still update their `span.<name>` histograms
+/// and debug log events (the PR 3 behaviour), but nothing is retained.
+/// Enable(capacity) arms a bounded in-memory collector — once full,
+/// further spans are counted in dropped() (and the `trace.dropped_spans`
+/// counter) instead of growing memory without bound.
+///
+/// Clock modes: the default steady clock yields real timings for export;
+/// SetLogicalClock(true) switches NowNs() to an atomic tick so tests get
+/// deterministic, strictly increasing timestamps with correct containment
+/// (a parent's interval always covers its children's).
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  static Tracer& Global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Arms the collector (idempotent; re-arming replaces the capacity).
+  void Enable(size_t capacity = kDefaultCapacity) PGPUB_EXCLUDES(mu_);
+  void Disable() PGPUB_EXCLUDES(mu_);
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Logical mode: NowNs() returns an incrementing tick (deterministic
+  /// structure for tests); wall mode (default) reads the steady clock.
+  void SetLogicalClock(bool logical) {
+    logical_clock_.store(logical, std::memory_order_relaxed);
+  }
+  bool logical_clock() const {
+    return logical_clock_.load(std::memory_order_relaxed);
+  }
+  uint64_t NowNs() const;
+
+  /// Fresh ids; never 0 (0 means "none" in contexts and parents).
+  uint64_t NewTraceId() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t NewSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Appends one finished span to the collector. No-op when disabled;
+  /// counted as dropped when the collector is full.
+  void Record(SpanRecord span) PGPUB_EXCLUDES(mu_);
+
+  /// Records a span whose lifetime is not a C++ scope (queue wait, request
+  /// root): explicit interval under `parent`'s trace. Returns the new
+  /// span's id (usable as a parent even when the record was dropped).
+  uint64_t RecordInterval(
+      const char* name, TraceContext::Snapshot parent, uint64_t start_ns,
+      uint64_t end_ns,
+      std::vector<std::pair<const char*, JsonValue>> attributes = {})
+      PGPUB_EXCLUDES(mu_);
+
+  /// Copies of the collected spans, in completion order.
+  std::vector<SpanRecord> TakeSnapshot() const PGPUB_EXCLUDES(mu_);
+  /// The collected spans of one trace, in completion order.
+  std::vector<SpanRecord> SpansForTrace(uint64_t trace_id) const
+      PGPUB_EXCLUDES(mu_);
+
+  size_t collected() const PGPUB_EXCLUDES(mu_);
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Empties the collector and zeroes dropped() (capacity and enablement
+  /// stay). Test scaffolding; also resets the logical tick so two runs
+  /// produce identical timestamps.
+  void Clear() PGPUB_EXCLUDES(mu_);
+
+  /// The `span.<name>` histogram, interned by the literal's pointer — the
+  /// "span." + name concatenation happens once per distinct call site, not
+  /// once per span.
+  Histogram* HistogramFor(const char* name) PGPUB_EXCLUDES(mu_);
+
+  /// Dense index of the calling thread (first use assigns the next slot).
+  static uint32_t CurrentThreadIndex();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> logical_clock_{false};
+  // Mutable: NowNs() is logically const but ticks the deterministic clock.
+  mutable std::atomic<uint64_t> logical_now_{0};
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> dropped_{0};
+
+  mutable Mutex mu_{"obs.tracer", lock_rank::kTracer};
+  size_t capacity_ PGPUB_GUARDED_BY(mu_) = kDefaultCapacity;
+  std::vector<SpanRecord> spans_ PGPUB_GUARDED_BY(mu_);
+  /// Interned per-name histograms, keyed by literal pointer identity.
+  std::vector<std::pair<const char*, Histogram*>> histograms_
+      PGPUB_GUARDED_BY(mu_);
+};
+
+/// \brief RAII span: times the enclosing scope, links itself under the
+/// current TraceContext, and makes itself the context for spans opened
+/// inside the scope. At scope exit it (a) observes the elapsed nanoseconds
+/// in the interned `span.<name>` histogram, (b) emits the debug-level
+/// `span` log event, and (c) hands the finished SpanRecord to the global
+/// Tracer's collector when tracing is enabled.
+///
+/// `name` must be a string literal (lint L10) — it is retained by pointer.
+/// A span opened with no active trace starts a fresh trace of its own, so
+/// standalone pipelines (quickstart, benches) trace without a server.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches one key=value attribute (key must be a literal). Chainable;
+  /// attributes may be added any time before scope exit.
+  ScopedSpan& Attr(const char* key, JsonValue value) {
+    record_.attributes.emplace_back(key, std::move(value));
+    return *this;
+  }
+  ScopedSpan& Attr(const char* key, bool v) {
+    return Attr(key, JsonValue::Bool(v));
+  }
+  ScopedSpan& Attr(const char* key, int v) {
+    return Attr(key, JsonValue::Int(v));
+  }
+  ScopedSpan& Attr(const char* key, uint64_t v) {
+    return Attr(key, JsonValue::Uint(v));
+  }
+  ScopedSpan& Attr(const char* key, double v) {
+    return Attr(key, JsonValue::Double(v));
+  }
+  ScopedSpan& Attr(const char* key, std::string_view v) {
+    return Attr(key, JsonValue::Str(std::string(v)));
+  }
+
+  /// Nanoseconds since construction on the tracer clock (monotone).
+  uint64_t ElapsedNs() const;
+
+  uint64_t span_id() const { return record_.span_id; }
+  uint64_t trace_id() const { return record_.trace_id; }
+
+ private:
+  SpanRecord record_;
+  TraceContext::Snapshot saved_;
 };
 
 }  // namespace pgpub::obs
@@ -40,6 +235,7 @@ class ScopedTimer {
 #define PGPUB_OBS_CONCAT_INNER(a, b) a##b
 #define PGPUB_OBS_CONCAT(a, b) PGPUB_OBS_CONCAT_INNER(a, b)
 
-/// Times the rest of the enclosing scope as span `name` (see ScopedTimer).
+/// Times the rest of the enclosing scope as span `name` (see ScopedSpan).
+/// `name` must be a string literal (lint rule L10).
 #define PGPUB_TRACE_SPAN(name) \
-  ::pgpub::obs::ScopedTimer PGPUB_OBS_CONCAT(pgpub_span_, __LINE__)(name)
+  ::pgpub::obs::ScopedSpan PGPUB_OBS_CONCAT(pgpub_span_, __LINE__)(name)

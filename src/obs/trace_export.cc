@@ -1,0 +1,74 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace pgpub::obs {
+
+JsonValue ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  uint64_t origin_ns = ~uint64_t{0};
+  for (const SpanRecord& span : spans) {
+    origin_ns = std::min(origin_ns, span.start_ns);
+  }
+  if (spans.empty()) origin_ns = 0;
+
+  JsonValue events = JsonValue::Array();
+  for (const SpanRecord& span : spans) {
+    JsonValue event = JsonValue::Object();
+    event.Set("name", span.name);
+    event.Set("cat", "pgpub");
+    event.Set("ph", "X");
+    event.Set("ts",
+              static_cast<double>(span.start_ns - origin_ns) / 1000.0);
+    event.Set("dur", static_cast<double>(span.end_ns - span.start_ns) /
+                         1000.0);
+    event.Set("pid", 1);
+    event.Set("tid", static_cast<uint64_t>(span.thread_index));
+    JsonValue args = JsonValue::Object();
+    args.Set("trace_id", span.trace_id);
+    args.Set("span_id", span.span_id);
+    args.Set("parent_id", span.parent_id);
+    for (const auto& [key, value] : span.attributes) {
+      args.Set(key, value);
+    }
+    event.Set("args", std::move(args));
+    events.Append(std::move(event));
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("displayTimeUnit", "ms");
+  doc.Set("traceEvents", std::move(events));
+  return doc;
+}
+
+Status WriteChromeTrace(const std::vector<SpanRecord>& spans,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (out) {
+    out << ChromeTraceJson(spans).Dump(1) << "\n";
+    out.flush();
+  }
+  if (!out) {
+    return Status::IOError("cannot write trace to " + path);
+  }
+  return Status::OK();
+}
+
+JsonValue SpanTreeJson(const std::vector<SpanRecord>& spans) {
+  JsonValue tree = JsonValue::Array();
+  for (const SpanRecord& span : spans) {
+    JsonValue node = JsonValue::Object();
+    node.Set("name", span.name);
+    node.Set("span_id", span.span_id);
+    node.Set("parent_id", span.parent_id);
+    node.Set("dur_us",
+             static_cast<double>(span.end_ns - span.start_ns) / 1000.0);
+    for (const auto& [key, value] : span.attributes) {
+      node.Set(key, value);
+    }
+    tree.Append(node);
+  }
+  return tree;
+}
+
+}  // namespace pgpub::obs

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace pgpub::obs {
+
+/// Renders collected spans as a Chrome Trace Event Format document
+/// (loadable in Perfetto / chrome://tracing):
+///
+///   {"displayTimeUnit": "ms",
+///    "traceEvents": [{"name": "...", "cat": "pgpub", "ph": "X",
+///                     "ts": <us>, "dur": <us>, "pid": 1, "tid": <n>,
+///                     "args": {"trace_id": ..., "span_id": ...,
+///                              "parent_id": ..., <attributes...>}}, ...]}
+///
+/// Timestamps are microseconds relative to the earliest span in the batch
+/// (Chrome's `ts` is a double; rebasing keeps full sub-microsecond
+/// precision for steady-clock origins). Every span becomes one complete
+/// ("X") event; parent linkage travels in `args` so tools beyond the
+/// nesting heuristic can rebuild the exact tree.
+JsonValue ChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+/// Writes ChromeTraceJson(spans) to `path` (pretty-printed).
+[[nodiscard]] Status WriteChromeTrace(const std::vector<SpanRecord>& spans,
+                                      const std::string& path);
+
+/// Compact one-line tree rendering of one trace's spans for the
+/// slow-request log: each span as {name, span_id, parent_id, dur_us,
+/// attributes}, in completion order.
+JsonValue SpanTreeJson(const std::vector<SpanRecord>& spans);
+
+}  // namespace pgpub::obs

@@ -25,6 +25,8 @@
 #include "common/string_util.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 
 // Data model and I/O.
 #include "hierarchy/recoding.h"

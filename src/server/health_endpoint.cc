@@ -197,6 +197,13 @@ std::string HealthEndpoint::HandleCommand(const std::string& line) {
     return out.str();
   }
 
+  if (cmd == "PROM") {
+    // Prometheus text exposition of the whole registry — per-tenant
+    // labeled series (server_latency_us_bucket{tenant="...",le="..."})
+    // included, ready for a file- or exec-based scrape.
+    return obs::RenderPrometheus(obs::MetricsRegistry::Global().TakeSnapshot());
+  }
+
   if (cmd == "TENANTS") {
     std::ostringstream out;
     for (const ServerCore::TenantSnapshot& t : core_->SnapshotTenants()) {

@@ -8,6 +8,8 @@
 #include "engine/fingerprint.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace pgpub::server {
 
@@ -28,6 +30,10 @@ uint64_t EffectiveDeadline(const ServerRequest& request) {
 Status ServerOptions::Validate() const {
   if (queue_capacity == 0) {
     return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (!(slow_request_budget_ms >= 0.0)) {
+    return Status::InvalidArgument(
+        "slow_request_budget_ms must be >= 0 (0 disables the slow log)");
   }
   return Status::OK();
 }
@@ -60,16 +66,35 @@ Status ServerCore::Start() {
 
 Status ServerCore::Submit(ServerRequest request, ResponseCallback done) {
   obs::MetricsRegistry::Global().GetCounter("server.submitted")->Add();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const uint64_t admit_start_ns = tracer.NowNs();
+  const std::string tenant_key = request.tenant;
+  uint64_t trace_id = 0;
+  uint64_t root_span_id = 0;
   Status admitted;
   {
     MutexLock lock(&mu_);
-    admitted = AdmitLocked(std::move(request), std::move(done));
+    admitted = AdmitLocked(std::move(request), std::move(done), &trace_id,
+                           &root_span_id);
+  }
+  if (tracer.enabled()) {
+    // Admitted requests get their admission span under the request root;
+    // a rejection still traces, as the root of its own short trace (the
+    // typed Status is the whole story of that request).
+    if (trace_id == 0) trace_id = tracer.NewTraceId();
+    tracer.RecordInterval(
+        "server.admit", {trace_id, root_span_id}, admit_start_ns,
+        tracer.NowNs(),
+        {{"tenant", obs::JsonValue::Str(tenant_key)},
+         {"outcome", obs::JsonValue::Str(admitted.ok() ? "admitted"
+                                                  : admitted.ToString())}});
   }
   if (admitted.ok()) work_cv_.NotifyOne();
   return admitted;
 }
 
-Status ServerCore::AdmitLocked(ServerRequest request, ResponseCallback done) {
+Status ServerCore::AdmitLocked(ServerRequest request, ResponseCallback done,
+                               uint64_t* trace_id, uint64_t* root_span_id) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   stats_.submitted++;
   if (!started_) {
@@ -123,6 +148,12 @@ Status ServerCore::AdmitLocked(ServerRequest request, ResponseCallback done) {
   item.tenant = t;
   item.admit_seq = next_admit_seq_++;
   item.enqueued_nanos = now;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  item.trace_id = tracer.NewTraceId();
+  item.root_span_id = tracer.NewSpanId();
+  item.trace_enqueued_ns = tracer.NowNs();
+  *trace_id = item.trace_id;
+  *root_span_id = item.root_span_id;
   t->queued++;
   queue_.push_back(std::move(item));
   stats_.admitted++;
@@ -209,11 +240,42 @@ void ServerCore::Respond(Item& item, ServerResponse response) {
       obs::MetricsRegistry::Global().GetCounter("server.drained")->Add();
     }
   }
+  // Close the request's root span: admission through response, with the
+  // span id every child linked to. Recorded here (not RecordInterval)
+  // because the id was allocated at admission.
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (tracer.enabled() && item.trace_id != 0) {
+    obs::SpanRecord root;
+    root.trace_id = item.trace_id;
+    root.span_id = item.root_span_id;
+    root.parent_id = 0;
+    root.name = "server.request";
+    root.start_ns = item.trace_enqueued_ns;
+    root.end_ns = tracer.NowNs();
+    root.thread_index = obs::Tracer::CurrentThreadIndex();
+    root.attributes = {
+        {"tenant", obs::JsonValue::Str(response.tenant)},
+        {"stream", obs::JsonValue::Uint(response.stream_id)},
+        {"ok", obs::JsonValue::Bool(response.status.ok())}};
+    tracer.Record(std::move(root));
+  }
   done(std::move(response));
 }
 
 void ServerCore::Process(Item& item, bool draining_now) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Tracer& tracer = obs::Tracer::Global();
+
+  // The queue-wait span covers admission to this dispatch instant; from
+  // here on the request's context is installed on the dispatcher thread,
+  // so every span below (and inside the engine) links under the root.
+  const uint64_t dispatch_start_ns = tracer.NowNs();
+  if (tracer.enabled() && item.trace_id != 0) {
+    tracer.RecordInterval("server.queue_wait",
+                          {item.trace_id, item.root_span_id},
+                          item.trace_enqueued_ns, dispatch_start_ns);
+  }
+  obs::TraceContext::Scope trace_scope({item.trace_id, item.root_span_id});
 
   // Injected queue-slot corruption: the request is answered with a typed
   // Status — it must not reach the engine, and it must not vanish.
@@ -290,7 +352,15 @@ void ServerCore::Process(Item& item, bool draining_now) {
   publish.deadline_nanos = item.request.deadline_nanos;
 
   const uint64_t publish_start = clock_->NowNanos();
-  Result<PublishedTable> result = tenant->engine->Publish(publish);
+  PublishReport report;
+  Result<PublishedTable> result = [&] {
+    obs::ScopedSpan dispatch_span("server.dispatch");
+    dispatch_span.Attr("tenant", tenant->key)
+        .Attr("stream", item.request.stream_id);
+    Result<PublishedTable> r = tenant->engine->Publish(publish, &report);
+    dispatch_span.Attr("ok", r.ok());
+    return r;
+  }();
   const double publish_ms = NanosToMs(clock_->NowNanos() - publish_start);
 
   ServerResponse response = MakeResponse(item, result.status());
@@ -326,6 +396,43 @@ void ServerCore::Process(Item& item, bool draining_now) {
   }
   metrics.GetHistogram("server.publish_us")
       ->Observe(static_cast<uint64_t>(publish_ms * 1000.0));
+
+  // Per-tenant attribution: the instruments were interned at registration
+  // (TenantRegistry::AddTenant), so this is pointer-chasing, not string
+  // building. `response.queue_ms` is admission -> now on the server clock,
+  // i.e. this request's full served latency.
+  const double total_ms = response.queue_ms;
+  tenant->metric_latency_us->Observe(
+      static_cast<uint64_t>(total_ms * 1000.0));
+  tenant->metric_publish_us->Observe(
+      static_cast<uint64_t>(publish_ms * 1000.0));
+  tenant->metric_requests->Add();
+  if (!result.ok()) tenant->metric_failures->Add();
+
+  if (options_.slow_request_budget_ms > 0.0 &&
+      total_ms > options_.slow_request_budget_ms) {
+    // One WARN per offending request, carrying everything a postmortem
+    // needs: timings, the cache delta, and (when the collector is armed)
+    // the full span tree of this trace. The dispatch span closed above,
+    // so the tree includes it and every phase under it.
+    metrics.GetCounter("server.slow_requests")->Add();
+    obs::JsonValue spans = obs::JsonValue::Null();
+    if (tracer.enabled() && item.trace_id != 0) {
+      spans = obs::SpanTreeJson(tracer.SpansForTrace(item.trace_id));
+    }
+    PGPUB_LOG_WARN("server.slow_request")
+        .Field("tenant", tenant->key)
+        .Field("stream", item.request.stream_id)
+        .Field("total_ms", total_ms)
+        .Field("publish_ms", publish_ms)
+        .Field("budget_ms", options_.slow_request_budget_ms)
+        .Field("cache_hits", report.cache.hits)
+        .Field("cache_misses", report.cache.misses)
+        .Field("attempts", static_cast<uint64_t>(report.attempts.size()))
+        .Field("trace_id", item.trace_id)
+        .Field("spans", std::move(spans));
+  }
+
   Respond(item, std::move(response));
 }
 

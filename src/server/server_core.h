@@ -40,6 +40,13 @@ struct ServerOptions {
   };
   DrainPolicy drain_policy = DrainPolicy::kFinish;
 
+  /// Latency budget for the slow-request log, in milliseconds; 0 disables
+  /// it. A served request whose admission-to-response latency exceeds the
+  /// budget emits one WARN `server.slow_request` event carrying the
+  /// request's full span tree and its cache delta, so a single outlier is
+  /// diagnosable from the log alone.
+  double slow_request_budget_ms = 0.0;
+
   [[nodiscard]] Status Validate() const;
 };
 
@@ -189,6 +196,14 @@ class ServerCore {
     Tenant* tenant = nullptr;
     uint64_t admit_seq = 0;
     uint64_t enqueued_nanos = 0;
+    /// Trace identity assigned at admission: every span of this request —
+    /// queue wait, dispatch, engine and publish phases — links under one
+    /// root "server.request" span with these ids (recorded in Respond).
+    uint64_t trace_id = 0;
+    uint64_t root_span_id = 0;
+    /// Admission instant on the *tracer* clock (enqueued_nanos is on the
+    /// server clock; the two may tick differently under a manual clock).
+    uint64_t trace_enqueued_ns = 0;
   };
 
   void DispatcherLoop() PGPUB_EXCLUDES(mu_);
@@ -197,9 +212,14 @@ class ServerCore {
   void Respond(Item& item, ServerResponse response) PGPUB_EXCLUDES(mu_);
   ServerResponse MakeResponse(const Item& item, Status status) const;
   /// The admission decision proper — every early-out keeps the caller's
-  /// one lock scope intact; Submit wraps it and notifies outside mu_.
+  /// one lock scope intact; Submit wraps it and notifies outside mu_. On
+  /// success the admitted request's trace identity is returned through
+  /// the out-params (0 on rejection) so Submit can record the admission
+  /// span outside the lock.
   [[nodiscard]] Status AdmitLocked(ServerRequest request,
-                                   ResponseCallback done) PGPUB_REQUIRES(mu_);
+                                   ResponseCallback done, uint64_t* trace_id,
+                                   uint64_t* root_span_id)
+      PGPUB_REQUIRES(mu_);
 
   // Immutable after construction — needs no guard.
   TenantRegistry* const registry_;

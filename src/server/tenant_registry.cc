@@ -27,6 +27,11 @@ Status TenantRegistry::AddTenant(const std::string& key, Table microdata,
     const ServerClock* clock = clock_;
     options.engine.now_nanos = [clock] { return clock->NowNanos(); };
   }
+  // Spans and per-tenant metrics emitted inside this tenant's engine carry
+  // the tenant key unless the caller attributed the engine explicitly.
+  if (options.engine.tenant_label.empty()) {
+    options.engine.tenant_label = key;
+  }
   ASSIGN_OR_RETURN(std::unique_ptr<engine::PublicationEngine> eng,
                    engine::PublicationEngine::Create(std::move(microdata),
                                                     std::move(taxonomies),

@@ -4,10 +4,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "engine/publication_engine.h"
+#include "obs/metrics.h"
 #include "server/circuit_breaker.h"
 #include "server/clock.h"
 
@@ -45,12 +48,32 @@ struct Tenant {
   uint64_t served = 0;
   uint64_t failed = 0;
 
+  /// Per-tenant labeled instruments (`server.latency_us{tenant="..."}`,
+  /// ...), interned once here so the dispatch hot path observes through
+  /// cached pointers instead of rebuilding labeled names per request.
+  obs::Histogram* metric_latency_us;
+  obs::Histogram* metric_publish_us;
+  obs::Counter* metric_requests;
+  obs::Counter* metric_failures;
+
   Tenant(std::string k, std::unique_ptr<engine::PublicationEngine> e,
          TenantOptions opts, const ServerClock* clock)
       : key(std::move(k)),
         engine(std::move(e)),
         breaker(opts.breaker, clock),
-        options(std::move(opts)) {}
+        options(std::move(opts)) {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    const std::vector<std::pair<std::string_view, std::string_view>> label{
+        {"tenant", key}};
+    metric_latency_us = metrics.GetHistogram(
+        obs::MetricsRegistry::LabeledMetricName("server.latency_us", label));
+    metric_publish_us = metrics.GetHistogram(
+        obs::MetricsRegistry::LabeledMetricName("server.publish_us", label));
+    metric_requests = metrics.GetCounter(
+        obs::MetricsRegistry::LabeledMetricName("server.requests", label));
+    metric_failures = metrics.GetCounter(
+        obs::MetricsRegistry::LabeledMetricName("server.failures", label));
+  }
 };
 
 /// \brief Registry of tenants behind string keys — the multi-dataset face

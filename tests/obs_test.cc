@@ -31,7 +31,7 @@ using obs::LogLevel;
 using obs::LogRecord;
 using obs::MetricsRegistry;
 using obs::ScopedLogCapture;
-using obs::ScopedTimer;
+using obs::ScopedSpan;
 using obs::StreamSink;
 
 // ------------------------------------------------------------------- JSON
@@ -237,15 +237,15 @@ TEST(MetricsTest, SnapshotIsSortedAndSerializes) {
 
 // ------------------------------------------------------------------ spans
 
-TEST(TraceTest, ScopedTimerIsMonotoneAndFeedsHistogramAndLog) {
+TEST(TraceTest, ScopedSpanIsMonotoneAndFeedsHistogramAndLog) {
   ScopedLogCapture capture(LogLevel::kDebug);
   obs::Histogram* h =
       MetricsRegistry::Global().GetHistogram("span.obs_test.span");
   h->Reset();
   {
-    ScopedTimer timer("obs_test.span");
-    const uint64_t first = timer.ElapsedNs();
-    const uint64_t second = timer.ElapsedNs();
+    ScopedSpan span("obs_test.span");
+    const uint64_t first = span.ElapsedNs();
+    const uint64_t second = span.ElapsedNs();
     EXPECT_GE(second, first);
   }
   EXPECT_EQ(h->count(), 1u);

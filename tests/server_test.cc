@@ -668,5 +668,43 @@ TEST_F(ServerTest, ServerOptionsValidateRejectsZeroCapacity) {
   EXPECT_TRUE(core.Start().IsInvalidArgument());
 }
 
+TEST_F(ServerTest, ServerOptionsValidateRejectsNegativeSlowBudget) {
+  ServerOptions options;
+  options.slow_request_budget_ms = -1.0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+// --------------------------------------------- Prometheus exposition
+
+TEST_F(ServerTest, PromVerbServesPerTenantLabeledMetrics) {
+  auto registry = MakeRegistry(nullptr, {{"alpha", 1, {}}, {"beta", 2, {}}});
+  ServerCore core(registry.get(), ServerOptions{});
+  ASSERT_TRUE(core.Start().ok());
+  HealthEndpoint endpoint(&core);
+
+  EXPECT_EQ(endpoint.HandleCommand("PUBLISH alpha 3").find("ok tenant=alpha"),
+            0u);
+  EXPECT_EQ(endpoint.HandleCommand("PUBLISH beta 5").find("ok tenant=beta"),
+            0u);
+
+  const std::string prom = endpoint.HandleCommand("PROM");
+  // The exposition carries one histogram family with per-tenant labels
+  // (one # TYPE line, one series per tenant) plus the request counters.
+  EXPECT_NE(prom.find("# TYPE server_latency_us histogram"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("server_latency_us_count{tenant=\"alpha\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("server_latency_us_count{tenant=\"beta\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("server_publish_us_count{tenant=\"alpha\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("server_requests{tenant=\"alpha\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("server_failures{tenant=\"beta\"}"),
+            std::string::npos);
+  core.Shutdown();
+}
+
 }  // namespace
 }  // namespace pgpub

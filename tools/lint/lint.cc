@@ -14,6 +14,7 @@ const char* const kRuleDirectIo = "direct-io";
 const char* const kRuleRawThread = "raw-thread";
 const char* const kRuleRawMutex = "raw-mutex";
 const char* const kRuleUnannotatedGuard = "unannotated-guard";
+const char* const kRuleSpanLiteral = "span-name-literal";
 
 std::string CanonicalRuleName(const std::string& name_or_id) {
   static const std::map<std::string, std::string> kMap = {
@@ -26,9 +27,11 @@ std::string CanonicalRuleName(const std::string& name_or_id) {
       {"L7", kRuleRawThread},           {"l7", kRuleRawThread},
       {"L8", kRuleRawMutex},            {"l8", kRuleRawMutex},
       {"L9", kRuleUnannotatedGuard},    {"l9", kRuleUnannotatedGuard},
+      {"L10", kRuleSpanLiteral},        {"l10", kRuleSpanLiteral},
       {"io", kRuleDirectIo},
       {"thread", kRuleRawThread},
       {"mutex", kRuleRawMutex},
+      {"span", kRuleSpanLiteral},
       {kRuleDiscardedStatus, kRuleDiscardedStatus},
       {kRuleUncheckedResult, kRuleUncheckedResult},
       {kRuleCheckOnInputPath, kRuleCheckOnInputPath},
@@ -38,6 +41,7 @@ std::string CanonicalRuleName(const std::string& name_or_id) {
       {kRuleRawThread, kRuleRawThread},
       {kRuleRawMutex, kRuleRawMutex},
       {kRuleUnannotatedGuard, kRuleUnannotatedGuard},
+      {kRuleSpanLiteral, kRuleSpanLiteral},
   };
   auto it = kMap.find(name_or_id);
   return it == kMap.end() ? std::string() : it->second;
@@ -133,7 +137,7 @@ void Report(std::vector<Finding>* out, const std::string& file,
   // Short ids (and the "io"/"thread"/"mutex" shorthands) work in allow()
   // too.
   for (const char* id : {"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8",
-                         "L9", "io", "thread", "mutex"}) {
+                         "L9", "L10", "io", "thread", "mutex", "span"}) {
     if (CanonicalRuleName(id) == rule && sup.Allows(line, id)) return;
   }
   out->push_back(Finding{file, line, rule, std::move(message)});
@@ -792,6 +796,42 @@ void RunUnannotatedGuard(const std::string& file, const LexedFile& lexed,
   }
 }
 
+// ------------------------------------------------------------------- L10
+
+/// Span names must be string literals: the Tracer keys its per-span
+/// histogram cache (and the zero-allocation SpanRecord name field) on
+/// literal pointer identity, so a runtime-built name fragments the
+/// metrics and dangles once the buffer dies. Two shapes are checked:
+///   PGPUB_TRACE_SPAN(<non-string>...)
+///   [obs::]ScopedSpan <name>(<non-string>...)
+void RunSpanLiteral(const std::string& file, const LexedFile& lexed,
+                    const LintOptions& options, std::vector<Finding>* out) {
+  if (PathExempt(file, options.span_literal_exempt)) return;
+  const Tokens& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    size_t open = toks.size();
+    if (t.text == "PGPUB_TRACE_SPAN" && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "(")) {
+      open = i + 1;
+    } else if (t.text == "ScopedSpan" && i + 2 < toks.size() &&
+               toks[i + 1].kind == TokenKind::kIdentifier &&
+               IsPunct(toks[i + 2], "(")) {
+      open = i + 2;
+    } else {
+      continue;
+    }
+    if (open + 1 < toks.size() && toks[open + 1].kind == TokenKind::kString) {
+      continue;
+    }
+    Report(out, file, lexed.suppressions, t.line, kRuleSpanLiteral,
+           "span name is not a string literal — the Tracer interns names "
+           "by literal pointer identity, so build-once names must be "
+           "literals (hoist dynamic detail into Attr() instead)");
+  }
+}
+
 bool RuleEnabled(const LintOptions& options, const char* rule) {
   return options.enabled_rules.empty() ||
          options.enabled_rules.count(rule) > 0;
@@ -830,6 +870,9 @@ std::vector<Finding> LintFile(const std::string& rel_path,
   }
   if (RuleEnabled(options, kRuleUnannotatedGuard)) {
     RunUnannotatedGuard(rel_path, lexed, &findings);
+  }
+  if (RuleEnabled(options, kRuleSpanLiteral)) {
+    RunSpanLiteral(rel_path, lexed, options, &findings);
   }
   if (RuleEnabled(options, kRuleFloatEquality)) {
     RunFloatEquality(rel_path, lexed, options, &findings);

@@ -16,8 +16,8 @@ struct Finding {
   std::string message;
 };
 
-/// The nine project invariants, by canonical name. Suppression comments
-/// accept either the canonical name or the short id (L1..L9):
+/// The ten project invariants, by canonical name. Suppression comments
+/// accept either the canonical name or the short id (L1..L10):
 ///
 ///   L1 discarded-status     — a call to a Status/Result-returning function
 ///                             whose return value is discarded.
@@ -66,6 +66,15 @@ struct Finding {
 ///                             -Wthread-safety proof; annotate them or
 ///                             mark the deliberate exceptions (atomics
 ///                             are recognized automatically).
+///   L10 span-name-literal   — a ScopedSpan constructed (or
+///                             PGPUB_TRACE_SPAN invoked) with a
+///                             non-literal first argument. The Tracer
+///                             interns span names by string-literal
+///                             pointer identity, so a runtime-built name
+///                             would silently fragment the per-span
+///                             histograms and defeat the no-allocation
+///                             hot path; span names must be literals.
+///                             Suppression also accepts allow(span).
 extern const char* const kRuleDiscardedStatus;
 extern const char* const kRuleUncheckedResult;
 extern const char* const kRuleCheckOnInputPath;
@@ -75,9 +84,10 @@ extern const char* const kRuleDirectIo;
 extern const char* const kRuleRawThread;
 extern const char* const kRuleRawMutex;
 extern const char* const kRuleUnannotatedGuard;
+extern const char* const kRuleSpanLiteral;
 
-/// Maps "L1".."L9" (or "io"/"thread"/"mutex", or a canonical name) to the
-/// canonical name; returns an empty string for unknown rules.
+/// Maps "L1".."L10" (or "io"/"thread"/"mutex"/"span", or a canonical
+/// name) to the canonical name; returns an empty string for unknown rules.
 std::string CanonicalRuleName(const std::string& name_or_id);
 
 /// Where a file sits in the tree; decides which rules apply.
@@ -122,7 +132,12 @@ struct LintOptions {
   /// annotated sync layer wraps the raw primitives once, here.
   std::set<std::string> raw_mutex_exempt = {"src/common/sync/"};
 
-  /// Rules to run (canonical names). Empty = all nine.
+  /// Paths exempt from L10 (same matching as direct_io_exempt): the
+  /// tracer's own declaration (and its constructor forwarding) names the
+  /// parameter, not a span.
+  std::set<std::string> span_literal_exempt = {"src/obs/"};
+
+  /// Rules to run (canonical names). Empty = all ten.
   std::set<std::string> enabled_rules;
 };
 

@@ -112,6 +112,9 @@ TEST(RuleNameTest, ShortIdsMapToCanonicalNames) {
   EXPECT_EQ(CanonicalRuleName("raw-mutex"), kRuleRawMutex);
   EXPECT_EQ(CanonicalRuleName("L9"), kRuleUnannotatedGuard);
   EXPECT_EQ(CanonicalRuleName("unannotated-guard"), kRuleUnannotatedGuard);
+  EXPECT_EQ(CanonicalRuleName("L10"), kRuleSpanLiteral);
+  EXPECT_EQ(CanonicalRuleName("span"), kRuleSpanLiteral);
+  EXPECT_EQ(CanonicalRuleName("span-name-literal"), kRuleSpanLiteral);
   EXPECT_EQ(CanonicalRuleName("bogus"), "");
 }
 
@@ -679,6 +682,63 @@ TEST(UnannotatedGuardTest, ReportsClassAndMemberName) {
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_NE(findings[0].message.find("'Registry'"), std::string::npos);
   EXPECT_NE(findings[0].message.find("'count_'"), std::string::npos);
+}
+
+// ------------------------------------------------- L10 span-name-literal
+
+TEST(SpanLiteralTest, FlagsDynamicSpanNames) {
+  const auto findings = RunLint(
+      "void Serve(const std::string& phase) {\n"
+      "  obs::ScopedSpan span(phase.c_str());\n"
+      "  PGPUB_TRACE_SPAN(phase.c_str());\n"
+      "}\n");
+  EXPECT_TRUE(HasFinding(findings, kRuleSpanLiteral, 2));
+  EXPECT_TRUE(HasFinding(findings, kRuleSpanLiteral, 3));
+}
+
+TEST(SpanLiteralTest, LiteralSpanNamesAreClean) {
+  const auto findings = RunLint(
+      "void Serve() {\n"
+      "  obs::ScopedSpan span(\"server.dispatch\");\n"
+      "  span.Attr(\"tenant\", tenant);\n"
+      "  PGPUB_TRACE_SPAN(\"server.publish\");\n"
+      "}\n");
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.rule, kRuleSpanLiteral) << "line " << f.line;
+  }
+}
+
+TEST(SpanLiteralTest, TracerImplementationIsExempt) {
+  const auto findings = LintSource(
+      "src/obs/trace.cc", FileCategory::kLibrary,
+      "ScopedSpan MakeSpan(const char* name) {\n"
+      "  return ScopedSpan span(name);\n"
+      "}\n",
+      LintOptions());
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.rule, kRuleSpanLiteral) << "line " << f.line;
+  }
+}
+
+TEST(SpanLiteralTest, SuppressibleWithShortIdAndShorthand) {
+  const auto findings = RunLint(
+      "void Serve(const char* name) {\n"
+      "  obs::ScopedSpan a(name);  // pgpub-lint: allow(L10)\n"
+      "  obs::ScopedSpan b(name);  // pgpub-lint: allow(span)\n"
+      "}\n");
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.rule, kRuleSpanLiteral) << "line " << f.line;
+  }
+}
+
+TEST(SpanLiteralTest, AppliesToHarnessCodeToo) {
+  const auto findings = LintSource(
+      "bench/fixture.cc", FileCategory::kHarness,
+      "int main() {\n"
+      "  obs::ScopedSpan span(BuildName());\n"
+      "}\n",
+      LintOptions());
+  EXPECT_TRUE(HasFinding(findings, kRuleSpanLiteral, 2));
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 // pgpub_lint — project-specific static analysis for the PG publication
-// codebase. Lexer-based (no compiler front end): enforces the nine
+// codebase. Lexer-based (no compiler front end): enforces the ten
 // invariants documented in lint.h over src/, bench/ and examples/.
 //
 // Usage:
@@ -90,7 +90,7 @@ int Usage(const char* argv0) {
                "rules: L1 discarded-status, L2 unchecked-result, L3"
                " check-on-input-path,\n       L4 nondeterminism, L5"
                " float-equality, L6 direct-io,\n       L7 raw-thread,"
-               " L8 raw-mutex, L9 unannotated-guard\n";
+               " L8 raw-mutex, L9 unannotated-guard,\n       L10 span-name-literal\n";
   return 2;
 }
 

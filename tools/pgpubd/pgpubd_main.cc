@@ -11,9 +11,15 @@
 ///   pgpubd [--port=N] [--port-file=PATH] [--queue-capacity=N]
 ///          [--tenants=census:2000,clinic:1500,hospital:1000]
 ///          [--batch-seed=N] [--drain=finish|reject]
+///          [--trace=PATH] [--slow-ms=N]
 ///
 /// --port=0 (the default) binds an ephemeral port; --port-file writes
 /// the bound port once listening, which is how scripts rendezvous.
+/// --trace arms the in-process span collector and writes every span
+/// collected over the daemon's lifetime to PATH as Chrome Trace Event
+/// JSON (chrome://tracing / Perfetto) after the drain completes.
+/// --slow-ms sets ServerOptions::slow_request_budget_ms: served requests
+/// over the budget log their span tree and cache delta at WARN.
 
 #include <csignal>
 #include <cstdint>
@@ -26,6 +32,8 @@
 #include <vector>
 
 #include "datagen/sal.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "server/health_endpoint.h"
 #include "server/server_core.h"
 #include "server/tenant_registry.h"
@@ -47,6 +55,8 @@ struct Flags {
   size_t queue_capacity = 1024;
   uint64_t batch_seed = 0x5eed;
   std::string drain = "finish";
+  std::string trace_path;
+  double slow_ms = 0.0;
   std::vector<TenantSpec> tenants = {
       {"census", 2000}, {"clinic", 1500}, {"hospital", 1000}};
 };
@@ -91,6 +101,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->batch_seed = static_cast<uint64_t>(std::atoll(v));
     } else if (const char* v = value_of("--drain")) {
       flags->drain = v;
+    } else if (const char* v = value_of("--trace")) {
+      flags->trace_path = v;
+    } else if (const char* v = value_of("--slow-ms")) {
+      flags->slow_ms = std::atof(v);
     } else if (const char* v = value_of("--tenants")) {
       if (!ParseTenants(v, &flags->tenants)) {
         std::fprintf(stderr, "pgpubd: bad --tenants spec '%s'\n", v);
@@ -116,6 +130,10 @@ int main(int argc, char** argv) {
 
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  if (!flags.trace_path.empty()) {
+    obs::Tracer::Global().Enable();
+  }
 
   TenantRegistry registry(nullptr);
   for (size_t i = 0; i < flags.tenants.size(); ++i) {
@@ -144,6 +162,7 @@ int main(int argc, char** argv) {
   ServerOptions server_options;
   server_options.queue_capacity = flags.queue_capacity;
   server_options.batch_seed = flags.batch_seed;
+  server_options.slow_request_budget_ms = flags.slow_ms;
   server_options.drain_policy = flags.drain == "reject"
                                     ? ServerOptions::DrainPolicy::kReject
                                     : ServerOptions::DrainPolicy::kFinish;
@@ -179,6 +198,18 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "pgpubd: draining...\n");
   endpoint.Stop();
   core.Shutdown();
+  if (!flags.trace_path.empty()) {
+    // After the drain every admitted request's spans are final.
+    const std::vector<obs::SpanRecord> spans =
+        obs::Tracer::Global().TakeSnapshot();
+    if (Status st = obs::WriteChromeTrace(spans, flags.trace_path);
+        !st.ok()) {
+      std::fprintf(stderr, "pgpubd: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "pgpubd: wrote %zu spans to %s\n", spans.size(),
+                 flags.trace_path.c_str());
+  }
   const auto stats = core.stats();
   std::fprintf(stderr,
                "pgpubd: drained; admitted=%llu completed=%llu "

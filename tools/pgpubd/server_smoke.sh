@@ -58,6 +58,18 @@ get_stat() { echo "$STATS" | awk -v k="$1" '$1 == k {print $2}'; }
 [ "$(get_stat server.admitted)" -gt 0 ] || fail "expected admissions"
 [ "$(get_stat server.completed)" -gt 0 ] || fail "expected completions"
 
+# Prometheus exposition: every tenant that served must show up as a
+# labeled latency histogram, with the TYPE comment emitted once.
+PROM=$("$PGPUBCTL" "$PORT" PROM)
+echo "$PROM" | grep -q '^# TYPE server_latency_us histogram' \
+  || fail "PROM missing TYPE line for server_latency_us"
+for tenant in census clinic hospital; do
+  echo "$PROM" | grep -q "^server_latency_us_count{tenant=\"$tenant\"}" \
+    || fail "PROM missing per-tenant latency histogram for $tenant"
+  echo "$PROM" | grep -q "^server_requests{tenant=\"$tenant\"}" \
+    || fail "PROM missing per-tenant request counter for $tenant"
+done
+
 # Unknown tenants fail closed (pgpubctl exits 1 on an err reply, so
 # capture rather than pipe under pipefail).
 NOSUCH=$("$PGPUBCTL" "$PORT" PUBLISH nosuch 1 || true)

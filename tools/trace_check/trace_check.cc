@@ -1,0 +1,298 @@
+/// \file trace_check.cc
+/// Validates a Chrome Trace Event JSON file as written by
+/// obs::WriteChromeTrace: event shape, span linkage (every non-zero
+/// parent_id resolves inside the same trace), and parent/child interval
+/// containment. CI's trace-smoke job runs this over the artifact a
+/// two-tenant pgpubd --trace run produces, so a broken exporter or a
+/// span that lost its parent fails the build instead of shipping an
+/// unloadable trace.
+///
+/// Usage:
+///   trace_check [--slack-us=N] [--require-span=NAME ...]
+///               [--require-attr=SPAN:KEY=VALUE ...] FILE
+///
+///   --slack-us=N         containment slack in microseconds (default
+///                        5000). Children may spill past their parent by
+///                        this much: server.admit legitimately starts
+///                        before the root span it links to, because the
+///                        root's clock starts at admission inside the
+///                        queue lock.
+///   --require-span=NAME  fail unless at least one event has this name.
+///   --require-attr=S:K=V fail unless at least one event named S carries
+///                        args member K rendering as V (strings compare
+///                        raw, other kinds by compact JSON).
+///
+/// Exit: 0 valid, 1 validation failure, 2 usage or I/O problem.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace pgpub {
+namespace {
+
+using obs::JsonValue;
+
+struct RequiredAttr {
+  std::string span;
+  std::string key;
+  std::string value;
+};
+
+struct Options {
+  double slack_us = 5000.0;
+  std::vector<std::string> required_spans;
+  std::vector<RequiredAttr> required_attrs;
+  std::string path;
+};
+
+struct Interval {
+  double start_us = 0.0;
+  double end_us = 0.0;
+  std::string name;
+};
+
+/// Renders an args member the way --require-attr expects: raw for
+/// strings, compact JSON for everything else ("true", "42", ...).
+std::string RenderValue(const JsonValue& v) {
+  if (v.is_string()) {
+    auto s = v.AsString();
+    return s.ok() ? *s : std::string();
+  }
+  return v.Dump();
+}
+
+bool ParseRequiredAttr(const std::string& spec, RequiredAttr* out) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  const size_t eq = spec.find('=', colon + 1);
+  if (eq == std::string::npos || eq == colon + 1) return false;
+  out->span = spec.substr(0, colon);
+  out->key = spec.substr(colon + 1, eq - colon - 1);
+  out->value = spec.substr(eq + 1);
+  return true;
+}
+
+uint64_t IdOf(const JsonValue& args, const char* key) {
+  const JsonValue* v = args.Find(key);
+  if (v == nullptr || !v->is_integer()) return 0;
+  auto id = v->AsUint64();
+  return id.ok() ? *id : 0;
+}
+
+int Run(const Options& options) {
+  std::ifstream in(options.path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n",
+                 options.path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = JsonValue::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", options.path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const JsonValue& doc = *parsed;
+  const JsonValue* events = doc.is_object() ? doc.Find("traceEvents") : nullptr;
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "trace_check: %s: no traceEvents array\n",
+                 options.path.c_str());
+    return 1;
+  }
+
+  int problems = 0;
+  auto complain = [&](size_t index, const std::string& what) {
+    std::fprintf(stderr, "trace_check: event %zu: %s\n", index, what.c_str());
+    ++problems;
+  };
+
+  // Pass 1: per-event shape, and index spans by (trace_id, span_id).
+  std::map<std::pair<uint64_t, uint64_t>, Interval> spans;
+  for (size_t i = 0; i < events->items().size(); ++i) {
+    const JsonValue& event = events->items()[i];
+    if (!event.is_object()) {
+      complain(i, "not an object");
+      continue;
+    }
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* ts = event.Find("ts");
+    if (name == nullptr || !name->is_string()) complain(i, "missing name");
+    if (ph == nullptr || !ph->is_string()) complain(i, "missing ph");
+    if (ts == nullptr || !ts->is_number()) complain(i, "missing ts");
+    for (const char* key : {"pid", "tid"}) {
+      const JsonValue* v = event.Find(key);
+      if (v == nullptr || !v->is_integer()) {
+        complain(i, std::string("missing integer ") + key);
+      }
+    }
+    if (ph == nullptr || !ph->is_string() ||
+        *ph->AsString() != "X") {
+      continue;  // only complete events carry dur and span linkage
+    }
+    const JsonValue* dur = event.Find("dur");
+    if (dur == nullptr || !dur->is_number()) {
+      complain(i, "complete event lacks dur");
+      continue;
+    }
+    const JsonValue* args = event.Find("args");
+    if (args == nullptr || !args->is_object()) {
+      complain(i, "complete event lacks args");
+      continue;
+    }
+    const uint64_t trace_id = IdOf(*args, "trace_id");
+    const uint64_t span_id = IdOf(*args, "span_id");
+    if (trace_id == 0 || span_id == 0) {
+      complain(i, "args lack trace_id/span_id");
+      continue;
+    }
+    Interval interval;
+    interval.start_us = ts->AsDouble().ok() ? *ts->AsDouble() : 0.0;
+    interval.end_us =
+        interval.start_us + (dur->AsDouble().ok() ? *dur->AsDouble() : 0.0);
+    interval.name = name != nullptr && name->is_string()
+                        ? *name->AsString()
+                        : std::string();
+    if (interval.end_us < interval.start_us) complain(i, "negative dur");
+    spans[{trace_id, span_id}] = std::move(interval);
+  }
+
+  // Pass 2: linkage and containment.
+  for (size_t i = 0; i < events->items().size(); ++i) {
+    const JsonValue& event = events->items()[i];
+    if (!event.is_object()) continue;
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || !ph->is_string() || *ph->AsString() != "X") continue;
+    const JsonValue* args = event.Find("args");
+    if (args == nullptr || !args->is_object()) continue;
+    const uint64_t trace_id = IdOf(*args, "trace_id");
+    const uint64_t span_id = IdOf(*args, "span_id");
+    const uint64_t parent_id = IdOf(*args, "parent_id");
+    if (trace_id == 0 || span_id == 0 || parent_id == 0) continue;
+    const auto parent = spans.find({trace_id, parent_id});
+    if (parent == spans.end()) {
+      complain(i, "parent_id " + std::to_string(parent_id) +
+                      " has no span in trace " + std::to_string(trace_id));
+      continue;
+    }
+    const Interval& child = spans[{trace_id, span_id}];
+    if (child.start_us + options.slack_us < parent->second.start_us ||
+        child.end_us > parent->second.end_us + options.slack_us) {
+      complain(i, "span '" + child.name + "' [" +
+                      std::to_string(child.start_us) + ", " +
+                      std::to_string(child.end_us) + ")us escapes parent '" +
+                      parent->second.name + "' [" +
+                      std::to_string(parent->second.start_us) + ", " +
+                      std::to_string(parent->second.end_us) +
+                      ")us beyond slack");
+    }
+  }
+
+  // Pass 3: required spans and attributes.
+  for (const std::string& want : options.required_spans) {
+    bool found = false;
+    for (const auto& [ids, interval] : spans) {
+      if (interval.name == want) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "trace_check: required span '%s' absent\n",
+                   want.c_str());
+      ++problems;
+    }
+  }
+  for (const RequiredAttr& want : options.required_attrs) {
+    bool found = false;
+    for (const JsonValue& event : events->items()) {
+      if (!event.is_object()) continue;
+      const JsonValue* name = event.Find("name");
+      if (name == nullptr || !name->is_string() ||
+          *name->AsString() != want.span) {
+        continue;
+      }
+      const JsonValue* args = event.Find("args");
+      const JsonValue* v =
+          args != nullptr && args->is_object() ? args->Find(want.key) : nullptr;
+      if (v != nullptr && RenderValue(*v) == want.value) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "trace_check: no '%s' event carries %s=%s\n",
+                   want.span.c_str(), want.key.c_str(), want.value.c_str());
+      ++problems;
+    }
+  }
+
+  if (problems > 0) {
+    std::fprintf(stderr, "trace_check: %s: %d problem(s)\n",
+                 options.path.c_str(), problems);
+    return 1;
+  }
+  std::printf("trace_check: %s: OK (%zu events, %zu spans)\n",
+              options.path.c_str(), events->items().size(), spans.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pgpub
+
+int main(int argc, char** argv) {
+  pgpub::Options options;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--slack-us=", 0) == 0) {
+      options.slack_us = std::atof(arg.c_str() + std::strlen("--slack-us="));
+      if (!(options.slack_us >= 0.0)) {
+        std::fprintf(stderr, "trace_check: bad --slack-us '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--require-span=", 0) == 0) {
+      options.required_spans.push_back(
+          arg.substr(std::strlen("--require-span=")));
+    } else if (arg.rfind("--require-attr=", 0) == 0) {
+      pgpub::RequiredAttr attr;
+      if (!pgpub::ParseRequiredAttr(
+              arg.substr(std::strlen("--require-attr=")), &attr)) {
+        std::fprintf(stderr, "trace_check: bad --require-attr '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+      options.required_attrs.push_back(std::move(attr));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--slack-us=N] [--require-span=NAME ...] "
+                   "[--require-attr=SPAN:KEY=VALUE ...] FILE\n",
+                   argv[0]);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: %s [--slack-us=N] [--require-span=NAME ...] "
+                 "[--require-attr=SPAN:KEY=VALUE ...] FILE\n",
+                 argv[0]);
+    return 2;
+  }
+  options.path = positional[0];
+  return pgpub::Run(options);
+}
