@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pg_publisher.h"
+#include "core/published_table.h"
+#include "mining/category.h"
+#include "table/table.h"
+
+/// \file
+/// The fingerprint vocabulary shared by bench/sal_full.cc and the
+/// golden-pin suite tests/sal_golden_test.cc: both must compute the SAME
+/// digests over the SAME workload, or the pins could not catch a bench
+/// regression from ctest.
+namespace pgpub {
+namespace bench {
+
+/// FNV-1a over a stream of int64 values, mixed byte-by-byte.
+struct Fnv {
+  uint64_t h = 1469598103934665603ull;
+  void Mix(int64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= static_cast<uint64_t>(v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+/// Digest of every 997th row (plus the shape) — cheap at any scale, and a
+/// row-order-sensitive witness of the generator's output.
+inline uint64_t RowSampleDigest(const Table& table) {
+  Fnv fnv;
+  fnv.Mix(static_cast<int64_t>(table.num_rows()));
+  fnv.Mix(table.num_attributes());
+  for (size_t r = 0; r < table.num_rows(); r += 997) {
+    for (int a = 0; a < table.num_attributes(); ++a) {
+      fnv.Mix(table.value(r, a));
+    }
+  }
+  return fnv.h;
+}
+
+/// Digest of the per-column code histograms — row-order-insensitive, so
+/// it catches distribution drift the sparse row sample might miss.
+inline uint64_t HistogramDigest(const Table& table) {
+  Fnv fnv;
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    std::vector<int64_t> hist(table.domain(a).size(), 0);
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      ++hist[table.value(r, a)];
+    }
+    fnv.Mix(a);
+    for (int64_t count : hist) fnv.Mix(count);
+  }
+  return fnv.h;
+}
+
+/// Digest of everything a release publishes (generalized QI, sensitive,
+/// group sizes) — the byte-identity witness as one number.
+inline uint64_t PublicationDigest(const PublishedTable& table) {
+  Fnv fnv;
+  fnv.Mix(static_cast<int64_t>(table.num_rows()));
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (int i = 0; i < table.num_qi_attrs(); ++i) {
+      fnv.Mix(table.qi_gen(r, i));
+    }
+    fnv.Mix(table.sensitive(r));
+    fnv.Mix(static_cast<int64_t>(table.group_size(r)));
+  }
+  return fnv.h;
+}
+
+inline std::string Hex(uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+/// The paper's main workload: one TDS publication of the SAL table at
+/// k = 10, p = 0.3 with the m = 2 income classes (Section VII's
+/// classification task). Pinned by tests/sal_golden_test.cc.
+inline PgOptions SalColdPublishOptions(int threads) {
+  PgOptions options;
+  options.k = 10;
+  options.p = 0.3;
+  options.seed = 42;
+  options.class_category_starts = CategoryMap::PaperIncome(2).starts();
+  options.num_threads = threads;
+  return options;
+}
+
+}  // namespace bench
+}  // namespace pgpub

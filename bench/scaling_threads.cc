@@ -7,11 +7,20 @@
 /// speedup).
 ///
 /// Workloads:
-///   perturb    — stream-keyed randomized response on the census income
-///                column (PGPUB_SCALE_N rows, default 100k).
-///   breach     — MeasurePgBreaches trial fan-out
-///                (PGPUB_SCALE_VICTIMS trials, default 200).
-///   publish    — full PG publication end to end.
+///   perturb          — stream-keyed randomized response on the census
+///                      income column (PGPUB_SCALE_N rows, default 100k).
+///   breach           — MeasurePgBreaches trial fan-out
+///                      (PGPUB_SCALE_VICTIMS trials, default 200).
+///   publish          — full PG publication end to end, row-wise Phase 2
+///                      (the historical series the committed baseline
+///                      tracks).
+///   publish_columnar — the same publication on the columnar Phase-2
+///                      engine; its serial release must be byte-identical
+///                      to the row-wise one before any timing is reported.
+///
+/// Pool leases are created OUTSIDE the timed regions: spinning up a
+/// thread pool per repetition used to be timed with the work, which
+/// flattened the measured scaling for the sub-millisecond workloads.
 ///
 /// Emits BENCH_scaling_threads.json (schema_version 1) with one result
 /// row per (workload, threads).
@@ -19,6 +28,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +37,7 @@
 #include "attack/external_db.h"
 #include "bench/bench_report.h"
 #include "common/parallel/thread_pool.h"
+#include "core/columnar/phase2.h"
 #include "core/pg_publisher.h"
 #include "datagen/census.h"
 #include "perturb/randomized_response.h"
@@ -122,14 +134,21 @@ int Main() {
   CensusDataset census = GenerateCensus(n, 1).ValueOrDie();
   std::vector<SweepRow> rows;
 
+  // One long-lived lease per sweep point, shared by every workload whose
+  // timed body takes a pool (the hoist described in the header comment).
+  std::map<int, std::unique_ptr<PoolLease>> leases;
+  for (int threads : kThreadSweep) {
+    leases[threads] = std::make_unique<PoolLease>(threads);
+  }
+
   // ---- Workload 1: per-tuple perturbation.
   {
     const UniformPerturbation channel(0.3, 50);
     const std::vector<int32_t>& column =
         census.table.column(CensusColumns::kIncome);
     auto run = [&](int threads) {
-      PoolLease lease(threads);
-      return channel.PerturbColumnStreams(column, 42, lease.get())
+      return channel
+          .PerturbColumnStreams(column, 42, leases.at(threads)->get())
           .ValueOrDie();
     };
     if (!SweepWorkload("perturb", reps, run, &rows)) return 1;
@@ -151,12 +170,11 @@ int Main() {
   // ---- Workload 2: breach-harness trial fan-out.
   {
     auto run = [&](int threads) {
-      PoolLease lease(threads);
       BreachHarnessOptions harness;
       harness.num_victims = victims;
       harness.corruption_rate = 0.8;
       harness.seed = 42;
-      harness.pool = lease.get();
+      harness.pool = leases.at(threads)->get();
       const BreachStats stats =
           MeasurePgBreaches(published, edb, census.table, harness)
               .ValueOrDie();
@@ -173,11 +191,12 @@ int Main() {
     if (!SweepWorkload("breach", reps, run, &rows)) return 1;
   }
 
-  // ---- Workload 3: end-to-end publication.
+  // ---- Workloads 3 and 4: end-to-end publication, both Phase-2 engines.
   {
-    auto run = [&](int threads) {
+    auto publish_flat = [&](columnar::Phase2Impl impl, int threads) {
       PgOptions opt = options;
       opt.num_threads = threads;
+      opt.phase2_impl = impl;
       PgPublisher pub(opt);
       const PublishedTable table =
           pub.Publish(census.table, census.TaxonomyPointers()).ValueOrDie();
@@ -193,7 +212,26 @@ int Main() {
       }
       return flat;
     };
-    if (!SweepWorkload("publish", reps, run, &rows)) return 1;
+    // Cross-engine guard before any timing: the columnar serial release
+    // must equal the row-wise serial release byte for byte.
+    if (publish_flat(columnar::Phase2Impl::kRowwise, 1) !=
+        publish_flat(columnar::Phase2Impl::kColumnar, 1)) {
+      std::fprintf(stderr,
+                   "scaling_threads: columnar publication diverged from "
+                   "row-wise — refusing to report timings for a wrong "
+                   "answer\n");
+      return 1;
+    }
+    auto run_rowwise = [&](int threads) {
+      return publish_flat(columnar::Phase2Impl::kRowwise, threads);
+    };
+    if (!SweepWorkload("publish", reps, run_rowwise, &rows)) return 1;
+    auto run_columnar = [&](int threads) {
+      return publish_flat(columnar::Phase2Impl::kColumnar, threads);
+    };
+    if (!SweepWorkload("publish_columnar", reps, run_columnar, &rows)) {
+      return 1;
+    }
   }
 
   for (const SweepRow& row : rows) {

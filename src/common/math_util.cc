@@ -5,12 +5,16 @@
 namespace pgpub {
 
 double EntropyFromCounts(const std::vector<double>& counts) {
+  return EntropyFromCounts(counts.data(), counts.size());
+}
+
+double EntropyFromCounts(const double* counts, size_t n) {
   double total = 0.0;
-  for (double c : counts) total += c;
+  for (size_t i = 0; i < n; ++i) total += counts[i];
   if (total <= 0.0) return 0.0;
   double h = 0.0;
-  for (double c : counts) {
-    if (c > 0.0) h -= XLog2X(c / total);
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] > 0.0) h -= XLog2X(counts[i] / total);
   }
   return h;
 }

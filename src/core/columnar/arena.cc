@@ -1,0 +1,94 @@
+#include "core/columnar/arena.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace pgpub::columnar {
+namespace {
+
+// One process-wide counter feeds ScratchArena::TotalBlockAllocations();
+// relaxed ordering suffices — tests only compare before/after deltas.
+std::atomic<uint64_t> g_block_allocations{0};
+
+constexpr size_t kMinBlockBytes = 64 * 1024;
+constexpr size_t kAlign = 16;
+
+}  // namespace
+
+void* ScratchArena::AllocBytes(size_t bytes) {
+  bytes = (bytes + (kAlign - 1)) & ~(kAlign - 1);
+  if (bytes == 0) bytes = kAlign;
+  // Advance past blocks too small for this request; most calls stay in
+  // the current block and take only the bump below.
+  while (block_ < blocks_.size() &&
+         offset_ + bytes > blocks_[block_].size) {
+    ++block_;
+    offset_ = 0;
+  }
+  if (block_ == blocks_.size()) {
+    Block b;
+    b.size = std::max(bytes, kMinBlockBytes);
+    b.data = std::make_unique<std::byte[]>(b.size);
+    blocks_.push_back(std::move(b));
+    g_block_allocations.fetch_add(1, std::memory_order_relaxed);
+    offset_ = 0;
+  }
+  std::byte* out = blocks_[block_].data.get() + offset_;
+  offset_ += bytes;
+  return out;
+}
+
+size_t ScratchArena::bytes_reserved() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+uint64_t ScratchArena::TotalBlockAllocations() {
+  return g_block_allocations.load(std::memory_order_relaxed);
+}
+
+void DenseGroupCounter::Begin(uint64_t num_cells) {
+  if (num_cells > counts_.size()) {
+    counts_.resize(num_cells);
+    version_.resize(num_cells, epoch_);
+    // Freshly resized versions report "current epoch" with garbage
+    // counts; bumping below invalidates every cell uniformly.
+  }
+  touched_.clear();
+  ++epoch_;
+  if (epoch_ == 0) {
+    // Epoch wrapped: stale versions could now collide with the new
+    // epoch value, so pay one full reset (every ~4 billion Begin()s).
+    std::fill(version_.begin(), version_.end(), epoch_);
+    ++epoch_;
+  }
+}
+
+ScratchPool::Lease ScratchPool::Acquire() {
+  MutexLock lock(&mu_);
+  if (!free_.empty()) {
+    Phase2Scratch* s = free_.back();
+    free_.pop_back();
+    return Lease(this, s);
+  }
+  all_.push_back(std::make_unique<Phase2Scratch>());
+  ++created_;
+  return Lease(this, all_.back().get());
+}
+
+void ScratchPool::Release(Phase2Scratch* scratch) {
+  PGPUB_CHECK(scratch != nullptr);
+  scratch->arena.Reset();
+  MutexLock lock(&mu_);
+  free_.push_back(scratch);
+}
+
+uint64_t ScratchPool::scratches_created() const {
+  MutexLock lock(&mu_);
+  return created_;
+}
+
+}  // namespace pgpub::columnar

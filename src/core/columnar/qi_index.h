@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/columnar/arena.h"
+#include "hierarchy/taxonomy.h"
+#include "table/table.h"
+
+/// \file
+/// The columnar Phase-2 data layer (DESIGN.md §15).
+///
+/// QiIndex is the *base frequency set* of a table: its distinct raw QI
+/// tuples, dictionary-encoded per attribute as flat code columns, with a
+/// packed row→tuple group-id vector and per-tuple row counts. Phase-2
+/// search never needs anything finer — every candidate generalization
+/// partitions rows by a function of their raw QI codes alone, so any
+/// node's group counts *fold* from the base set in O(tuples · attrs) via
+/// per-(attr, depth) code-remap tables instead of rescanning rows.
+///
+/// LatticeCounter applies that fold for Incognito: it precomputes, for
+/// every (attribute, generalization depth), the map from raw code to the
+/// rank of the covering cut interval, and answers "is the lattice node at
+/// these depths k-anonymous?" with a radix pass over the base set into an
+/// epoch-marked dense counter (hash-map fallback above a cell budget).
+/// The verdict is exactly the row-wise
+/// `IsKAnonymous(ComputeQiGroups(table, RecodingAtDepths(...)), k)`:
+/// both count the same partition, one over rows, one over tuples with
+/// multiplicity.
+namespace pgpub::columnar {
+
+/// \brief Distinct raw QI tuples of a table, columnar, with row counts.
+///
+/// Immutable after Build(); safe to share across threads and requests for
+/// the lifetime of the underlying table. Tuple ids are assigned in a
+/// deterministic first-encounter order, but no consumer depends on the
+/// order — group counts and entropy terms are order-free integer sums.
+class QiIndex {
+ public:
+  /// Scans `table` once and collapses it to distinct QI tuples.
+  /// `qi_attrs` are column indices into `table`.
+  static QiIndex Build(const Table& table, const std::vector<int>& qi_attrs);
+
+  const std::vector<int>& qi_attrs() const { return qi_attrs_; }
+  size_t num_tuples() const { return weights_.size(); }
+  size_t num_rows() const { return row_to_tuple_.size(); }
+
+  /// codes(a)[t] = raw code of attribute qi_attrs()[a] in tuple t.
+  const std::vector<int32_t>& codes(size_t a) const { return codes_[a]; }
+
+  /// weights()[t] = number of table rows collapsing to tuple t.
+  const std::vector<int64_t>& weights() const { return weights_; }
+
+  /// Packed group-id vector: row_to_tuple()[r] = tuple id of row r.
+  const std::vector<int32_t>& row_to_tuple() const { return row_to_tuple_; }
+
+ private:
+  std::vector<int> qi_attrs_;
+  std::vector<std::vector<int32_t>> codes_;  ///< [attr][tuple]
+  std::vector<int64_t> weights_;             ///< [tuple]
+  std::vector<int32_t> row_to_tuple_;        ///< [row]
+};
+
+/// \brief Incognito's k-anonymity oracle over the base frequency set.
+///
+/// Construction precomputes the code→interval-rank remap for every
+/// (attribute, depth); each lattice-node check is then one fold over the
+/// base set. Thread-safe: checks mutate only the caller's Phase2Scratch.
+class LatticeCounter {
+ public:
+  /// `taxonomies` must outlive the counter and cover index->qi_attrs()
+  /// pairwise (same order). Domain sizes must match the indexed table.
+  LatticeCounter(const QiIndex* index,
+                 std::vector<const Taxonomy*> taxonomies);
+
+  /// True iff every QI group of RecodingAtDepths(..., depths) has at
+  /// least k rows. Depths clamp to each taxonomy's height, mirroring
+  /// RecodingAtDepths.
+  bool IsKAnonymousAtDepths(const std::vector<int>& depths, int k,
+                            Phase2Scratch* scratch) const;
+
+ private:
+  const QiIndex* index_;
+  /// remap_[a][depth][code] = rank of the depth-`depth` cut interval of
+  /// taxonomy a covering `code`.
+  std::vector<std::vector<std::vector<int32_t>>> remap_;
+  /// num_intervals_[a][depth] = interval count of that cut (the radix).
+  std::vector<std::vector<int32_t>> num_intervals_;
+};
+
+/// Cells at or below this fit the dense epoch-marked counter; larger
+/// lattice nodes fall back to the reused hash map. Counting stays exact
+/// either way — this only trades memory for speed.
+inline constexpr uint64_t kDenseCellBudget = uint64_t{1} << 21;
+
+}  // namespace pgpub::columnar

@@ -266,6 +266,14 @@ Result<PublishedTable> PgPublisher::Publish(
       TdsOptions tds_options;
       tds_options.k = k;
       tds_options.pool = pool;
+      // Resolve the engine once here so hooks only pay for (and lazily
+      // build) columnar state when it will actually be used.
+      tds_options.phase2 = columnar::ResolvePhase2Impl(options_.phase2_impl);
+      if (hooks != nullptr &&
+          tds_options.phase2 == columnar::Phase2Impl::kColumnar) {
+        tds_options.qi_index = hooks->qi_index();
+        tds_options.scratch = hooks->scratch_pool();
+      }
       // With hooks, `class_labels` must outlive Run() unmoved: StoreRecoding
       // re-reads it through recoding_query to compute the cache key.
       std::vector<int32_t> tds_labels =
@@ -278,6 +286,12 @@ Result<PublishedTable> PgPublisher::Publish(
       IncognitoOptions inc_options;
       inc_options.k = k;
       inc_options.pool = pool;
+      inc_options.phase2 = columnar::ResolvePhase2Impl(options_.phase2_impl);
+      if (hooks != nullptr &&
+          inc_options.phase2 == columnar::Phase2Impl::kColumnar) {
+        inc_options.qi_index = hooks->qi_index();
+        inc_options.scratch = hooks->scratch_pool();
+      }
       ASSIGN_OR_RETURN(
           recoding, IncognitoSearch(microdata, qi, taxonomies, inc_options));
       if (hooks != nullptr) hooks->StoreRecoding(recoding_query, recoding);

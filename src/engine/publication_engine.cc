@@ -109,6 +109,13 @@ class PublicationEngine::Hooks final : public PublishHooks {
     engine_->recoding_cache_.Insert(KeyOf(query), recoding);
   }
 
+  const columnar::QiIndex* qi_index() override {
+    return engine_->EnsureQiIndex();
+  }
+  columnar::ScratchPool* scratch_pool() override {
+    return &engine_->scratch_pool_;
+  }
+
  private:
   static RetentionKey KeyOf(const RetentionQuery& query) {
     return RetentionKey{static_cast<int>(query.target.kind),
@@ -120,6 +127,14 @@ class PublicationEngine::Hooks final : public PublishHooks {
                         query.sensitive_domain_size};
   }
 
+  // Cache-key audit: RecodingKey is everything the recoding bytes depend
+  // on — and nothing more. PgOptions::phase2_impl is deliberately NOT
+  // mixed in: the columnar and row-wise Phase-2 engines are byte-identical
+  // for equal queries (pinned by tests/phase2_equivalence_test.cc), so a
+  // recoding computed under one engine is a sound hit for the other.
+  // Defense in depth for a buggy engine stays fail-closed: every hit is
+  // re-checked for k-anonymity in pg_publisher.cc before it ships
+  // (tests/engine_test.cc, CachePoisoningTest and CrossImplSharing).
   static RecodingKey KeyOf(const RecodingQuery& query) {
     uint64_t labels_fingerprint = 0;
     if (query.class_labels != nullptr) {
@@ -234,6 +249,17 @@ CacheStats PublicationEngine::combined_cache_stats() const {
   total.misses = recoding.misses + retention.misses;
   total.evictions = recoding.evictions + retention.evictions;
   return total;
+}
+
+const columnar::QiIndex* PublicationEngine::EnsureQiIndex() {
+  if (qi_index_ == nullptr) {
+    qi_index_ = std::make_unique<columnar::QiIndex>(columnar::QiIndex::Build(
+        microdata_, microdata_.schema().QiIndices()));
+    PGPUB_LOG_DEBUG("engine.qi_index")
+        .Field("rows", microdata_.num_rows())
+        .Field("tuples", qi_index_->num_tuples());
+  }
+  return qi_index_.get();
 }
 
 uint64_t PublicationEngine::NowNanos() const {
