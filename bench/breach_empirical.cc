@@ -13,7 +13,9 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "attack/breach_harness.h"
+#include "attack/adversaries.h"
+#include "attack/publishers.h"
+#include "attack/scenario.h"
 #include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "diversity/ldiversity.h"
@@ -65,23 +67,37 @@ int main() {
   ExternalDatabase edb =
       ExternalDatabase::FromMicrodata(microdata, n / 20, rng);
 
+  // Both releases are attacked through the unified scenario runner: the
+  // same dataset view and adversary, with only the release adapter swapped.
+  ScenarioDataset dataset;
+  dataset.name = "census";
+  dataset.microdata = &microdata;
+  dataset.sensitive_attr = sens;
+  dataset.edb = &edb;
+  FixedGeneralizationRelease gen_release(&groups);
+  FixedPgRelease pg_release(&published);
+  CorruptionLinkingAdversary adversary;
+
   std::printf("%-10s | %-30s | %-36s\n", "",
               "conventional generalization", "perturbed generalization");
   std::printf("%-10s | %-9s %-9s %-9s | %-9s %-9s %-9s %-6s\n",
               "corruption", "max-grow", "mean-grow", "certain", "max-grow",
               "Thm3-bnd", "max-h", "breach");
   for (double rate : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    BreachHarnessOptions harness;
-    harness.num_victims = 250;
-    harness.corruption_rate = rate;
-    harness.lambda = 0.1;
-    harness.rho1 = 0.2;
-    harness.prior_kind = BreachHarnessOptions::PriorKind::kSkewTrue;
-    harness.seed = 900 + static_cast<uint64_t>(rate * 100);
+    ScenarioOptions scenario;
+    scenario.harness.num_victims = 250;
+    scenario.harness.corruption_rate = rate;
+    scenario.harness.lambda = 0.1;
+    scenario.harness.rho1 = 0.2;
+    scenario.harness.prior_kind = BreachHarnessOptions::PriorKind::kSkewTrue;
+    scenario.harness.seed = 900 + static_cast<uint64_t>(rate * 100);
 
-    GeneralizationBreachStats gen = MeasureGeneralizationBreaches(
-        microdata, groups, sens, harness).ValueOrDie();
-    BreachStats pg = MeasurePgBreaches(published, edb, microdata, harness).ValueOrDie();
+    BreachStats gen =
+        BreachScenario::Run(gen_release, adversary, dataset, scenario)
+            .ValueOrDie();
+    BreachStats pg =
+        BreachScenario::Run(pg_release, adversary, dataset, scenario)
+            .ValueOrDie();
 
     std::printf("%-10.2f | %-9.4f %-9.4f %-9zu | %-9.4f %-9.4f %-9.4f %-6zu\n",
                 rate, gen.max_growth, gen.mean_growth,

@@ -9,8 +9,8 @@
 /// Workloads:
 ///   perturb          — stream-keyed randomized response on the census
 ///                      income column (PGPUB_SCALE_N rows, default 100k).
-///   breach           — MeasurePgBreaches trial fan-out
-///                      (PGPUB_SCALE_VICTIMS trials, default 200).
+///   breach           — BreachScenario trial fan-out (corruption-linking
+///                      adversary, PGPUB_SCALE_VICTIMS trials, default 200).
 ///   publish          — full PG publication end to end, row-wise Phase 2
 ///                      (the historical series the committed baseline
 ///                      tracks).
@@ -33,8 +33,10 @@
 #include <string>
 #include <vector>
 
-#include "attack/breach_harness.h"
+#include "attack/adversaries.h"
 #include "attack/external_db.h"
+#include "attack/publishers.h"
+#include "attack/scenario.h"
 #include "bench/bench_report.h"
 #include "common/parallel/thread_pool.h"
 #include "core/columnar/phase2.h"
@@ -167,16 +169,23 @@ int Main() {
   const ExternalDatabase edb =
       ExternalDatabase::FromMicrodata(census.table, 1000, edb_rng);
 
-  // ---- Workload 2: breach-harness trial fan-out.
+  // ---- Workload 2: breach-scenario trial fan-out.
   {
+    ScenarioDataset dataset;
+    dataset.name = "census";
+    dataset.microdata = &census.table;
+    dataset.sensitive_attr = published.sensitive_attr();
+    dataset.edb = &edb;
+    FixedPgRelease release(&published);
+    CorruptionLinkingAdversary adversary;
     auto run = [&](int threads) {
-      BreachHarnessOptions harness;
-      harness.num_victims = victims;
-      harness.corruption_rate = 0.8;
-      harness.seed = 42;
-      harness.pool = leases.at(threads)->get();
+      ScenarioOptions scenario;
+      scenario.harness.num_victims = victims;
+      scenario.harness.corruption_rate = 0.8;
+      scenario.harness.seed = 42;
+      scenario.harness.pool = leases.at(threads)->get();
       const BreachStats stats =
-          MeasurePgBreaches(published, edb, census.table, harness)
+          BreachScenario::Run(release, adversary, dataset, scenario)
               .ValueOrDie();
       // Equality via the exactly-folded aggregates (SweepWorkload compares
       // with ==, so pack them into a comparable tuple).

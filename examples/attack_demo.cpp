@@ -111,23 +111,36 @@ int main(int argc, char** argv) {
   ExternalDatabase edb =
       ExternalDatabase::FromMicrodata(microdata, n / 20, rng);
 
+  // One scenario runner, two release adapters: the fixed releases built
+  // above are attacked by the same corruption-linking adversary.
+  ScenarioDataset dataset;
+  dataset.name = "census";
+  dataset.microdata = &microdata;
+  dataset.sensitive_attr = sens;
+  dataset.edb = &edb;
+  FixedGeneralizationRelease gen_release(&groups);
+  FixedPgRelease pg_release(&published);
+  CorruptionLinkingAdversary adversary;
+
   std::printf("%-16s | %-28s | %-28s\n", "", "conventional generalization",
               "perturbed generalization");
   std::printf("%-16s | %-9s %-9s %-8s | %-9s %-9s %-8s\n", "corruption",
               "max-grow", "mean-grow", "certain", "max-grow", "bound",
               "breaches");
   for (double rate : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    BreachHarnessOptions harness;
-    harness.num_victims = victims;
-    harness.corruption_rate = rate;
-    harness.lambda = 0.1;
-    harness.prior_kind = BreachHarnessOptions::PriorKind::kSkewTrue;
-    harness.seed = 5000 + static_cast<uint64_t>(rate * 100);
+    ScenarioOptions scenario;
+    scenario.harness.num_victims = victims;
+    scenario.harness.corruption_rate = rate;
+    scenario.harness.lambda = 0.1;
+    scenario.harness.prior_kind = BreachHarnessOptions::PriorKind::kSkewTrue;
+    scenario.harness.seed = 5000 + static_cast<uint64_t>(rate * 100);
 
-    GeneralizationBreachStats gen_stats = MeasureGeneralizationBreaches(
-        microdata, groups, sens, harness).ValueOrDie();
+    BreachStats gen_stats =
+        BreachScenario::Run(gen_release, adversary, dataset, scenario)
+            .ValueOrDie();
     BreachStats pg_stats =
-        MeasurePgBreaches(published, edb, microdata, harness).ValueOrDie();
+        BreachScenario::Run(pg_release, adversary, dataset, scenario)
+            .ValueOrDie();
 
     std::printf("%-16.2f | %-9.4f %-9.4f %-8zu | %-9.4f %-9.4f %-8zu\n",
                 rate, gen_stats.max_growth, gen_stats.mean_growth,

@@ -1,0 +1,140 @@
+/// \file scenario_matrix_demo.cpp
+/// Minimal scenario-framework walkthrough: a 2×2 matrix — {PG, (0.5,3)-
+/// diversity} × {corruption-linking, transparent} — on one census table,
+/// through the same BreachScenario runner the full bench sweep uses.
+/// Shows the framework's two headline contrasts in a few seconds: the
+/// rival guarantee collapses under the corruption adversary PG survives,
+/// and the transparent adversary exceeds even PG's averaged bounds.
+///
+/// Usage: scenario_matrix_demo [--report=PATH] [num_rows] [num_victims]
+///   --report=PATH  also write the four BreachStats rows as JSON.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "pgpub.h"
+
+using namespace pgpub;
+
+int main(int argc, char** argv) {
+  std::string report_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--report=PATH] [num_rows] [num_victims]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const size_t n = positional.size() > 0
+                       ? std::strtoull(positional[0], nullptr, 10)
+                       : 8000;
+  const size_t victims = positional.size() > 1
+                             ? std::strtoull(positional[1], nullptr, 10)
+                             : 120;
+
+  // One dataset view; the scenario runner builds the external database
+  // deterministically from the harness seed when none is supplied.
+  CensusDataset census = GenerateCensus(n, /*seed=*/42).ValueOrDie();
+  ScenarioDataset dataset;
+  dataset.name = "census";
+  dataset.microdata = &census.table;
+  dataset.taxonomies = census.TaxonomyPointers();
+  dataset.sensitive_attr = CensusColumns::kIncome;
+
+  ScenarioOptions options;
+  options.harness.num_victims = victims;
+  options.harness.corruption_rate = 0.5;
+  options.harness.lambda = 0.1;
+  options.harness.rho1 = 0.2;
+  options.harness.seed = 42;
+
+  // The 2×2 axes. Both publishers run at k = 4; PG adds p = 0.3
+  // perturbation, the rival publishes exact sensitive values under
+  // (0.5,3)-diversity.
+  std::vector<std::unique_ptr<Publisher>> publishers;
+  publishers.push_back(std::make_unique<PgScenarioPublisher>());
+  publishers.push_back(
+      std::make_unique<CLDiversityScenarioPublisher>(0.5, 3, 4));
+  std::vector<std::unique_ptr<AdversaryModel>> adversaries;
+  adversaries.push_back(std::make_unique<CorruptionLinkingAdversary>());
+  adversaries.push_back(std::make_unique<TransparentReplayAdversary>());
+
+  obs::JsonValue rows = obs::JsonValue::Array();
+  std::printf("%-14s %-20s | %-7s %-9s %-9s %-9s %-7s\n", "publisher",
+              "adversary", "attacks", "breach", "max-grow", "delta-bnd",
+              "violate");
+  for (size_t pi = 0; pi < publishers.size(); ++pi) {
+    // Publish once per publisher; both adversaries attack the same release.
+    Result<Release> release =
+        publishers[pi]->Publish(dataset, options, nullptr);
+    if (!release.ok()) {
+      std::fprintf(stderr, "publish %s failed: %s\n",
+                   std::string(publishers[pi]->name()).c_str(),
+                   release.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t ai = 0; ai < adversaries.size(); ++ai) {
+      ScenarioOptions cell = options;
+      cell.harness.seed =
+          ScenarioCellSeed(options.harness.seed, pi * 2 + ai);
+      Result<BreachStats> run = BreachScenario::RunOnRelease(
+          *release, *adversaries[ai], dataset, cell);
+      if (!run.ok()) {
+        std::fprintf(stderr, "cell failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      const BreachStats& stats = *run;
+      const bool bounded = stats.attacks > 0 && std::isfinite(stats.delta_bound);
+      std::printf("%-14s %-20s | %-7zu %-9.4f %-9.4f %-9.4f %-7s\n",
+                  stats.publisher.c_str(), stats.adversary.c_str(),
+                  stats.attacks, stats.BreachRate(), stats.max_growth,
+                  bounded ? stats.delta_bound : 0.0,
+                  stats.BoundViolated() ? "YES" : "no");
+      obs::JsonValue row = obs::JsonValue::Object();
+      row.Set("publisher", stats.publisher);
+      row.Set("adversary", stats.adversary);
+      row.Set("dataset", stats.dataset);
+      row.Set("guarantee", stats.guarantee);
+      row.Set("attacks", stats.attacks);
+      row.Set("breach_rate", stats.BreachRate());
+      row.Set("max_growth", stats.max_growth);
+      row.Set("max_posterior_rho1", stats.max_posterior_rho1);
+      row.Set("bound_violated", stats.BoundViolated());
+      if (std::isfinite(stats.delta_bound)) {
+        row.Set("delta_bound", stats.delta_bound);
+      }
+      if (std::isfinite(stats.rho2_bound)) {
+        row.Set("rho2_bound", stats.rho2_bound);
+      }
+      rows.Append(std::move(row));
+    }
+  }
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::binary | std::ios::trunc);
+    if (out) out << rows.Dump(2) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", report_path.c_str());
+  }
+  std::printf(
+      "\nPG's bound holds against the corruption adversary but not the\n"
+      "transparent one (replay resolves sampling, which the bound averages\n"
+      "over); the rival guarantee breaks under corruption alone.\n");
+  return 0;
+}

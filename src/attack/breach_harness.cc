@@ -1,245 +1,52 @@
 #include "attack/breach_harness.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/random.h"
-#include "common/string_util.h"
-#include "obs/metrics.h"
+#include "attack/adversaries.h"
+#include "attack/publishers.h"
 
 namespace pgpub {
 
-namespace {
-
-/// Screens raw harness options before they reach the CHECK-guarded
-/// guarantee formulas (ValidateParams aborts on a bad rho1 / lambda).
-Status ValidateHarnessOptions(const BreachHarnessOptions& options) {
-  if (!(std::isfinite(options.rho1) && options.rho1 > 0.0 &&
-        options.rho1 < 1.0)) {
-    return Status::InvalidArgument(
-        StrFormat("rho1 must be in (0,1), got %g", options.rho1));
-  }
-  if (!(std::isfinite(options.corruption_rate) &&
-        options.corruption_rate >= 0.0 && options.corruption_rate <= 1.0)) {
-    return Status::InvalidArgument(
-        StrFormat("corruption rate must be in [0,1], got %g",
-                  options.corruption_rate));
-  }
-  if (!(std::isfinite(options.lambda) && options.lambda > 0.0 &&
-        options.lambda <= 1.0)) {
-    return Status::InvalidArgument(
-        StrFormat("lambda must be in (0,1], got %g", options.lambda));
-  }
-  return Status::OK();
-}
-
-Result<BackgroundKnowledge> MakePrior(BreachHarnessOptions::PriorKind kind,
-                                      int32_t us, int32_t true_value,
-                                      double lambda, Rng& rng) {
-  switch (kind) {
-    case BreachHarnessOptions::PriorKind::kUniform:
-      return BackgroundKnowledge::Uniform(us);
-    case BreachHarnessOptions::PriorKind::kSkewTrue:
-      return BackgroundKnowledge::SkewedTowards(
-          us, true_value, std::max(lambda, 1.0 / us));
-    case BreachHarnessOptions::PriorKind::kRandom:
-      return BackgroundKnowledge::RandomSkewed(
-          us, std::max(lambda, 1.0 / us), rng);
-  }
-  return BackgroundKnowledge::Uniform(us);
-}
-
-}  // namespace
+// The definitions of the deprecated wrappers are not themselves "uses",
+// but some toolchains flag them; keep the build quiet either way.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 Result<BreachStats> MeasurePgBreaches(const PublishedTable& published,
                                       const ExternalDatabase& edb,
                                       const Table& microdata,
                                       const BreachHarnessOptions& options) {
-  RETURN_IF_ERROR(ValidateHarnessOptions(options));
-  BreachStats stats;
-  const int sens = published.sensitive_attr();
-  const int32_t us = published.domain(sens).size();
-
-  PgParams params;
-  params.p = published.retention_p();
-  params.k = published.k();
-  params.lambda = std::max(options.lambda, 1.0 / us);
-  params.sensitive_domain_size = us;
-  stats.h_top = HTop(params);
-  stats.delta_bound = MinDelta(params);
-  stats.rho2_bound = MinRho2(params, options.rho1);
-
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  ASSIGN_OR_RETURN(LinkingAttack attacker,
-                   LinkingAttack::Create(&published, &edb));
-
-  // Victims: microdata members only.
-  std::vector<size_t> members;
-  members.reserve(edb.size());
-  for (size_t i = 0; i < edb.size(); ++i) {
-    if (!edb.individual(i).extraneous()) members.push_back(i);
-  }
-  if (members.empty()) {
-    return Status::FailedPrecondition(
-        "external database contains no microdata members to attack");
-  }
-
-  // Trial v draws everything — victim choice, prior, corruption coin
-  // flips — from its own counter-based stream, so its outcome is a pure
-  // function of (options.seed, v). The fan-out below may therefore run
-  // trials in any order on any thread; the serial fold afterwards
-  // reproduces the exact accumulation order (and float sums) of a serial
-  // run.
-  struct TrialOutcome {
-    double h = 0.0;
-    double growth = 0.0;
-    double posterior = 0.0;
-  };
-  std::vector<TrialOutcome> outcomes(options.num_victims);
-  auto run_trial = [&](size_t v) -> Status {
-    Rng rng = Rng::ForStream(options.seed, v);
-    const size_t victim = members[rng.UniformU64(members.size())];
-    const Individual& victim_ind = edb.individual(victim);
-    const int32_t true_value =
-        microdata.value(victim_ind.microdata_row, sens);
-
-    Adversary adv;
-    ASSIGN_OR_RETURN(
-        adv.victim_prior,
-        MakePrior(options.prior_kind, us, true_value, params.lambda, rng));
-
-    // Corrupt candidates sharing the victim's published cell (the most
-    // damaging corruption targets).
-    auto crucial = published.CrucialTuple(victim_ind.qi_codes);
-    if (!crucial.ok()) {
-      return crucial.status().WithContext(
-          "microdata member has no crucial tuple");
-    }
-    uint64_t candidate_set = 1;  // the victim itself
-    for (size_t i = 0; i < edb.size(); ++i) {
-      if (i == victim) continue;
-      auto other = published.CrucialTuple(edb.individual(i).qi_codes);
-      if (!other.ok() || *other != *crucial) continue;
-      ++candidate_set;
-      metrics.GetCounter("attack.corruption_draws")->Add();
-      if (!rng.Bernoulli(options.corruption_rate)) continue;
-      const Individual& ind = edb.individual(i);
-      adv.corrupted[i] = ind.extraneous()
-                             ? Adversary::kExtraneousMark
-                             : microdata.value(ind.microdata_row, sens);
-    }
-    metrics.GetHistogram("attack.candidate_set")->Observe(candidate_set);
-    metrics.GetCounter("attack.corrupted")->Add(adv.corrupted.size());
-
-    ASSIGN_OR_RETURN(AttackResult result, attacker.Attack(victim, adv));
-    metrics.GetCounter("attack.attacks")->Add();
-    TrialOutcome& out = outcomes[v];
-    out.h = result.h;
-    ASSIGN_OR_RETURN(out.growth, result.MaxGrowth(adv.victim_prior));
-    // Optimal adversary: exact knapsack over predicates with prior <=
-    // rho1 (the greedy heuristic is a lower bound of this).
-    ASSIGN_OR_RETURN(out.posterior,
-                     result.MaxPosteriorGivenPriorBoundExact(
-                         adv.victim_prior, options.rho1));
-    return Status::OK();
-  };
-  RETURN_IF_ERROR(ParallelFor(
-      options.pool, IndexRange(0, options.num_victims), /*grain=*/1,
-      [&](size_t begin, size_t end) -> Status {
-        for (size_t v = begin; v < end; ++v) RETURN_IF_ERROR(run_trial(v));
-        return Status::OK();
-      }));
-
-  // Serial trial-order fold — the accumulation the serial loop performed.
-  double growth_sum = 0.0;
-  for (const TrialOutcome& out : outcomes) {
-    ++stats.attacks;
-    stats.max_h = std::max(stats.max_h, out.h);
-    growth_sum += out.growth;
-    stats.max_growth = std::max(stats.max_growth, out.growth);
-    if (out.growth > stats.delta_bound + 1e-9) ++stats.delta_breaches;
-    stats.max_posterior_rho1 = std::max(stats.max_posterior_rho1, out.posterior);
-    if (out.posterior > stats.rho2_bound + 1e-9) ++stats.rho_breaches;
-  }
-  stats.mean_growth =
-      stats.attacks == 0 ? 0.0 : growth_sum / static_cast<double>(stats.attacks);
-  return stats;
+  ScenarioDataset dataset;
+  dataset.name = "adhoc";
+  dataset.microdata = &microdata;
+  dataset.sensitive_attr = published.sensitive_attr();
+  dataset.edb = &edb;
+  ScenarioOptions scenario;
+  scenario.harness = options;
+  FixedPgRelease publisher(&published);
+  CorruptionLinkingAdversary adversary;
+  return BreachScenario::Run(publisher, adversary, dataset, scenario);
 }
 
 Result<GeneralizationBreachStats> MeasureGeneralizationBreaches(
     const Table& microdata, const QiGroups& groups, int sensitive_attr,
     const BreachHarnessOptions& options) {
-  RETURN_IF_ERROR(ValidateHarnessOptions(options));
-  GeneralizationBreachStats stats;
-  const int32_t us = microdata.domain(sensitive_attr).size();
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  const size_t n = microdata.num_rows();
-  if (n == 0) {
-    return Status::InvalidArgument("microdata table is empty");
-  }
-
-  // Stream-per-trial + ordered fold, exactly as in MeasurePgBreaches.
-  struct TrialOutcome {
-    double growth = 0.0;
-    bool point_mass = false;
-  };
-  std::vector<TrialOutcome> outcomes(options.num_victims);
-  auto run_trial = [&](size_t v) -> Status {
-    Rng rng = Rng::ForStream(options.seed, v);
-    const uint32_t victim_row = static_cast<uint32_t>(rng.UniformU64(n));
-    const int32_t true_value = microdata.value(victim_row, sensitive_attr);
-    const auto& group_rows =
-        groups.group_rows[groups.row_to_group[victim_row]];
-
-    ASSIGN_OR_RETURN(BackgroundKnowledge prior,
-                     MakePrior(options.prior_kind, us, true_value,
-                               std::max(options.lambda, 1.0 / us), rng));
-
-    metrics.GetHistogram("attack.candidate_set")->Observe(group_rows.size());
-    std::vector<uint32_t> corrupted;
-    for (uint32_t r : group_rows) {
-      if (r == victim_row) continue;
-      metrics.GetCounter("attack.corruption_draws")->Add();
-      if (rng.Bernoulli(options.corruption_rate)) {
-        corrupted.push_back(r);
-      }
-    }
-    metrics.GetCounter("attack.corrupted")->Add(corrupted.size());
-    metrics.GetCounter("attack.attacks")->Add();
-
-    ASSIGN_OR_RETURN(
-        std::vector<double> post,
-        GeneralizationAttackPosterior(microdata, group_rows, sensitive_attr,
-                                      victim_row, corrupted, prior));
-
-    double growth = 0.0;
-    int support = 0;
-    for (int32_t x = 0; x < us; ++x) {
-      growth += std::max(0.0, post[x] - prior.pdf[x]);
-      if (post[x] > 1e-12) ++support;
-    }
-    outcomes[v].growth = growth;
-    outcomes[v].point_mass = support == 1;
-    return Status::OK();
-  };
-  RETURN_IF_ERROR(ParallelFor(
-      options.pool, IndexRange(0, options.num_victims), /*grain=*/1,
-      [&](size_t begin, size_t end) -> Status {
-        for (size_t v = begin; v < end; ++v) RETURN_IF_ERROR(run_trial(v));
-        return Status::OK();
-      }));
-
-  double growth_sum = 0.0;
-  for (const TrialOutcome& out : outcomes) {
-    ++stats.attacks;
-    growth_sum += out.growth;
-    stats.max_growth = std::max(stats.max_growth, out.growth);
-    if (out.point_mass) ++stats.point_mass_disclosures;
-  }
-  stats.mean_growth = stats.attacks == 0
-                          ? 0.0
-                          : growth_sum / static_cast<double>(stats.attacks);
-  return stats;
+  ScenarioDataset dataset;
+  dataset.name = "adhoc";
+  dataset.microdata = &microdata;
+  dataset.sensitive_attr = sensitive_attr;
+  ScenarioOptions scenario;
+  scenario.harness = options;
+  FixedGeneralizationRelease publisher(&groups);
+  CorruptionLinkingAdversary adversary;
+  ASSIGN_OR_RETURN(BreachStats stats, BreachScenario::Run(publisher, adversary,
+                                                          dataset, scenario));
+  GeneralizationBreachStats out;
+  out.attacks = stats.attacks;
+  out.max_growth = stats.max_growth;
+  out.mean_growth = stats.mean_growth;
+  out.point_mass_disclosures = stats.point_mass_disclosures;
+  return out;
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace pgpub

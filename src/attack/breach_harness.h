@@ -2,57 +2,16 @@
 
 #include <cstdint>
 
-#include "attack/external_db.h"
-#include "common/parallel/thread_pool.h"
-#include "attack/linking_attack.h"
-#include "core/guarantees.h"
-#include "generalize/qi_groups.h"
-#include "table/table.h"
+#include "attack/scenario.h"
 
 namespace pgpub {
 
-/// Configuration for empirical breach measurement.
-struct BreachHarnessOptions {
-  /// How many randomly chosen victims to attack.
-  size_t num_victims = 200;
-  /// Each candidate other than the victim is corrupted independently with
-  /// this probability (1.0 = the worst case 𝒞 = ℰ - {o} restricted to the
-  /// victim's cell).
-  double corruption_rate = 0.5;
-  /// Skew bound for the adversary priors generated by the harness.
-  double lambda = 0.1;
-  /// ρ₁ for ρ₁-to-ρ₂ accounting.
-  double rho1 = 0.2;
-  uint64_t seed = 7;
-
-  /// Optional worker pool for the trial fan-out (nullptr = serial). Trial
-  /// v draws from Rng::ForStream(seed, v) and the aggregates are folded in
-  /// trial order, so the stats are bit-identical at every thread count.
-  ThreadPool* pool = nullptr;
-
-  /// How the harness builds the victim prior for each attack.
-  enum class PriorKind {
-    kUniform,     ///< 1/|U^s| everywhere.
-    kSkewTrue,    ///< Mass λ on the victim's true value (strong adversary).
-    kRandom,      ///< Random λ-skewed pdf.
-  };
-  PriorKind prior_kind = PriorKind::kSkewTrue;
-};
-
-/// Aggregates over many attacks against a PG release, with the theoretical
-/// bounds alongside for comparison.
-struct BreachStats {
-  size_t attacks = 0;
-  double max_growth = 0.0;
-  double mean_growth = 0.0;
-  double max_posterior_rho1 = 0.0;  ///< Max P_post over Q with P_prior <= ρ₁.
-  double max_h = 0.0;
-  double h_top = 0.0;        ///< Inequality 20 bound.
-  double delta_bound = 0.0;  ///< Theorem 3 bound.
-  double rho2_bound = 0.0;   ///< Theorem 2 bound at ρ₁.
-  size_t delta_breaches = 0;  ///< Attacks with growth exceeding the bound.
-  size_t rho_breaches = 0;    ///< Attacks exceeding the ρ₂ bound.
-};
+// BreachHarnessOptions and the unified BreachStats now live in
+// attack/scenario.h; this header keeps the historical free-function
+// entrypoints alive as thin wrappers over BreachScenario. New code should
+// compose a Publisher (attack/publishers.h) with an AdversaryModel
+// (attack/adversaries.h) and call BreachScenario::Run — that is the same
+// machinery with the publisher and adversary swappable.
 
 /// Attacks `num_victims` random microdata members of `edb` against the PG
 /// release and reports the worst observed quantities vs. the Section VI
@@ -60,11 +19,19 @@ struct BreachStats {
 /// corruption. Fails on a release/ℰ mismatch, an ℰ with no microdata
 /// members, or infeasible harness options — a breach *measurement* must
 /// never abort the process, it reports what went wrong.
+///
+/// Equivalent to BreachScenario::RunOnRelease with a FixedPgRelease and a
+/// CorruptionLinkingAdversary: trial draws, aggregation order, and the
+/// theorem bounds are identical, down to the float.
+[[deprecated(
+    "use BreachScenario::Run with FixedPgRelease + "
+    "CorruptionLinkingAdversary (attack/scenario.h)")]]
 [[nodiscard]] Result<BreachStats> MeasurePgBreaches(
     const PublishedTable& published, const ExternalDatabase& edb,
     const Table& microdata, const BreachHarnessOptions& options);
 
 /// Aggregates for the conventional-generalization baseline attack.
+/// (Subset view of the unified BreachStats, kept for source compatibility.)
 struct GeneralizationBreachStats {
   size_t attacks = 0;
   double max_growth = 0.0;
@@ -78,6 +45,13 @@ struct GeneralizationBreachStats {
 /// (groups of `groups`, exact sensitive values published) and measures the
 /// adversary's growth — the empirical face of Lemmas 1-2. Fails on an
 /// empty table or infeasible harness options.
+///
+/// Equivalent to BreachScenario::RunOnRelease with a
+/// FixedGeneralizationRelease and a CorruptionLinkingAdversary, projected
+/// onto the historical stats subset.
+[[deprecated(
+    "use BreachScenario::Run with FixedGeneralizationRelease + "
+    "CorruptionLinkingAdversary (attack/scenario.h)")]]
 [[nodiscard]] Result<GeneralizationBreachStats> MeasureGeneralizationBreaches(
     const Table& microdata, const QiGroups& groups, int sensitive_attr,
     const BreachHarnessOptions& options);

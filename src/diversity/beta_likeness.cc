@@ -1,0 +1,71 @@
+#include "diversity/beta_likeness.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace pgpub {
+
+Result<BetaLikeness> BetaLikeness::Create(
+    double beta, std::vector<int64_t> global_histogram) {
+  if (!(std::isfinite(beta) && beta > 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("beta must be positive and finite, got %g", beta));
+  }
+  if (global_histogram.empty()) {
+    return Status::InvalidArgument("global histogram must not be empty");
+  }
+  int64_t total = 0;
+  for (int64_t count : global_histogram) {
+    if (count < 0) {
+      return Status::InvalidArgument("global histogram counts must be >= 0");
+    }
+    total += count;
+  }
+  if (total <= 0) {
+    return Status::InvalidArgument("global histogram must have positive mass");
+  }
+  return BetaLikeness(beta, std::move(global_histogram), total);
+}
+
+Result<BetaLikeness> BetaLikeness::FromTable(const Table& table, int attr,
+                                             double beta) {
+  if (attr < 0 || attr >= table.num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("constrained attribute %d out of range", attr));
+  }
+  return Create(beta, table.Histogram(attr));
+}
+
+bool BetaLikeness::Satisfied(const std::vector<int64_t>& histogram) const {
+  int64_t group_total = 0;
+  for (int64_t count : histogram) group_total += count;
+  if (group_total <= 0) return true;  // Empty groups constrain nothing.
+  for (size_t x = 0; x < histogram.size(); ++x) {
+    if (histogram[x] <= 0) continue;
+    // A value absent from the table can never appear in a group drawn from
+    // it; a foreign histogram carrying one fails closed.
+    if (x >= global_.size() || global_[x] <= 0) return false;
+    // f_g(x) <= (1+β)·f(x), cross-multiplied so the only rounding is the
+    // one (1+β) product.
+    const double lhs = static_cast<double>(histogram[x]) *
+                       static_cast<double>(global_total_);
+    const double rhs = (1.0 + beta_) * static_cast<double>(global_[x]) *
+                       static_cast<double>(group_total);
+    if (lhs > rhs) return false;
+  }
+  return true;
+}
+
+std::string BetaLikeness::name() const {
+  return StrFormat("%g-likeness", beta_);
+}
+
+double BetaLikeness::GlobalFrequency(int32_t x) const {
+  if (x < 0 || static_cast<size_t>(x) >= global_.size()) return 0.0;
+  return static_cast<double>(global_[x]) /
+         static_cast<double>(global_total_);
+}
+
+}  // namespace pgpub

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "generalize/qi_groups.h"
+#include "table/table.h"
+
+namespace pgpub {
+
+/// \brief β-likeness (Cao & Karras, "Publishing Microdata with a Robust
+/// Privacy Guarantee"): every QI-group's relative frequency of each
+/// sensitive value x may exceed the table-wide frequency f(x) by at most a
+/// factor (1 + β):
+///
+///   f_g(x) <= (1 + β) · f(x)   for every group g and value x.
+///
+/// Against an adversary whose prior IS the published global distribution,
+/// this caps the posterior lift of any value at β·f(x), so the rival
+/// guarantee reads: growth over any predicate <= min(1, β) and posterior
+/// confidence <= min(1, (1+β)·prior). The scenario framework
+/// (attack/publishers.h) publishes under this constraint and then measures
+/// how the claim fares against corruption-aided adversaries the guarantee
+/// never modeled.
+///
+/// The fully generalized table always satisfies the constraint (its one
+/// group reproduces f exactly), so TDS under it never fails at the root.
+class BetaLikeness : public GroupConstraint {
+ public:
+  /// `global_histogram` holds per-code counts of the constrained attribute
+  /// over the whole table (the f the groups are compared against).
+  /// Validates β > 0 finite and a non-empty histogram with positive total.
+  [[nodiscard]] static Result<BetaLikeness> Create(
+      double beta, std::vector<int64_t> global_histogram);
+
+  /// Convenience: builds the global histogram from `table`'s column `attr`.
+  [[nodiscard]] static Result<BetaLikeness> FromTable(const Table& table,
+                                                      int attr, double beta);
+
+  bool Satisfied(const std::vector<int64_t>& histogram) const override;
+  std::string name() const override;
+
+  double beta() const { return beta_; }
+
+  /// Table-wide relative frequency f(x) of code `x` (0 outside the domain).
+  double GlobalFrequency(int32_t x) const;
+
+ private:
+  BetaLikeness(double beta, std::vector<int64_t> global_histogram,
+               int64_t global_total)
+      : beta_(beta),
+        global_(std::move(global_histogram)),
+        global_total_(global_total) {}
+
+  double beta_;
+  std::vector<int64_t> global_;
+  int64_t global_total_ = 0;
+};
+
+}  // namespace pgpub

@@ -12,7 +12,10 @@
 ///     with cross-run caches), guarantee calculators/solvers.
 ///   - Data model + I/O: Table/Schema/AttributeDomain, CSV microdata I/O,
 ///     taxonomy and recoding (de)serialization, PublishReport JSON.
-///   - Attack side: breach harness, linking attack, external database.
+///   - Attack side: the scenario framework (Publisher × AdversaryModel ×
+///     dataset via BreachScenario, with rival-guarantee publishers and the
+///     transparent adversary), linking attack, external database, and the
+///     deprecated breach-harness wrappers.
 ///   - Evaluation: synthetic datasets (census/SAL/hospital/clinic),
 ///     decision-tree/naive-Bayes mining, ℓ-diversity baseline,
 ///     m-invariance republication, query accuracy.
@@ -47,16 +50,20 @@
 #include "generalize/tds.h"
 #include "sample/stratified.h"
 
-// Attack harness.
+// Attack harness and scenario framework.
+#include "attack/adversaries.h"
 #include "attack/breach_harness.h"
 #include "attack/external_db.h"
 #include "attack/linking_attack.h"
+#include "attack/publishers.h"
+#include "attack/scenario.h"
 
 // Evaluation: datasets, mining, baselines.
 #include "datagen/census.h"
 #include "datagen/clinic.h"
 #include "datagen/hospital.h"
 #include "datagen/sal.h"
+#include "diversity/beta_likeness.h"
 #include "diversity/ldiversity.h"
 #include "mining/dataset_io.h"
 #include "mining/evaluate.h"

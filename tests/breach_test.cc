@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
-#include "attack/breach_harness.h"
+#include "attack/adversaries.h"
+#include "attack/publishers.h"
+#include "attack/scenario.h"
 #include "core/pg_publisher.h"
 #include "datagen/census.h"
 #include "diversity/ldiversity.h"
@@ -8,6 +10,40 @@
 
 namespace pgpub {
 namespace {
+
+// The historical harness entrypoints, restated through the scenario
+// framework: a fixed release + the corruption-linking adversary. Pinned
+// expectations below carry over unchanged because the trial bodies are
+// draw-for-draw identical.
+Result<BreachStats> RunPgScenario(const PublishedTable& published,
+                                  const ExternalDatabase& edb,
+                                  const Table& microdata,
+                                  const BreachHarnessOptions& options) {
+  ScenarioDataset dataset;
+  dataset.name = "census";
+  dataset.microdata = &microdata;
+  dataset.sensitive_attr = published.sensitive_attr();
+  dataset.edb = &edb;
+  ScenarioOptions scenario;
+  scenario.harness = options;
+  FixedPgRelease publisher(&published);
+  CorruptionLinkingAdversary adversary;
+  return BreachScenario::Run(publisher, adversary, dataset, scenario);
+}
+
+Result<BreachStats> RunGenScenario(const Table& microdata,
+                                   const QiGroups& groups, int sensitive_attr,
+                                   const BreachHarnessOptions& options) {
+  ScenarioDataset dataset;
+  dataset.name = "census";
+  dataset.microdata = &microdata;
+  dataset.sensitive_attr = sensitive_attr;
+  ScenarioOptions scenario;
+  scenario.harness = options;
+  FixedGeneralizationRelease publisher(&groups);
+  CorruptionLinkingAdversary adversary;
+  return BreachScenario::Run(publisher, adversary, dataset, scenario);
+}
 
 struct BreachFixture {
   CensusDataset census = GenerateCensus(8000, 21).ValueOrDie();
@@ -32,17 +68,17 @@ TEST(BreachHarnessTest, RejectsInfeasibleOptions) {
   BreachFixture f;
   BreachHarnessOptions options;
   options.rho1 = 1.5;  // must be in (0,1)
-  EXPECT_TRUE(MeasurePgBreaches(f.published, f.edb, f.census.table, options)
+  EXPECT_TRUE(RunPgScenario(f.published, f.edb, f.census.table, options)
                   .status()
                   .IsInvalidArgument());
   options.rho1 = 0.2;
   options.corruption_rate = -0.1;
-  EXPECT_TRUE(MeasurePgBreaches(f.published, f.edb, f.census.table, options)
+  EXPECT_TRUE(RunPgScenario(f.published, f.edb, f.census.table, options)
                   .status()
                   .IsInvalidArgument());
   options.corruption_rate = 0.5;
   options.lambda = 0.0;
-  EXPECT_TRUE(MeasurePgBreaches(f.published, f.edb, f.census.table, options)
+  EXPECT_TRUE(RunPgScenario(f.published, f.edb, f.census.table, options)
                   .status()
                   .IsInvalidArgument());
 }
@@ -61,7 +97,7 @@ TEST_P(CorruptionSweep, PgNeverBreachesTheoremBounds) {
   options.prior_kind = BreachHarnessOptions::PriorKind::kSkewTrue;
 
   BreachStats stats =
-      MeasurePgBreaches(f.published, f.edb, f.census.table, options).ValueOrDie();
+      RunPgScenario(f.published, f.edb, f.census.table, options).ValueOrDie();
   EXPECT_EQ(stats.attacks, options.num_victims);
   EXPECT_EQ(stats.delta_breaches, 0u) << "corruption=" << rate;
   EXPECT_EQ(stats.rho_breaches, 0u) << "corruption=" << rate;
@@ -85,7 +121,7 @@ TEST_P(PriorKindSweep, NoBreachUnderAnyHarnessPrior) {
   options.prior_kind = GetParam();
   options.seed = 9;
   BreachStats stats =
-      MeasurePgBreaches(f.published, f.edb, f.census.table, options).ValueOrDie();
+      RunPgScenario(f.published, f.edb, f.census.table, options).ValueOrDie();
   EXPECT_EQ(stats.delta_breaches, 0u);
   EXPECT_EQ(stats.rho_breaches, 0u);
 }
@@ -106,7 +142,7 @@ TEST(BreachHarnessTest, GrowthIsPositiveUnderStrongCorruption) {
   options.lambda = 0.1;
   options.seed = 11;
   BreachStats stats =
-      MeasurePgBreaches(f.published, f.edb, f.census.table, options).ValueOrDie();
+      RunPgScenario(f.published, f.edb, f.census.table, options).ValueOrDie();
   EXPECT_GT(stats.max_growth, 0.0);
   EXPECT_GT(stats.max_h, 0.0);
 }
@@ -120,10 +156,10 @@ TEST(BreachHarnessTest, LowerRetentionLowersGrowth) {
 
   BreachFixture strong(0.1, 4);
   BreachFixture weak(0.6, 4);
-  BreachStats s_strong = MeasurePgBreaches(strong.published, strong.edb,
-                                           strong.census.table, options).ValueOrDie();
+  BreachStats s_strong = RunPgScenario(strong.published, strong.edb,
+                                       strong.census.table, options).ValueOrDie();
   BreachStats s_weak =
-      MeasurePgBreaches(weak.published, weak.edb, weak.census.table, options).ValueOrDie();
+      RunPgScenario(weak.published, weak.edb, weak.census.table, options).ValueOrDie();
   EXPECT_LT(s_strong.max_growth, s_weak.max_growth);
   EXPECT_LT(s_strong.delta_bound, s_weak.delta_bound);
 }
@@ -149,7 +185,7 @@ TEST(GeneralizationBreachTest, FullCorruptionCausesCertainDisclosure) {
   options.lambda = 0.1;
   options.prior_kind = BreachHarnessOptions::PriorKind::kUniform;
   options.seed = 17;
-  GeneralizationBreachStats stats = MeasureGeneralizationBreaches(
+  BreachStats stats = RunGenScenario(
       census.table, groups, sens, options).ValueOrDie();
   // Every attack ends in a point mass (the victim's value disclosed).
   EXPECT_EQ(stats.point_mass_disclosures, stats.attacks);
@@ -185,9 +221,9 @@ TEST(GeneralizationBreachTest, PgBeatsGeneralizationUnderCorruption) {
   options.corruption_rate = 1.0;
   options.lambda = 0.1;
   options.seed = 46;
-  GeneralizationBreachStats gen = MeasureGeneralizationBreaches(
+  BreachStats gen = RunGenScenario(
       census.table, groups, sens, options).ValueOrDie();
-  BreachStats pg = MeasurePgBreaches(published, edb, census.table, options).ValueOrDie();
+  BreachStats pg = RunPgScenario(published, edb, census.table, options).ValueOrDie();
   EXPECT_GT(gen.max_growth, pg.max_growth + 0.3);
 }
 
@@ -210,7 +246,7 @@ TEST(GeneralizationBreachTest, NoCorruptionStillLeaksLemma1Style) {
   options.lambda = 0.1;
   options.prior_kind = BreachHarnessOptions::PriorKind::kUniform;
   options.seed = 48;
-  GeneralizationBreachStats stats = MeasureGeneralizationBreaches(
+  BreachStats stats = RunGenScenario(
       census.table, groups, sens, options).ValueOrDie();
   PgParams pg_params{0.3, 4, 0.1, 50};
   EXPECT_GT(stats.max_growth, MinDelta(pg_params));

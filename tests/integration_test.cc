@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
-#include "attack/breach_harness.h"
+#include "attack/adversaries.h"
+#include "attack/publishers.h"
+#include "attack/scenario.h"
 #include "core/pg_publisher.h"
 #include "datagen/census.h"
 #include "datagen/hospital.h"
@@ -57,7 +59,18 @@ TEST_P(FullPipeline, PublishAttackMine) {
   harness.corruption_rate = 1.0;
   harness.lambda = 0.1;
   harness.seed = 3000 + param.k;
-  BreachStats stats = MeasurePgBreaches(published, edb, microdata, harness).ValueOrDie();
+  ScenarioDataset scenario_dataset;
+  scenario_dataset.name = "census";
+  scenario_dataset.microdata = &microdata;
+  scenario_dataset.sensitive_attr = sens;
+  scenario_dataset.edb = &edb;
+  ScenarioOptions scenario;
+  scenario.harness = harness;
+  FixedPgRelease release(&published);
+  CorruptionLinkingAdversary adversary;
+  BreachStats stats =
+      BreachScenario::Run(release, adversary, scenario_dataset, scenario)
+          .ValueOrDie();
   EXPECT_EQ(stats.delta_breaches, 0u);
   EXPECT_EQ(stats.rho_breaches, 0u);
 

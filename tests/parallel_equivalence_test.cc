@@ -10,8 +10,10 @@
 #include <string>
 #include <vector>
 
-#include "attack/breach_harness.h"
+#include "attack/adversaries.h"
 #include "attack/external_db.h"
+#include "attack/publishers.h"
+#include "attack/scenario.h"
 #include "common/parallel/thread_pool.h"
 #include "core/report_io.h"
 #include "core/robust_publisher.h"
@@ -179,19 +181,27 @@ TEST(ParallelEquivalenceTest, BreachStatsBitIdenticalAcrossThreadCounts) {
   ExternalDatabase edb =
       ExternalDatabase::FromMicrodata(census.table, 300, edb_rng);
 
-  BreachHarnessOptions harness;
-  harness.num_victims = 40;
-  harness.corruption_rate = 0.8;
-  harness.seed = 42;
+  ScenarioDataset dataset;
+  dataset.name = "census";
+  dataset.microdata = &census.table;
+  dataset.sensitive_attr = published.sensitive_attr();
+  dataset.edb = &edb;
+  FixedPgRelease release(&published);
+  CorruptionLinkingAdversary adversary;
+
+  ScenarioOptions scenario;
+  scenario.harness.num_victims = 40;
+  scenario.harness.corruption_rate = 0.8;
+  scenario.harness.seed = 42;
   const BreachStats serial =
-      MeasurePgBreaches(published, edb, census.table, harness).ValueOrDie();
+      BreachScenario::Run(release, adversary, dataset, scenario).ValueOrDie();
 
   for (int threads : {2, 8}) {
     ThreadPool pool(threads);
-    BreachHarnessOptions pooled = harness;
-    pooled.pool = &pool;
+    ScenarioOptions pooled = scenario;
+    pooled.harness.pool = &pool;
     const BreachStats parallel =
-        MeasurePgBreaches(published, edb, census.table, pooled).ValueOrDie();
+        BreachScenario::Run(release, adversary, dataset, pooled).ValueOrDie();
     EXPECT_EQ(serial.attacks, parallel.attacks) << "threads=" << threads;
     // Exact double equality: the trial-order fold makes even the float
     // accumulators bit-identical.
@@ -220,20 +230,25 @@ TEST(ParallelEquivalenceTest,
   QiGroups groups = ComputeQiGroups(census.table, published.recoding());
   const int sens = CensusColumns::kIncome;
 
-  BreachHarnessOptions harness;
-  harness.num_victims = 40;
-  harness.corruption_rate = 0.6;
-  harness.seed = 42;
-  const GeneralizationBreachStats serial =
-      MeasureGeneralizationBreaches(census.table, groups, sens, harness)
-          .ValueOrDie();
+  ScenarioDataset dataset;
+  dataset.name = "census";
+  dataset.microdata = &census.table;
+  dataset.sensitive_attr = sens;
+  FixedGeneralizationRelease release(&groups);
+  CorruptionLinkingAdversary adversary;
+
+  ScenarioOptions scenario;
+  scenario.harness.num_victims = 40;
+  scenario.harness.corruption_rate = 0.6;
+  scenario.harness.seed = 42;
+  const BreachStats serial =
+      BreachScenario::Run(release, adversary, dataset, scenario).ValueOrDie();
   for (int threads : {2, 8}) {
     ThreadPool pool(threads);
-    BreachHarnessOptions pooled = harness;
-    pooled.pool = &pool;
-    const GeneralizationBreachStats parallel =
-        MeasureGeneralizationBreaches(census.table, groups, sens, pooled)
-            .ValueOrDie();
+    ScenarioOptions pooled = scenario;
+    pooled.harness.pool = &pool;
+    const BreachStats parallel =
+        BreachScenario::Run(release, adversary, dataset, pooled).ValueOrDie();
     EXPECT_EQ(serial.attacks, parallel.attacks) << "threads=" << threads;
     EXPECT_EQ(serial.max_growth, parallel.max_growth);
     EXPECT_EQ(serial.mean_growth, parallel.mean_growth);

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
-#include "attack/breach_harness.h"
+#include "attack/adversaries.h"
+#include "attack/publishers.h"
+#include "attack/scenario.h"
 #include "core/pg_publisher.h"
 #include "core/verify.h"
 #include "datagen/clinic.h"
@@ -146,8 +148,17 @@ TEST(ClinicTest, PgPipelineHoldsOnClinicWorkload) {
   harness.corruption_rate = 1.0;
   harness.lambda = 0.1;
   harness.seed = 12;
+  ScenarioDataset dataset;
+  dataset.name = "clinic";
+  dataset.microdata = &clinic.table;
+  dataset.sensitive_attr = ClinicColumns::kDisease;
+  dataset.edb = &edb;
+  ScenarioOptions scenario;
+  scenario.harness = harness;
+  FixedPgRelease release(&published);
+  CorruptionLinkingAdversary adversary;
   BreachStats stats =
-      MeasurePgBreaches(published, edb, clinic.table, harness).ValueOrDie();
+      BreachScenario::Run(release, adversary, dataset, scenario).ValueOrDie();
   EXPECT_EQ(stats.delta_breaches, 0u);
   EXPECT_EQ(stats.rho_breaches, 0u);
 
